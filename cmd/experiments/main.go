@@ -1,0 +1,118 @@
+// Command experiments regenerates the paper's evaluation figures and
+// tables (SIGCOMM '16, §6) through the real Robotron pipeline.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run fig15
+//	experiments -run table2 -hours 24
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/robotron-net/robotron/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: fig12, fig13, fig14, fig15, fig16, table2, table3, or all")
+	hours := flag.Int("hours", 24, "virtual hours for table2")
+	weeks := flag.Int("weeks", 0, "override simulated weeks for fig12/fig14/fig16 (0 = paper window)")
+	months := flag.Int("months", 12, "simulated months for fig15")
+	seed := flag.Int64("seed", 0, "override the deterministic seed (0 = default per experiment)")
+	flag.Parse()
+
+	which := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		which[strings.TrimSpace(name)] = true
+	}
+	all := which["all"]
+	ran := 0
+	step := func(name string, fn func() (string, error)) {
+		if !all && !which[name] {
+			return
+		}
+		ran++
+		start := time.Now()
+		out, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", name, time.Since(start).Seconds(), out)
+	}
+
+	step("fig12", func() (string, error) {
+		cfg := experiments.DefaultFig12Config()
+		if *weeks > 0 {
+			cfg.Weeks = *weeks
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		res, err := experiments.RunFig12(cfg)
+		if err != nil {
+			return "", err
+		}
+		return res.Format(), nil
+	})
+	step("fig13", func() (string, error) {
+		return experiments.RunFig13().Format(), nil
+	})
+	step("fig14", func() (string, error) {
+		cfg := experiments.DefaultFig14Config()
+		if *weeks > 0 {
+			cfg.Weeks = *weeks
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		return experiments.RunFig14(cfg).Format(), nil
+	})
+	step("fig15", func() (string, error) {
+		cfg := experiments.DefaultFig15Config()
+		cfg.Months = *months
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		res, err := experiments.RunFig15(cfg)
+		if err != nil {
+			return "", err
+		}
+		return res.Format(), nil
+	})
+	step("fig16", func() (string, error) {
+		cfg := experiments.DefaultFig16Config()
+		if *weeks > 0 {
+			cfg.Weeks = *weeks
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		res, err := experiments.RunFig16(cfg)
+		if err != nil {
+			return "", err
+		}
+		return res.Format(), nil
+	})
+	step("table2", func() (string, error) {
+		cfg := experiments.DefaultTable2Config()
+		cfg.Hours = *hours
+		res, err := experiments.RunTable2(cfg)
+		if err != nil {
+			return "", err
+		}
+		return res.Format(), nil
+	})
+	step("table3", func() (string, error) {
+		return experiments.RunTable3(experiments.DefaultTable3Config()).Format(), nil
+	})
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig12..fig16, table2, table3, all)\n", *run)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/robotron-net/robotron/internal/core"
+	"github.com/robotron-net/robotron/internal/deploy"
+	"github.com/robotron-net/robotron/internal/design"
+	"github.com/robotron-net/robotron/internal/fbnet"
+	"github.com/robotron-net/robotron/internal/fbnet/service"
+	"github.com/robotron-net/robotron/internal/monitor"
+	"github.com/robotron-net/robotron/internal/netsim"
+)
+
+// scenarioDistributed runs the life cycle with every stage boundary on a
+// real socket: the design change arrives as a Thrift RPC at the write
+// service (§4.3.2), config generation runs server-side against the master
+// store, deployment and monitoring reach the devices over the TCP
+// management CLI, and devices stream syslog over UDP to a collector.
+func scenarioDistributed(employee, ticket string) {
+	header("start the FBNet service deployment (3 regions over TCP RPC)")
+	dep, err := service.NewDeployment(fbnet.NewCatalog(), "ash", []string{"ash", "fra", "sin"}, 2)
+	if err != nil {
+		fatal(err)
+	}
+	defer dep.Close()
+	dep.StartReplication(50 * time.Millisecond)
+	if _, err := dep.EnableDesignAPI(design.DefaultPools()); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("write service: %s\n", dep.WriteAddr())
+
+	// The management tools are colocated with the master store, per the
+	// paper's architecture; they share its FBNet.
+	r, err := core.New(core.Options{Store: dep.MasterStore()})
+	if err != nil {
+		fatal(err)
+	}
+
+	header("network design arrives as an RPC from the fra region")
+	client := service.NewClient(dep, "fra")
+	defer client.Close()
+	reply, err := client.BuildCluster(context.Background(), &service.BuildClusterRequest{
+		Meta: service.ChangeMeta{
+			EmployeeID: employee, TicketID: ticket,
+			Description: "distributed demo cluster", Domain: "pop",
+			NowUnix: time.Now().Unix(),
+		},
+		Site: "pop1", Cluster: "pop1-c1", Template: "pop-gen1",
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("design change %d created %d FBNet objects via RPC\n", reply.ChangeID, reply.NumCreated)
+
+	header("physical build-out + TCP management plane")
+	if err := r.SyncFleet(); err != nil {
+		fatal(err)
+	}
+	mgmt, err := r.Fleet.ServeMgmt("127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	defer mgmt.Close()
+	collector, err := monitor.NewCollector("127.0.0.1:0", r.Classifier)
+	if err != nil {
+		fatal(err)
+	}
+	defer collector.Close()
+	for _, d := range r.Fleet.Devices() {
+		sink, err := netsim.UDPSyslogSink(collector.Addr())
+		if err != nil {
+			fatal(err)
+		}
+		d.SetSyslogSink(sink)
+	}
+	fmt.Printf("management CLI: %s   syslog collector (UDP): %s\n", mgmt.Addr(), collector.Addr())
+
+	header("deploy over the TCP management CLI")
+	sessions := map[string]*netsim.RemoteDevice{}
+	remote := func(name string) (deploy.Target, error) {
+		if d, ok := sessions[name]; ok {
+			return d, nil
+		}
+		d, err := netsim.DialDevice(mgmt.Addr(), name)
+		if err != nil {
+			return nil, err
+		}
+		sessions[name] = d
+		return d, nil
+	}
+	defer func() {
+		for _, d := range sessions {
+			d.Close()
+		}
+	}()
+	devices, err := r.DevicesOfSite("pop1")
+	if err != nil {
+		fatal(err)
+	}
+	configs := map[string]string{}
+	for _, name := range devices {
+		cfg, err := r.Generator.GenerateDevice(name)
+		if err != nil {
+			fatal(err)
+		}
+		configs[name] = cfg
+		if _, err := r.Generator.CommitGolden(name, cfg, employee, "distributed provisioning"); err != nil {
+			fatal(err)
+		}
+	}
+	remoteDeployer := deploy.NewDeployer(remote)
+	rep, err := remoteDeployer.InitialProvision(configs, deploy.Options{
+		Notify: func(f string, a ...any) { fmt.Printf("  | "+f+"\n", a...) },
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("provisioned %d devices over TCP\n", len(rep.Results))
+	if _, err := r.PromoteCircuits(); err != nil {
+		fatal(err)
+	}
+
+	header("monitor over TCP, audit against the design")
+	monSessions := map[string]monitor.DeviceAPI{}
+	jm := monitor.NewJobManager(func(name string) (monitor.DeviceAPI, error) {
+		if d, ok := monSessions[name]; ok {
+			return d, nil
+		}
+		d, err := netsim.DialDevice(mgmt.Addr(), name)
+		if err != nil {
+			return nil, err
+		}
+		monSessions[name] = d
+		return d, nil
+	})
+	jm.RegisterBackend(monitor.NewDerivedBackend(r.Store))
+	jm.RegisterBackend(monitor.NewTimeseriesBackend())
+	for _, spec := range []monitor.JobSpec{
+		{Name: "ifaces", Period: time.Minute, Engine: monitor.EngineRPCXML,
+			Data: monitor.DataInterfaces, Devices: devices, Backends: []string{"fbnet-derived"}},
+		{Name: "lldp", Period: time.Minute, Engine: monitor.EngineCLI,
+			Data: monitor.DataLLDP, Devices: devices, Backends: []string{"fbnet-derived"}},
+		{Name: "version", Period: time.Minute, Engine: monitor.EngineThrift,
+			Data: monitor.DataVersion, Devices: devices, Backends: []string{"fbnet-derived"}},
+	} {
+		if _, err := jm.RunOnce(spec); err != nil {
+			fatal(err)
+		}
+	}
+	for _, d := range monSessions {
+		if rd, ok := d.(*netsim.RemoteDevice); ok {
+			defer rd.Close()
+		}
+	}
+	if _, err := monitor.DeriveCircuits(r.Store); err != nil {
+		fatal(err)
+	}
+	// The syslog burst from provisioning reached the classifier over UDP.
+	deadline := time.Now().Add(2 * time.Second)
+	for r.Classifier.Total() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("syslog events collected over UDP: %d\n", r.Classifier.Total())
+	audit, err := r.Audit()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("audit anomalies: %d (clean=%v)\n", len(audit.Anomalies), audit.Clean())
+	// Readers in any region see the final design.
+	if err := dep.Replicate(); err != nil {
+		fatal(err)
+	}
+	rows, err := client.Get(context.Background(), "Circuit", []string{"circuit_id", "status"},
+		service.Eq("status", "production"))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fra region read replica sees %d production circuits\n", len(rows))
+}

@@ -1,0 +1,286 @@
+// Command robotron runs end-to-end management scenarios against a
+// simulated network, exercising the full life cycle: network design →
+// config generation → deployment → monitoring (SIGCOMM '16, §5).
+//
+// Usage:
+//
+//	robotron -scenario lifecycle   # build a POP end to end, audit it
+//	robotron -scenario backbone    # incremental backbone changes
+//	robotron -scenario drift       # manual-change detection and restore
+//	robotron -scenario outage      # fiber cut detected by audit
+//	robotron -scenario distributed # every stage boundary over a real socket
+//	robotron -scenario firewall    # phased ACL rollout across a cluster
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/robotron-net/robotron/internal/core"
+	"github.com/robotron-net/robotron/internal/deploy"
+	"github.com/robotron-net/robotron/internal/design"
+	"github.com/robotron-net/robotron/internal/fbnet"
+)
+
+func main() {
+	scenario := flag.String("scenario", "lifecycle", "scenario: lifecycle, backbone, drift, outage, distributed, firewall")
+	employee := flag.String("employee", "e-cli", "employee id recorded on design changes")
+	ticket := flag.String("ticket", "T-cli", "ticket id recorded on design changes")
+	flag.Parse()
+
+	r, err := core.New(core.Options{Logf: func(format string, args ...any) {
+		fmt.Printf("  | "+format+"\n", args...)
+	}})
+	if err != nil {
+		fatal(err)
+	}
+	ctx := func(domain string) design.ChangeContext {
+		return design.ChangeContext{
+			EmployeeID: *employee, TicketID: *ticket,
+			Description: "cli scenario " + *scenario, Domain: domain, NowUnix: 1_750_000_000,
+		}
+	}
+	switch *scenario {
+	case "lifecycle":
+		scenarioLifecycle(r, ctx)
+	case "backbone":
+		scenarioBackbone(r, ctx)
+	case "drift":
+		scenarioDrift(r, ctx)
+	case "outage":
+		scenarioOutage(r, ctx)
+	case "distributed":
+		scenarioDistributed(*employee, *ticket)
+	case "firewall":
+		scenarioFirewall(r, ctx)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}
+
+func header(s string) { fmt.Printf("\n== %s ==\n", s) }
+
+func scenarioLifecycle(r *core.Robotron, ctx func(string) design.ChangeContext) {
+	header("design + provision a 4-post POP cluster")
+	if _, err := r.Designer.EnsureSite("pop1", "pop", "apac"); err != nil {
+		fatal(err)
+	}
+	res, err := r.ProvisionCluster(ctx("pop"), "pop1", "pop1-c1", design.POPGen1())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("devices: %s\n", strings.Join(res.Devices, ", "))
+	fmt.Printf("objects created: %d (change #%d)\n", len(res.Build.Stats.Created), res.Build.ChangeID)
+
+	header("sample generated config (first 24 lines)")
+	cfg, err := r.Generator.GenerateDevice(res.Devices[0])
+	if err != nil {
+		fatal(err)
+	}
+	lines := strings.Split(cfg, "\n")
+	if len(lines) > 24 {
+		lines = lines[:24]
+	}
+	fmt.Println(strings.Join(lines, "\n"))
+
+	header("monitoring cycle + audit")
+	if err := r.InstallStandardMonitoring(); err != nil {
+		fatal(err)
+	}
+	if err := r.CollectOnce(); err != nil {
+		fatal(err)
+	}
+	derived, _ := r.Store.Count("DerivedCircuit")
+	fmt.Printf("derived circuits from LLDP: %d\n", derived)
+	rep, err := r.Audit()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("audit anomalies: %d (clean=%v)\n", len(rep.Anomalies), rep.Clean())
+}
+
+func scenarioBackbone(r *core.Robotron, ctx func(string) design.ChangeContext) {
+	header("bootstrap a backbone mesh")
+	if _, err := r.Designer.EnsureSite("bb-east", "backbone", "nam"); err != nil {
+		fatal(err)
+	}
+	for _, n := range []string{"bb1", "bb2", "bb3"} {
+		cr, err := r.Designer.AddBackboneRouter(ctx("backbone"), n, "bb-east", "Backbone_Vendor2", "dr")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("added %s: %d objects changed (iBGP mesh + TE tunnels)\n", n, cr.Stats.Total())
+	}
+	if err := r.SyncFleet(); err != nil {
+		fatal(err)
+	}
+	if _, err := r.GenerateAndDeploy([]string{"bb1", "bb2", "bb3"}, deploy.Options{}, "cli"); err != nil {
+		fatal(err)
+	}
+
+	header("add a circuit and deploy atomically with dryrun review")
+	cr, err := r.Designer.AddBackboneCircuit(ctx("backbone"), "bb1", "bb2", 2)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("circuit add touched %d objects\n", cr.Stats.Total())
+	if err := r.SyncFleet(); err != nil {
+		fatal(err)
+	}
+	rep, err := r.GenerateAndDeploy([]string{"bb1", "bb2"}, deploy.Options{
+		Atomic: true,
+		Review: func(device, diff string) bool {
+			fmt.Printf("--- dryrun diff for %s ---\n%s", device, diff)
+			return true
+		},
+	}, "cli")
+	if err != nil {
+		fatal(err)
+	}
+	for _, res := range rep.Results {
+		fmt.Printf("%s: %s (+%d/-%d lines)\n", res.Device, res.Action, res.Added, res.Removed)
+	}
+
+	header("provision a bb2--bb3 circuit, then migrate its far end to bb1")
+	if _, err := r.Designer.AddBackboneCircuit(ctx("backbone"), "bb2", "bb3", 1); err != nil {
+		fatal(err)
+	}
+	cir, err := r.Store.FindOne("Circuit", fbnet.And(
+		fbnet.Contains("circuit_id", "bb2"), fbnet.Contains("circuit_id", "bb3")))
+	if err != nil {
+		fatal(err)
+	}
+	mig, err := r.Designer.MigrateCircuit(ctx("backbone"), cir.String("circuit_id"), "bb1")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("migration touched %d objects (created %d, modified %d, deleted %d)\n",
+		mig.Stats.Total(), len(mig.Stats.Created), len(mig.Stats.Modified), len(mig.Stats.Deleted))
+	violations, err := design.ValidateDesign(r.Store)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("design rule violations after migration: %d\n", len(violations))
+}
+
+func scenarioDrift(r *core.Robotron, ctx func(string) design.ChangeContext) {
+	header("provision, then bypass Robotron with a manual change")
+	if _, err := r.Designer.EnsureSite("pop1", "pop", "apac"); err != nil {
+		fatal(err)
+	}
+	res, err := r.ProvisionCluster(ctx("pop"), "pop1", "pop1-c1", design.POPGen1())
+	if err != nil {
+		fatal(err)
+	}
+	victim := res.Devices[0]
+	dev, _ := r.Fleet.Device(victim)
+	fmt.Printf("engineer manually edits %s on the box...\n", victim)
+	if err := dev.ApplyManualChange("snmp-server community leaked RW"); err != nil {
+		fatal(err)
+	}
+	for _, d := range r.ConfigMon.Deviations() {
+		fmt.Printf("config monitoring detected deviation on %s:\n%s", d.Device, d.Diff)
+	}
+	header("restore golden config")
+	if err := r.ConfigMon.Restore(victim, dev); err != nil {
+		fatal(err)
+	}
+	fmt.Println("restored; device conforms again")
+}
+
+func scenarioFirewall(r *core.Robotron, ctx func(string) design.ChangeContext) {
+	header("provision a POP and protect every control plane")
+	if _, err := r.Designer.EnsureSite("pop1", "pop", "apac"); err != nil {
+		fatal(err)
+	}
+	res, err := r.ProvisionCluster(ctx("pop"), "pop1", "pop1-c1", design.POPGen1())
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := r.Designer.EnsureFirewallPolicy(ctx("pop"), design.FirewallSpec{
+		Name: "cp-protect", Direction: "in",
+		Rules: []design.FirewallRuleSpec{
+			{Action: "permit", Protocol: "tcp", SrcPrefix: "2401:db00::/32", DstPort: 179},
+			{Action: "deny", Protocol: "any"},
+		},
+	}); err != nil {
+		fatal(err)
+	}
+	if _, err := r.Designer.AttachFirewall(ctx("pop"), "cp-protect", res.Devices); err != nil {
+		fatal(err)
+	}
+	if _, err := r.GenerateAndDeploy(res.Devices, deploy.Options{}, "cli"); err != nil {
+		fatal(err)
+	}
+	fmt.Println("baseline filter deployed to all 6 devices")
+
+	header("firewall rule change, rolled out in phases (§5.3.2)")
+	if _, err := r.Designer.EnsureFirewallPolicy(ctx("pop"), design.FirewallSpec{
+		Name: "cp-protect", Direction: "in",
+		Rules: []design.FirewallRuleSpec{
+			{Action: "permit", Protocol: "tcp", SrcPrefix: "2401:db00::/32", DstPort: 179},
+			{Action: "permit", Protocol: "tcp", SrcPrefix: "2401:db00:aa::/48", DstPort: 22},
+			{Action: "deny", Protocol: "any"},
+		},
+	}); err != nil {
+		fatal(err)
+	}
+	rep, err := r.GenerateAndDeploy(res.Devices, deploy.Options{
+		Phases: []deploy.Phase{
+			{Name: "canary", Percent: 25},
+			{Name: "half", Percent: 50},
+			{Name: "rest"},
+		},
+		HealthCheck: core.MetricHealthCheck(95),
+		Notify:      func(f string, a ...any) { fmt.Printf("  | "+f+"\n", a...) },
+	}, "cli")
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("%s: %s (+%d/-%d lines)\n", r.Device, r.Action, r.Added, r.Removed)
+	}
+}
+
+func scenarioOutage(r *core.Robotron, ctx func(string) design.ChangeContext) {
+	header("provision a POP, then cut a fiber")
+	if _, err := r.Designer.EnsureSite("pop1", "pop", "apac"); err != nil {
+		fatal(err)
+	}
+	res, err := r.ProvisionCluster(ctx("pop"), "pop1", "pop1-c1", design.POPGen1())
+	if err != nil {
+		fatal(err)
+	}
+	if err := r.InstallStandardMonitoring(); err != nil {
+		fatal(err)
+	}
+	d, _ := r.Fleet.Device(res.Devices[0])
+	ifaces, _ := d.ShowInterfaces()
+	var port string
+	for _, ifc := range ifaces {
+		if strings.HasPrefix(ifc.Name, "et") {
+			port = ifc.Name
+			break
+		}
+	}
+	fmt.Printf("cutting %s:%s\n", d.Name(), port)
+	r.Fleet.Uncable(d.Name(), port)
+	if err := r.CollectOnce(); err != nil {
+		fatal(err)
+	}
+	rep, err := r.Audit()
+	if err != nil {
+		fatal(err)
+	}
+	for _, a := range rep.Anomalies {
+		fmt.Println(" ", a)
+	}
+}

@@ -1,0 +1,17 @@
+// Package robotron is a from-scratch reproduction of "Robotron: Top-down
+// Network Management at Facebook Scale" (SIGCOMM 2016).
+//
+// Robotron manages a production network top-down: engineers express
+// high-level design intent; the system translates it into FBNet — a
+// vendor-agnostic object store that is the single source of truth —
+// generates vendor-specific device configurations from templates, deploys
+// them safely (dryrun, atomic, phased, commit-confirmed), and continuously
+// monitors devices so operational state never silently deviates from the
+// design.
+//
+// The implementation lives under internal/: see internal/core for the
+// assembled system, DESIGN.md for the subsystem inventory, and
+// EXPERIMENTS.md for the reproduction of the paper's evaluation. The
+// benchmarks in bench_test.go regenerate every figure and table of the
+// paper's §6 (see also cmd/experiments).
+package robotron

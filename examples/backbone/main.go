@@ -1,0 +1,139 @@
+// Backbone: incremental design changes on a live mesh (SIGCOMM '16,
+// §2.3, §5.1.2, §5.3.2).
+//
+// The backbone evolves continuously: this example adds routers to the
+// iBGP full mesh (every addition fans out to all other routers' configs),
+// grows a circuit bundle, deploys the change atomically after dryrun
+// review, migrates a circuit between routers, and finishes with a
+// commit-confirmed deployment whose grace period is allowed to expire —
+// demonstrating automatic rollback.
+//
+//	go run ./examples/backbone
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/robotron-net/robotron/internal/core"
+	"github.com/robotron-net/robotron/internal/deploy"
+	"github.com/robotron-net/robotron/internal/design"
+	"github.com/robotron-net/robotron/internal/fbnet"
+)
+
+func main() {
+	r, err := core.New(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := design.ChangeContext{
+		EmployeeID: "e-backbone", TicketID: "T-7",
+		Description: "backbone growth", Domain: "backbone", NowUnix: 1_750_000_000,
+	}
+	if _, err := r.Designer.EnsureSite("bb-east", "backbone", "nam"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Router additions: watch the change size grow with the mesh — the
+	// §1 "Dependency" challenge handled by FBNet relationships.
+	names := []string{"dr1", "dr2", "dr3", "pr1"}
+	for _, n := range names {
+		cr, err := r.Designer.AddBackboneRouter(ctx, n, "bb-east", "Backbone_Vendor2", roleOf(n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("add %s: %d objects (sessions + TE tunnels to every existing edge)\n", n, cr.Stats.Total())
+	}
+	if err := r.SyncFleet(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := r.GenerateAndDeploy(names, deploy.Options{}, "e-backbone"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("mesh provisioned")
+
+	// Circuit add + atomic deployment with dryrun review. Both endpoint
+	// configs must change together — exactly the case atomic mode exists
+	// for.
+	if _, err := r.Designer.AddBackboneCircuit(ctx, "dr1", "dr2", 2); err != nil {
+		log.Fatal(err)
+	}
+	if err := r.SyncFleet(); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := r.GenerateAndDeploy([]string{"dr1", "dr2"}, deploy.Options{
+		Atomic: true,
+		Review: func(device, diff string) bool {
+			fmt.Printf("--- reviewing %s (%d diff bytes) --- approved\n", device, len(diff))
+			return true
+		},
+	}, "e-backbone")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range rep.Results {
+		fmt.Printf("  %s %s (+%d/-%d)\n", res.Device, res.Action, res.Added, res.Removed)
+	}
+
+	// Circuit migration: dr1--dr2's single bundles can't migrate (2
+	// members), so provision dr2--dr3 and move its far end to pr1. FBNet
+	// deletes/re-creates the interface, prefix, and addressing objects on
+	// the right routers.
+	if _, err := r.Designer.AddBackboneCircuit(ctx, "dr2", "dr3", 1); err != nil {
+		log.Fatal(err)
+	}
+	cir, err := r.Store.FindOne("Circuit", fbnet.And(
+		fbnet.Contains("circuit_id", "dr2"), fbnet.Contains("circuit_id", "dr3")))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mig, err := r.Designer.MigrateCircuit(ctx, cir.String("circuit_id"), "pr1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("migrated %s: +%d ~%d -%d objects\n", cir.String("circuit_id"),
+		len(mig.Stats.Created), len(mig.Stats.Modified), len(mig.Stats.Deleted))
+
+	// Commit-confirmed deployment: push the post-migration configs with a
+	// short grace period and deliberately don't confirm. Vendor2 devices
+	// roll back natively; Robotron emulates it elsewhere (§5.3.2).
+	if err := r.SyncFleet(); err != nil {
+		log.Fatal(err)
+	}
+	before, _ := deviceConfig(r, "dr2")
+	rep, err = r.GenerateAndDeploy([]string{"dr2", "dr3", "pr1"}, deploy.Options{
+		ConfirmGrace: 300 * time.Millisecond,
+		Notify:       func(f string, a ...any) { fmt.Printf("  notify: "+f+"\n", a...) },
+	}, "e-backbone")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployed provisionally to %v — not confirming...\n", rep.Pending.Devices())
+	deadline := time.Now().Add(5 * time.Second)
+	for !rep.Pending.Settled() && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond) // allow device-native timers to fire
+	after, _ := deviceConfig(r, "dr2")
+	if before == after {
+		fmt.Println("grace period expired: configs rolled back automatically ✓")
+	} else {
+		fmt.Println("unexpected: config still active after expiry")
+	}
+}
+
+func roleOf(name string) string {
+	if name[0] == 'p' {
+		return "pr"
+	}
+	return "dr"
+}
+
+func deviceConfig(r *core.Robotron, name string) (string, error) {
+	d, ok := r.Fleet.Device(name)
+	if !ok {
+		return "", fmt.Errorf("no device %s", name)
+	}
+	return d.RunningConfig()
+}

@@ -1,0 +1,110 @@
+// Failover: FBNet's replicated, multi-region service architecture under
+// failure (SIGCOMM '16, §4.3.3).
+//
+// A three-region deployment serves reads from per-region replicas fed by
+// asynchronous replication, with writes forwarded to the master region.
+// This example exercises the two failure modes the paper describes:
+// read-service replica crashes (clients fail over to remaining local
+// replicas, then to a neighboring region) and master database failure
+// (the nearest replica is promoted to master and writes resume).
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/robotron-net/robotron/internal/fbnet"
+	"github.com/robotron-net/robotron/internal/fbnet/service"
+)
+
+func main() {
+	ctx := context.Background()
+	d, err := service.NewDeployment(fbnet.NewCatalog(), "ash", []string{"ash", "fra", "sin"}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+	d.StartReplication(20 * time.Millisecond)
+	fmt.Printf("deployment up: master=%s, write service at %s\n", d.MasterRegion(), d.WriteAddr())
+
+	// A client in Frankfurt writes (forwarded to the master in Ashburn)
+	// and reads locally once replication catches up.
+	c := service.NewClient(d, "fra")
+	defer c.Close()
+	resp, err := c.Write(ctx, []service.WriteOp{
+		service.CreateOp("Region", map[string]any{"name": "emea"}),
+		service.CreateOp("Region", map[string]any{"name": "apac"}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d objects through the master region\n", len(resp.CreatedIDs))
+	waitForRows(ctx, c, 2)
+	replica, _ := c.Ping(ctx)
+	fmt.Printf("reads served locally by %s\n", replica)
+
+	// Failure 1: both local read replicas crash; reads reroute to a
+	// neighboring region transparently.
+	fmt.Println("\nkilling both fra read replicas...")
+	d.FailReadReplica("fra", 0)
+	d.FailReadReplica("fra", 1)
+	replica, err = c.Ping(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := c.Get(ctx, "Region", []string{"name"}, service.All())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reads rerouted to %s; still see %d rows ✓\n", replica, len(rows))
+
+	// Failure 2: the master database dies; promote the Frankfurt replica.
+	fmt.Println("\nfailing the ash master database; promoting fra...")
+	if err := d.FailMasterAndPromote("fra"); err != nil {
+		log.Fatal(err)
+	}
+	d.StartReplication(20 * time.Millisecond)
+	c.RefreshTopology(d)
+	fmt.Printf("new master region: %s, write service at %s\n", d.MasterRegion(), d.WriteAddr())
+
+	// Writes resume against the new master; no data was lost.
+	if _, err := c.Write(ctx, []service.WriteOp{
+		service.CreateOp("Region", map[string]any{"name": "nam"}),
+	}); err != nil {
+		log.Fatal(err)
+	}
+	waitForRows(ctx, c, 3)
+	rows, _ = c.Get(ctx, "Region", []string{"name"}, service.All())
+	fmt.Printf("post-failover state: %d regions (", len(rows))
+	for i, r := range rows {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Print(r.Fields["name"])
+	}
+	fmt.Println(") ✓")
+
+	// Singapore's replica now follows the new master.
+	sc := service.NewClient(d, "sin")
+	defer sc.Close()
+	waitForRows(ctx, sc, 3)
+	fmt.Println("sin replica converged on the new master's binlog ✓")
+}
+
+// waitForRows polls until the client sees n Region rows (replication is
+// asynchronous, "typical lag of under one second").
+func waitForRows(ctx context.Context, c *service.Client, n int) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		rows, err := c.Get(ctx, "Region", []string{"name"}, service.All())
+		if err == nil && len(rows) >= n {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	log.Fatalf("replication did not converge to %d rows", n)
+}

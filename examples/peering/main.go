@@ -1,0 +1,136 @@
+// Peering: turning up an ISP interconnect at an edge POP (SIGCOMM '16,
+// §2.1), including the §8 "Complexity of Modeling" lesson.
+//
+// The paper recounts a user-impacting incident: a new BGP session to an
+// external ISP required a custom import policy of cherry-picked prefixes;
+// while the policy feature was "still under development, an engineer used
+// Robotron to turn up the session, instantly saturating the egress link."
+// This example shows the guard that codifies the lesson — config
+// generation refuses a session whose referenced policy has no terms —
+// and then the correct turn-up with a real policy rendered into both the
+// design and the device config.
+//
+//	go run ./examples/peering
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/robotron-net/robotron/internal/core"
+	"github.com/robotron-net/robotron/internal/design"
+	"github.com/robotron-net/robotron/internal/fbnet"
+)
+
+func main() {
+	r, err := core.New(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := design.ChangeContext{
+		EmployeeID: "e-peering", TicketID: "T-42",
+		Description: "ISP-One transit turn-up", Domain: "pop", NowUnix: 1_750_000_000,
+	}
+	if _, err := r.Designer.EnsureSite("pop1", "pop", "apac"); err != nil {
+		log.Fatal(err)
+	}
+	res, err := r.ProvisionCluster(ctx, "pop1", "pop1-c1", design.POPGen1())
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr := res.Devices[0] // pr1.pop1-c1
+
+	// --- the incident shape: policy exists in name only ---
+	fmt.Println("attempting turn-up while the import policy is still under development...")
+	_, err = r.Store.Mutate(func(m *fbnet.Mutation) error {
+		pol, err := m.Create("RoutingPolicy", map[string]any{"name": "isp-one-cherry-picked"})
+		if err != nil {
+			return err
+		}
+		dev, err := m.FindOne("Device", fbnet.Eq("name", pr))
+		if err != nil {
+			return err
+		}
+		_, err = m.Create("BgpV6Session", map[string]any{
+			"local_device": dev.ID, "remote_addr": "2001:db8:ffff::1",
+			"local_as": 32934, "remote_as": 3356, "session_type": "ebgp",
+			"import_policy": pol,
+		})
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := r.Generator.GenerateDevice(pr); err != nil {
+		fmt.Printf("config generation refused (the §8 guard): %v\n\n", err)
+	} else {
+		log.Fatal("guard failed: termless policy generated a config")
+	}
+	// Clean up the premature session.
+	if _, err := r.Store.Mutate(func(m *fbnet.Mutation) error {
+		s, err := m.FindOne("BgpV6Session", fbnet.Eq("remote_addr", "2001:db8:ffff::1"))
+		if err != nil {
+			return err
+		}
+		if err := m.Delete("BgpV6Session", s.ID); err != nil {
+			return err
+		}
+		pol, err := m.FindOne("RoutingPolicy", fbnet.Eq("name", "isp-one-cherry-picked"))
+		if err != nil {
+			return err
+		}
+		return m.Delete("RoutingPolicy", pol.ID)
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- the correct turn-up: partner, ASN, interconnect, real policy ---
+	fmt.Println("turning up ISP-One transit with an implemented import policy...")
+	cr, sessionID, err := r.Designer.AddPeering(ctx, design.PeeringSpec{
+		Device: pr, Partner: "ISP-One", ASN: 3356, Kind: "transit", LocalAS: 32934,
+		ImportPolicy: &design.PolicySpec{
+			Name: "isp-one-cherry-picked",
+			Terms: []design.PolicyTermSpec{
+				{MatchPrefix: "2001:db8:100::/48", Action: "accept"},
+				{MatchPrefix: "2001:db8:200::/48", Action: "accept"},
+				{Action: "reject"},
+			},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("design change %d touched %d objects (partner, ASN, interface, addressing, session, interconnect)\n",
+		cr.ChangeID, cr.Stats.Total())
+	s, _ := r.Store.GetByID("BgpV6Session", sessionID)
+	fmt.Printf("session: AS%d -> AS%d, neighbor %s\n\n",
+		s.Int("local_as"), s.Int("remote_as"), s.String("remote_addr"))
+
+	// The policy renders into the PR's config (vendor1: prefix-lists).
+	cfg, err := r.Generator.GenerateDevice(pr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rendered policy and neighbor stanzas:")
+	for _, line := range strings.Split(cfg, "\n") {
+		if strings.Contains(line, "isp-one-cherry-picked") || strings.Contains(line, "3356") {
+			fmt.Println("  " + line)
+		}
+	}
+	// Deploy the change to the PR.
+	if err := r.SyncFleet(); err != nil {
+		log.Fatal(err)
+	}
+	dev, _ := r.Fleet.Device(pr)
+	if err := dev.LoadConfig(cfg); err != nil {
+		log.Fatal(err)
+	}
+	if err := dev.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := r.Generator.CommitGolden(pr, cfg, "e-peering", "ISP-One turn-up"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndeployed; the session will Establish when ISP-One configures its side")
+}

@@ -1,0 +1,3 @@
+module github.com/robotron-net/robotron
+
+go 1.22

@@ -1,0 +1,328 @@
+// Package confdiff computes line-based diffs between device configurations.
+//
+// Robotron's deployment dryrun mode presents engineers with "a diff listing
+// all updated lines from the new configurations" (SIGCOMM '16, §5.3.2), and
+// config monitoring compares running configs against Robotron-generated
+// golden configs (§5.4.3). Figure 16's evaluation metric — "total updated
+// config lines (changed/added/removed, excluding comments) on a device in a
+// particular week" — is also computed with this package.
+//
+// The implementation is Myers' O(ND) greedy algorithm over lines.
+package confdiff
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpKind classifies one diff hunk line.
+type OpKind int
+
+const (
+	Equal OpKind = iota
+	Add
+	Remove
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case Equal:
+		return " "
+	case Add:
+		return "+"
+	case Remove:
+		return "-"
+	}
+	return "?"
+}
+
+// Edit is a run of consecutive lines sharing one operation.
+type Edit struct {
+	Kind  OpKind
+	Lines []string
+}
+
+// Diff is the edit script between two configurations.
+type Diff struct {
+	Edits []Edit
+}
+
+// Lines splits a config into lines, treating "\n" as the separator and
+// dropping a single trailing empty line (configs conventionally end with a
+// newline).
+func Lines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	lines := strings.Split(s, "\n")
+	if len(lines) > 0 && lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	return lines
+}
+
+// Compute diffs two configurations.
+func Compute(old, new string) Diff {
+	return ComputeLines(Lines(old), Lines(new))
+}
+
+// ComputeLines diffs two pre-split line slices.
+func ComputeLines(a, b []string) Diff {
+	// Trim common prefix and suffix first; device config changes are
+	// usually small relative to the config, so this bounds the O(ND) core.
+	pre := 0
+	for pre < len(a) && pre < len(b) && a[pre] == b[pre] {
+		pre++
+	}
+	suf := 0
+	for suf < len(a)-pre && suf < len(b)-pre && a[len(a)-1-suf] == b[len(b)-1-suf] {
+		suf++
+	}
+	core := myers(a[pre:len(a)-suf], b[pre:len(b)-suf])
+
+	var d Diff
+	if pre > 0 {
+		d.append(Equal, a[:pre])
+	}
+	for _, e := range core.Edits {
+		d.append(e.Kind, e.Lines)
+	}
+	if suf > 0 {
+		d.append(Equal, a[len(a)-suf:])
+	}
+	return d
+}
+
+// append adds lines to the edit list, merging with the previous edit when
+// the operation matches.
+func (d *Diff) append(k OpKind, lines []string) {
+	if len(lines) == 0 {
+		return
+	}
+	if n := len(d.Edits); n > 0 && d.Edits[n-1].Kind == k {
+		d.Edits[n-1].Lines = append(d.Edits[n-1].Lines, lines...)
+		return
+	}
+	cp := make([]string, len(lines))
+	copy(cp, lines)
+	d.Edits = append(d.Edits, Edit{Kind: k, Lines: cp})
+}
+
+// myers computes the shortest edit script via the greedy O(ND) algorithm.
+func myers(a, b []string) Diff {
+	n, m := len(a), len(b)
+	if n == 0 && m == 0 {
+		return Diff{}
+	}
+	if n == 0 {
+		var d Diff
+		d.append(Add, b)
+		return d
+	}
+	if m == 0 {
+		var d Diff
+		d.append(Remove, a)
+		return d
+	}
+	max := n + m
+	// v[k+max] = furthest x along diagonal k; trace keeps a copy per d for
+	// backtracking.
+	v := make([]int, 2*max+1)
+	var trace [][]int
+	var dFound = -1
+outer:
+	for d := 0; d <= max; d++ {
+		vc := make([]int, len(v))
+		copy(vc, v)
+		trace = append(trace, vc)
+		for k := -d; k <= d; k += 2 {
+			var x int
+			if k == -d || (k != d && v[k-1+max] < v[k+1+max]) {
+				x = v[k+1+max] // move down (insert from b)
+			} else {
+				x = v[k-1+max] + 1 // move right (delete from a)
+			}
+			y := x - k
+			for x < n && y < m && a[x] == b[y] {
+				x++
+				y++
+			}
+			v[k+max] = x
+			if x >= n && y >= m {
+				dFound = d
+				trace = append(trace, v)
+				break outer
+			}
+		}
+	}
+	// Backtrack from (n, m).
+	type step struct {
+		kind OpKind
+		line string
+	}
+	var rev []step
+	x, y := n, m
+	for d := dFound; d > 0; d-- {
+		vPrev := trace[d]
+		k := x - y
+		var prevK int
+		if k == -d || (k != d && vPrev[k-1+max] < vPrev[k+1+max]) {
+			prevK = k + 1
+		} else {
+			prevK = k - 1
+		}
+		prevX := vPrev[prevK+max]
+		prevY := prevX - prevK
+		for x > prevX && y > prevY {
+			x--
+			y--
+			rev = append(rev, step{Equal, a[x]})
+		}
+		if prevK == k+1 {
+			y--
+			rev = append(rev, step{Add, b[y]})
+		} else {
+			x--
+			rev = append(rev, step{Remove, a[x]})
+		}
+	}
+	for x > 0 && y > 0 {
+		x--
+		y--
+		rev = append(rev, step{Equal, a[x]})
+	}
+
+	var out Diff
+	for i := len(rev) - 1; i >= 0; i-- {
+		out.append(rev[i].kind, []string{rev[i].line})
+	}
+	return out
+}
+
+// Stats summarizes a diff.
+type Stats struct {
+	Added   int
+	Removed int
+}
+
+// Changed returns added+removed, the paper's "total updated config lines".
+func (s Stats) Changed() int { return s.Added + s.Removed }
+
+// Stats counts added and removed lines. When skipComments is true, lines
+// whose first non-space character marks a comment in common router config
+// syntaxes ('!', '#') are excluded, matching Fig. 16's methodology.
+func (d Diff) Stats(skipComments bool) Stats {
+	var s Stats
+	for _, e := range d.Edits {
+		if e.Kind == Equal {
+			continue
+		}
+		for _, l := range e.Lines {
+			if skipComments && isComment(l) {
+				continue
+			}
+			if e.Kind == Add {
+				s.Added++
+			} else {
+				s.Removed++
+			}
+		}
+	}
+	return s
+}
+
+func isComment(line string) bool {
+	t := strings.TrimSpace(line)
+	return t == "" || strings.HasPrefix(t, "!") || strings.HasPrefix(t, "#")
+}
+
+// Empty reports whether the two inputs were identical.
+func (d Diff) Empty() bool {
+	for _, e := range d.Edits {
+		if e.Kind != Equal {
+			return false
+		}
+	}
+	return true
+}
+
+// Unified renders the diff in a unified-diff-like format with n context
+// lines around changes. Engineers review this output during dryrun.
+func (d Diff) Unified(n int) string {
+	if d.Empty() {
+		return ""
+	}
+	var b strings.Builder
+	for i, e := range d.Edits {
+		switch e.Kind {
+		case Equal:
+			lines := e.Lines
+			if len(lines) > 2*n+1 {
+				head, tail := lines[:n], lines[len(lines)-n:]
+				if i == 0 {
+					head = nil
+				}
+				if i == len(d.Edits)-1 {
+					tail = nil
+				}
+				for _, l := range head {
+					fmt.Fprintf(&b, "  %s\n", l)
+				}
+				if i != 0 && i != len(d.Edits)-1 || len(head) > 0 || len(tail) > 0 {
+					b.WriteString("  ...\n")
+				}
+				for _, l := range tail {
+					fmt.Fprintf(&b, "  %s\n", l)
+				}
+			} else {
+				for _, l := range lines {
+					fmt.Fprintf(&b, "  %s\n", l)
+				}
+			}
+		case Add:
+			for _, l := range e.Lines {
+				fmt.Fprintf(&b, "+ %s\n", l)
+			}
+		case Remove:
+			for _, l := range e.Lines {
+				fmt.Fprintf(&b, "- %s\n", l)
+			}
+		}
+	}
+	return b.String()
+}
+
+// Apply reconstructs the new text from the old text plus the diff,
+// verifying the old side matches. Used to validate that a diff is a
+// faithful patch (and by property tests).
+func (d Diff) Apply(old []string) ([]string, error) {
+	var out []string
+	pos := 0
+	for _, e := range d.Edits {
+		switch e.Kind {
+		case Equal, Remove:
+			for _, l := range e.Lines {
+				if pos >= len(old) || old[pos] != l {
+					return nil, fmt.Errorf("confdiff: patch mismatch at line %d: have %q, want %q", pos, lineAt(old, pos), l)
+				}
+				pos++
+			}
+			if e.Kind == Equal {
+				out = append(out, e.Lines...)
+			}
+		case Add:
+			out = append(out, e.Lines...)
+		}
+	}
+	if pos != len(old) {
+		return nil, fmt.Errorf("confdiff: patch consumed %d of %d lines", pos, len(old))
+	}
+	return out, nil
+}
+
+func lineAt(lines []string, i int) string {
+	if i < len(lines) {
+		return lines[i]
+	}
+	return "<EOF>"
+}

@@ -1,0 +1,193 @@
+package configgen
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/robotron-net/robotron/internal/design"
+	"github.com/robotron-net/robotron/internal/fbnet"
+)
+
+// addPeering turns up a peering with an optional import policy on the
+// POP's first PR (vendor1) and returns the PR name.
+func addPeering(t *testing.T, d *design.Designer, policy *design.PolicySpec) string {
+	t.Helper()
+	pr := "pr1.pop1-c1"
+	_, _, err := d.AddPeering(testCtx("pop"), design.PeeringSpec{
+		Device: pr, Partner: "ISP-One", ASN: 3356, Kind: "peering", LocalAS: 32934,
+		ImportPolicy: policy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+func TestPeeringPolicyRendersVendor1(t *testing.T) {
+	d, g := newPOP(t)
+	pr := addPeering(t, d, &design.PolicySpec{
+		Name: "isp-one-in",
+		Terms: []design.PolicyTermSpec{
+			{MatchPrefix: "2001:db8:1::/48", Action: "accept"},
+			{Action: "reject"},
+		},
+	})
+	cfg, err := g.GenerateDevice(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"ipv6 prefix-list isp-one-in seq 10 permit 2001:db8:1::/48",
+		"ipv6 prefix-list isp-one-in seq 20 deny ::/0 le 128",
+		"prefix-list isp-one-in in",
+	} {
+		if !strings.Contains(cfg, want) {
+			t.Errorf("vendor1 config missing %q", want)
+		}
+	}
+}
+
+func TestPeeringPolicyRendersVendor2(t *testing.T) {
+	d, g := newPOP(t)
+	// Put the peering on a vendor2 PR: build a second cluster whose PRs
+	// use vendor2 hardware... simpler: attach an import policy to one of
+	// the fabric sessions of a vendor2 PSW.
+	store := d.Store()
+	_, err := store.Mutate(func(m *fbnet.Mutation) error {
+		pol, err := m.Create("RoutingPolicy", map[string]any{"name": "fabric-in"})
+		if err != nil {
+			return err
+		}
+		if _, err := m.Create("PolicyTerm", map[string]any{
+			"policy": pol, "seq": 10, "match_prefix": "2401:db00::/32", "action": "accept",
+		}); err != nil {
+			return err
+		}
+		psw, err := m.FindOne("Device", fbnet.Eq("name", "psw1.pop1-c1"))
+		if err != nil {
+			return err
+		}
+		sessions, err := m.Referencing("BgpV6Session", "remote_device", psw.ID)
+		if err != nil || len(sessions) == 0 {
+			return err
+		}
+		// The PSW is the remote side of the session object; move it to be
+		// the local side of a dedicated session so the policy renders on
+		// the PSW (policies attach to the local side).
+		return m.Update("BgpV6Session", sessions[0].ID, map[string]any{"import_policy": pol})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The policy attaches to the PR side (local side of the session).
+	cfg, err := g.GenerateDevice("pr1.pop1-c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cfg
+	// Render a vendor2 device owning a policy: create a session with the
+	// PSW as the local device.
+	_, err = store.Mutate(func(m *fbnet.Mutation) error {
+		pol, err := m.FindOne("RoutingPolicy", fbnet.Eq("name", "fabric-in"))
+		if err != nil {
+			return err
+		}
+		psw, err := m.FindOne("Device", fbnet.Eq("name", "psw1.pop1-c1"))
+		if err != nil {
+			return err
+		}
+		_, err = m.Create("BgpV6Session", map[string]any{
+			"local_device": psw.ID, "remote_addr": "2001:db8::1",
+			"local_as": 65101, "remote_as": 65999, "session_type": "ebgp",
+			"import_policy": pol.ID,
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err = g.GenerateDevice("psw1.pop1-c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"policy-statement fabric-in {",
+		"route-filter 2401:db00::/32 orlonger;",
+		"then accept;",
+		"import fabric-in;",
+	} {
+		if !strings.Contains(cfg, want) {
+			t.Errorf("vendor2 config missing %q", want)
+		}
+	}
+	if strings.Count(cfg, "{") != strings.Count(cfg, "}") {
+		t.Error("unbalanced braces with policy-options block")
+	}
+}
+
+// TestEmptyPolicyRefusedToGenerate codifies the §8 "Complexity of
+// Modeling" lesson: a session whose import policy exists in name only
+// (feature "still under development") must not generate — turning it up
+// anyway is what saturated the egress link in the paper's incident.
+func TestEmptyPolicyRefusedToGenerate(t *testing.T) {
+	d, g := newPOP(t)
+	store := d.Store()
+	pr := "pr1.pop1-c1"
+	_, err := store.Mutate(func(m *fbnet.Mutation) error {
+		pol, err := m.Create("RoutingPolicy", map[string]any{"name": "under-development"})
+		if err != nil {
+			return err
+		}
+		dev, err := m.FindOne("Device", fbnet.Eq("name", pr))
+		if err != nil {
+			return err
+		}
+		_, err = m.Create("BgpV6Session", map[string]any{
+			"local_device": dev.ID, "remote_addr": "2001:db8::9",
+			"local_as": 32934, "remote_as": 3356, "session_type": "ebgp",
+			"import_policy": pol,
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = g.GenerateDevice(pr)
+	if err == nil || !strings.Contains(err.Error(), "no terms") {
+		t.Errorf("want refusal for termless policy, got %v", err)
+	}
+	// Once the policy is implemented, generation proceeds.
+	_, err = store.Mutate(func(m *fbnet.Mutation) error {
+		pol, err := m.FindOne("RoutingPolicy", fbnet.Eq("name", "under-development"))
+		if err != nil {
+			return err
+		}
+		_, err = m.Create("PolicyTerm", map[string]any{
+			"policy": pol.ID, "seq": 10, "action": "reject",
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.GenerateDevice(pr); err != nil {
+		t.Errorf("generation should succeed once the policy has terms: %v", err)
+	}
+}
+
+// TestPeeringConfigLoadsOnDevice: the full peering config (prefix lists
+// included) is accepted by the device.
+func TestPeeringConfigLoadsOnDevice(t *testing.T) {
+	d, g := newPOP(t)
+	pr := addPeering(t, d, &design.PolicySpec{
+		Name:  "isp-one-in",
+		Terms: []design.PolicyTermSpec{{MatchPrefix: "2001:db8::/32", Action: "accept"}},
+	})
+	cfg, err := g.GenerateDevice(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cfg, "remote-as 3356") {
+		t.Error("peering neighbor missing")
+	}
+}

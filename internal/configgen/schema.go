@@ -1,0 +1,98 @@
+// Package configgen implements Robotron's config generation stage
+// (SIGCOMM '16, §5.2).
+//
+// A device configuration is split into two parts: dynamic, vendor-agnostic
+// data (names, IP addresses, BGP neighbors) derived from FBNet objects and
+// stored as a Thrift object per device according to a pre-defined schema
+// (Fig. 8), and static, vendor-specific templates in the Django template
+// language (Fig. 9) kept in the source-controlled config repository.
+// Combining the two yields the full vendor-specific device config.
+package configgen
+
+// The per-device config data schema, the Go rendering of the paper's
+// Fig. 8 Thrift structs (extended with the loopback/BGP/system attributes
+// a full device config needs). Serialized with thriftlite before template
+// rendering, exactly as Robotron stores "a Thrift object per device".
+
+// PhysicalInterfaceData is one member port of an aggregated interface.
+type PhysicalInterfaceData struct {
+	Name string `thrift:"1"`
+}
+
+// AggregatedInterfaceData is one LACP bundle with its addressing.
+type AggregatedInterfaceData struct {
+	Name     string                  `thrift:"1"`
+	Number   int32                   `thrift:"2"`
+	V4Prefix string                  `thrift:"3"`
+	V6Prefix string                  `thrift:"4"`
+	Pifs     []PhysicalInterfaceData `thrift:"5"`
+	MTU      int32                   `thrift:"6"`
+}
+
+// BGPNeighborData is one BGP neighbor statement.
+type BGPNeighborData struct {
+	Addr         string `thrift:"1"`
+	RemoteAS     int64  `thrift:"2"`
+	Family       string `thrift:"3"` // "v4" | "v6"
+	SessionType  string `thrift:"4"` // "ebgp" | "ibgp"
+	Description  string `thrift:"5"`
+	ImportPolicy string `thrift:"6"` // routing policy name, "" for none
+	ExportPolicy string `thrift:"7"`
+}
+
+// PolicyTermData is one term of a rendered routing policy.
+type PolicyTermData struct {
+	Seq         int64  `thrift:"1"`
+	MatchPrefix string `thrift:"2"` // empty matches everything
+	Action      string `thrift:"3"` // accept | reject | prepend
+}
+
+// PolicyData is one routing policy referenced by this device's sessions
+// (§8: peering sessions may carry custom import policies of cherry-picked
+// prefixes).
+type PolicyData struct {
+	Name  string           `thrift:"1"`
+	Terms []PolicyTermData `thrift:"2"`
+}
+
+// MplsTunnelData is one MPLS-TE tunnel headed at this device (§2.3).
+type MplsTunnelData struct {
+	Name          string `thrift:"1"`
+	TailLoopback  string `thrift:"2"`
+	BandwidthMbps int64  `thrift:"3"`
+}
+
+// FirewallRuleData is one term of a rendered firewall policy.
+type FirewallRuleData struct {
+	Seq       int64  `thrift:"1"`
+	Action    string `thrift:"2"` // permit | deny
+	Protocol  string `thrift:"3"` // any | tcp | udp | icmp6
+	SrcPrefix string `thrift:"4"` // empty = any
+	DstPort   int64  `thrift:"5"` // 0 = any
+}
+
+// FirewallData is one packet filter attached to this device (§5.3.2's
+// phased firewall rule changes).
+type FirewallData struct {
+	Name      string             `thrift:"1"`
+	Direction string             `thrift:"2"` // in | out
+	Rules     []FirewallRuleData `thrift:"3"`
+}
+
+// DeviceData is the complete dynamic data for one device config.
+type DeviceData struct {
+	Name         string                    `thrift:"1"`
+	Role         string                    `thrift:"2"`
+	Vendor       string                    `thrift:"3"`
+	Site         string                    `thrift:"4"`
+	LoopbackV4   string                    `thrift:"5"`
+	LoopbackV6   string                    `thrift:"6"`
+	LocalAS      int64                     `thrift:"7"`
+	Aggs         []AggregatedInterfaceData `thrift:"8"`
+	BGPNeighbors []BGPNeighborData         `thrift:"9"`
+	SyslogTarget string                    `thrift:"10"`
+	MgmtIP       string                    `thrift:"11"`
+	MplsTunnels  []MplsTunnelData          `thrift:"12"`
+	Policies     []PolicyData              `thrift:"13"`
+	Firewalls    []FirewallData            `thrift:"14"`
+}

@@ -1,0 +1,214 @@
+package configgen
+
+// The built-in vendor config templates (Fig. 9), written in the Django
+// template language implemented by internal/tmpl. Vendor1 uses a flat,
+// IOS-like syntax; Vendor2 a brace-structured, JunOS-like syntax. Both are
+// stored in the source-controlled config repository (Configerator in the
+// paper) so template changes are peer-reviewed and versioned; these
+// constants are the seed revisions. Beyond the Fig. 9 interface stanzas,
+// each template carries the static baseline a production device needs —
+// management plane, AAA, SNMP, NTP, QoS, control-plane policing — plus
+// BGP and MPLS-TE sections fed from the Fig. 8 data object.
+
+// Vendor1FullTemplate renders a complete vendor1 device config.
+const Vendor1FullTemplate = `! Robotron-generated configuration
+! device: {{ device.name }} role: {{ device.role }} site: {{ device.site }}
+hostname {{ device.name }}
+logging host {{ device.syslog_target|default:'192.0.2.1' }}
+logging buffered 64000
+service timestamps log datetime msec
+no service pad
+ip name-server 198.51.100.53
+ntp server 198.51.100.123
+ntp server 198.51.100.124
+aaa new-model
+aaa authentication login default group tacacs+ local
+aaa authorization exec default group tacacs+ local
+tacacs-server host 198.51.100.249
+snmp-server community robotron-ro RO
+snmp-server location {{ device.site }}
+snmp-server enable traps bgp
+snmp-server enable traps link-status
+clock timezone UTC 0
+!
+class-map match-any control-plane-traffic
+ match dscp cs6
+policy-map control-plane-policy
+ class control-plane-traffic
+  police 512000
+control-plane
+ service-policy input control-plane-policy
+!
+interface lo0
+{% if device.loopback_v4 %} ip addr {{ device.loopback_v4 }}
+{% endif %}{% if device.loopback_v6 %} ipv6 addr {{ device.loopback_v6 }}
+{% endif %} no shutdown
+!
+{% for agg in device.aggs %}interface {{ agg.name }}
+ mtu {{ agg.mtu }}
+ no switchport
+ load-interval 30
+{% if agg.v4_prefix %} ip addr {{ agg.v4_prefix }}
+{% endif %}{% if agg.v6_prefix %} ipv6 addr {{ agg.v6_prefix }}
+{% endif %} no shutdown
+!
+{% for pif in agg.pifs %}interface {{ pif.name }}
+ mtu {{ agg.mtu }}
+ load-interval 30
+ channel-group {{ agg.name }}
+ lacp rate fast
+ no shutdown
+!
+{% endfor %}{% endfor %}{% if device.mpls_tunnels %}mpls traffic-eng tunnels
+{% for t in device.mpls_tunnels %}interface tunnel-te{{ forloop.counter }}
+ description {{ t.name }}
+ tunnel destination {{ t.tail_loopback }}
+ tunnel mpls traffic-eng bandwidth {{ t.bandwidth_mbps }}
+ no shutdown
+!
+{% endfor %}{% endif %}{% for fw in device.firewalls %}ipv6 access-list {{ fw.name }}
+{% for rl in fw.rules %} {{ rl.seq }} {{ rl.action }} {{ rl.protocol|replace:'any,ipv6' }} {{ rl.src_prefix|default:'any' }} any{% if rl.dst_port %} eq {{ rl.dst_port }}{% endif %}
+{% endfor %}!
+{% endfor %}{% for p in device.policies %}{% for t in p.terms %}ipv6 prefix-list {{ p.name }} seq {{ t.seq }} {{ t.action|replace:'accept,permit'|replace:'reject,deny' }} {{ t.match_prefix|default:'::/0 le 128' }}
+{% endfor %}!
+{% endfor %}{% if device.bgp_neighbors %}router bgp {{ device.local_as }}
+ bgp log-neighbor-changes
+ bgp graceful-restart
+{% for n in device.bgp_neighbors %} neighbor {{ n.addr }} remote-as {{ n.remote_as }}
+ neighbor {{ n.addr }} description {{ n.description }}
+{% if n.import_policy %} neighbor {{ n.addr }} prefix-list {{ n.import_policy }} in
+{% endif %}{% if n.export_policy %} neighbor {{ n.addr }} prefix-list {{ n.export_policy }} out
+{% endif %}{% if n.session_type == 'ibgp' %} neighbor {{ n.addr }} update-source lo0
+{% endif %}{% endfor %}!
+{% endif %}line vty 0 4
+ transport input ssh
+{% for fw in device.firewalls %} ipv6 access-class {{ fw.name }} {{ fw.direction }}
+{% endfor %}!
+end
+`
+
+// Vendor2FullTemplate renders a complete vendor2 device config.
+const Vendor2FullTemplate = `/* Robotron-generated configuration */
+/* device: {{ device.name }} role: {{ device.role }} site: {{ device.site }} */
+system {
+ host-name {{ device.name }};
+ time-zone UTC;
+ name-server {
+  198.51.100.53;
+ }
+ ntp {
+  server 198.51.100.123;
+  server 198.51.100.124;
+ }
+ authentication-order [ tacplus password ];
+ tacplus-server {
+  198.51.100.249;
+ }
+ services {
+  ssh {
+   root-login deny;
+  }
+ }
+ syslog {
+  host {{ device.syslog_target|default:'192.0.2.1' }} any notice;
+  file messages {
+   any warning;
+  }
+ }
+}
+snmp {
+ community robotron-ro {
+  authorization read-only;
+ }
+ location "{{ device.site }}";
+ trap-group robotron {
+  categories link startup;
+ }
+}
+class-of-service {
+ forwarding-classes {
+  class network-control queue-num 3;
+ }
+}
+{% if device.firewalls %}firewall {
+{% for fw in device.firewalls %} filter {{ fw.name }} {
+{% for rl in fw.rules %}  term t{{ rl.seq }} {
+{% if rl.src_prefix or rl.dst_port or rl.protocol != 'any' %}   from {
+{% if rl.src_prefix %}    source-address {{ rl.src_prefix }};
+{% endif %}{% if rl.protocol != 'any' %}    protocol {{ rl.protocol }};
+{% endif %}{% if rl.dst_port %}    destination-port {{ rl.dst_port }};
+{% endif %}   }
+{% endif %}   then {{ rl.action|replace:'permit,accept' }};
+  }
+{% endfor %} }
+{% endfor %}}
+{% endif %}lo0 {
+ unit 0 {
+{% if device.firewalls %}  filter {
+{% for fw in device.firewalls %}   {{ fw.direction|replace:'in,input'|replace:'out,output' }} {{ fw.name }};
+{% endfor %}  }
+{% endif %}{% if device.loopback_v4 %}  family inet {
+   addr {{ device.loopback_v4 }}
+  }
+{% endif %}{% if device.loopback_v6 %}  family inet6 {
+   addr {{ device.loopback_v6 }}
+  }
+{% endif %} }
+}
+{% for agg in device.aggs %}{{ agg.name }} {
+ mtu {{ agg.mtu }};
+ unit 0 {
+{% if agg.v4_prefix %}  family inet {
+   addr {{ agg.v4_prefix }}
+  }
+{% endif %}{% if agg.v6_prefix %}  family inet6 {
+   addr {{ agg.v6_prefix }}
+  }
+{% endif %} }
+}
+{% for pif in agg.pifs %}replace: {{ pif.name }} {
+ mtu {{ agg.mtu }};
+ gigether-options {
+  802.3ad {{ agg.name }};
+ }
+}
+{% endfor %}{% endfor %}{% if device.mpls_tunnels %}protocols {
+ mpls {
+{% for t in device.mpls_tunnels %}  label-switched-path {{ t.name }} {
+   to {{ t.tail_loopback }};
+   bandwidth {{ t.bandwidth_mbps }}m;
+  }
+{% endfor %} }
+}
+{% endif %}{% if device.policies %}policy-options {
+{% for p in device.policies %} policy-statement {{ p.name }} {
+{% for t in p.terms %}  term t{{ t.seq }} {
+{% if t.match_prefix %}   from {
+    route-filter {{ t.match_prefix }} orlonger;
+   }
+{% endif %}   then {{ t.action }};
+  }
+{% endfor %} }
+{% endfor %}}
+{% endif %}{% if device.bgp_neighbors %}protocols {
+ bgp {
+  local-as {{ device.local_as }};
+  log-updown;
+  graceful-restart {
+  }
+{% for n in device.bgp_neighbors %}  neighbor {{ n.addr }} {
+   peer-as {{ n.remote_as }};
+   description "{{ n.description }}";
+{% if n.import_policy %}   import {{ n.import_policy }};
+{% endif %}{% if n.export_policy %}   export {{ n.export_policy }};
+{% endif %}{% if n.session_type == 'ibgp' %}   local-address lo0;
+{% endif %}  }
+{% endfor %} }
+}
+{% endif %}`
+
+// TemplatePath returns the config-repository path of a vendor's full
+// device template.
+func TemplatePath(vendorSyntax string) string {
+	return "templates/" + vendorSyntax + "/device.tmpl"
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/robotron-net/robotron/internal/deploy"
+	"github.com/robotron-net/robotron/internal/design"
+	"github.com/robotron-net/robotron/internal/fbnet"
+)
+
+// TestEventDrivenCollection: a link-down syslog triggers an immediate
+// targeted poll, so DerivedInterface flips to down without waiting for a
+// periodic cycle.
+func TestEventDrivenCollection(t *testing.T) {
+	r := newRobotron(t)
+	res := provisionPOP(t, r)
+	if err := r.CollectOnce(); err != nil {
+		t.Fatal(err)
+	}
+	victim := res.Devices[0]
+	d, _ := r.Fleet.Device(victim)
+	ifaces, _ := d.ShowInterfaces()
+	var port string
+	for _, ifc := range ifaces {
+		if ifc.OperStatus == "up" && ifc.Name != "lo0" {
+			port = ifc.Name
+			break
+		}
+	}
+	if port == "" {
+		t.Fatal("no up port")
+	}
+	// Cut the fiber: the device emits LINK_STATE down -> classifier ->
+	// ad-hoc interface poll, synchronously in this simulation.
+	r.Fleet.Uncable(victim, port)
+	obj, err := r.Store.FindOne("DerivedInterface", fbnet.And(
+		fbnet.Eq("device_name", victim), fbnet.Eq("name", port)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.String("oper_status") != "down" {
+		t.Errorf("DerivedInterface %s:%s = %s without a periodic cycle, want down",
+			victim, port, obj.String("oper_status"))
+	}
+	// The event itself is in the operational history.
+	events, err := r.Store.Find("OperationalEvent", fbnet.And(
+		fbnet.Eq("device_name", victim), fbnet.Eq("kind", "link-state")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Error("no link-state OperationalEvent recorded")
+	}
+}
+
+// TestMetricHealthCheckGate: a phased rollout halts when a device breaches
+// the CPU gate even though its config converged.
+func TestMetricHealthCheckGate(t *testing.T) {
+	r := newRobotron(t)
+	res := provisionPOP(t, r)
+	// Overload one device.
+	hot, _ := r.Fleet.Device(res.Devices[2])
+	hot.SetTrafficLoad(1.0) // drives cpu_util above any sane gate
+	_, err := r.GenerateAndDeploy(res.Devices, deploy.Options{
+		Phases:      []deploy.Phase{{Name: "canary", Percent: 50}, {Name: "rest"}},
+		HealthCheck: MetricHealthCheck(60),
+	}, "e1")
+	if err == nil {
+		t.Fatal("deployment should halt on the CPU gate")
+	}
+	// A permissive gate passes.
+	if _, err := r.GenerateAndDeploy(res.Devices, deploy.Options{
+		HealthCheck: MetricHealthCheck(1000),
+	}, "e1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBGPFlapTriggersCollection: taking a far-side device down flaps the
+// BGP session; the alert-driven poll records the Active state.
+func TestBGPFlapTriggersCollection(t *testing.T) {
+	r := newRobotron(t)
+	r.Designer.EnsureSite("bb-site", "backbone", "nam")
+	for _, n := range []string{"bb1", "bb2"} {
+		if _, err := r.Designer.AddBackboneRouter(testCtx("backbone"), n, "bb-site", "Backbone_Vendor2", "bb"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Designer.AddBackboneCircuit(testCtx("backbone"), "bb1", "bb2", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SyncFleet(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.GenerateAndDeploy([]string{"bb1", "bb2"}, deploy.Options{}, "e1"); err != nil {
+		t.Fatal(err)
+	}
+	// Confirm the mesh session established, then kill bb2.
+	b1, _ := r.Fleet.Device("bb1")
+	peers, _ := b1.ShowBGPSummary()
+	if len(peers) == 0 || peers[0].State != "Established" {
+		t.Fatalf("session not established: %+v", peers)
+	}
+	b2, _ := r.Fleet.Device("bb2")
+	b2.SetDown(true)
+	r.Fleet.Recompute() // flaps links and BGP, emitting alerts
+	objs, err := r.Store.Find("DerivedBgpSession", fbnet.Eq("device_name", "bb1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawActive bool
+	for _, o := range objs {
+		if o.String("state") == "Active" {
+			sawActive = true
+		}
+	}
+	if !sawActive {
+		t.Errorf("BGP flap not captured by event-driven collection: %d sessions", len(objs))
+	}
+	_ = design.ChangeContext{}
+}

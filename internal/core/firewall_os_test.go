@@ -1,0 +1,162 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/robotron-net/robotron/internal/deploy"
+	"github.com/robotron-net/robotron/internal/design"
+	"github.com/robotron-net/robotron/internal/fbnet"
+)
+
+// TestPhasedFirewallRuleChange replays the paper's §5.3.2 example: "some
+// deployments, such as firewall rule changes, require applying new
+// configurations in multiple phases." A policy attached to the whole POP
+// gets a new rule; the change fans out to every attached device and rolls
+// out phase by phase with health gates.
+func TestPhasedFirewallRuleChange(t *testing.T) {
+	r := newRobotron(t)
+	res := provisionPOP(t, r)
+	ctx := testCtx("pop")
+
+	// Install the baseline control-plane filter on every device.
+	if _, err := r.Designer.EnsureFirewallPolicy(ctx, design.FirewallSpec{
+		Name: "cp-protect", Direction: "in",
+		Rules: []design.FirewallRuleSpec{
+			{Action: "permit", Protocol: "tcp", SrcPrefix: "2401:db00::/32", DstPort: 179},
+			{Action: "deny", Protocol: "any"},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Designer.AttachFirewall(ctx, "cp-protect", res.Devices); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.GenerateAndDeploy(res.Devices, deploy.Options{}, "e1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failed()) != 0 {
+		t.Fatalf("failures: %+v", rep.Failed())
+	}
+	// Both vendors carry the filter.
+	v1, _ := r.Fleet.Device("pr1.pop1-c1")
+	cfg, _ := v1.RunningConfig()
+	if !strings.Contains(cfg, "ipv6 access-list cp-protect") || !strings.Contains(cfg, "eq 179") {
+		t.Errorf("vendor1 ACL missing:\n%s", grepLines(cfg, "cp-protect"))
+	}
+	v2, _ := r.Fleet.Device("psw1.pop1-c1")
+	cfg, _ = v2.RunningConfig()
+	if !strings.Contains(cfg, "filter cp-protect {") || !strings.Contains(cfg, "input cp-protect;") {
+		t.Errorf("vendor2 filter missing:\n%s", grepLines(cfg, "cp-protect"))
+	}
+
+	// The rule change: allow SSH from the management prefix. One design
+	// change; every attached device's generated config changes.
+	if _, err := r.Designer.EnsureFirewallPolicy(ctx, design.FirewallSpec{
+		Name: "cp-protect", Direction: "in",
+		Rules: []design.FirewallRuleSpec{
+			{Action: "permit", Protocol: "tcp", SrcPrefix: "2401:db00::/32", DstPort: 179},
+			{Action: "permit", Protocol: "tcp", SrcPrefix: "2401:db00:aa::/48", DstPort: 22},
+			{Action: "deny", Protocol: "any"},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var phases []string
+	rep, err = r.GenerateAndDeploy(res.Devices, deploy.Options{
+		Phases: []deploy.Phase{
+			{Name: "canary", Percent: 25},
+			{Name: "half", Percent: 50},
+			{Name: "rest"},
+		},
+		Notify: func(f string, a ...any) {
+			if strings.Contains(f, "phase") {
+				phases = append(phases, f)
+			}
+		},
+	}, "e1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) < 3 {
+		t.Errorf("phases executed = %d, want >= 3", len(phases))
+	}
+	for _, name := range res.Devices {
+		d, _ := r.Fleet.Device(name)
+		cfg, _ := d.RunningConfig()
+		if !strings.Contains(cfg, "22") || !strings.Contains(cfg, "2401:db00:aa::/48") {
+			t.Errorf("%s missing the new SSH rule", name)
+		}
+	}
+}
+
+// TestOSUpgradeWorkflow covers the §1 OS upgrade task end to end: qualify
+// an image, assign it in the design, drain, upgrade, verify via
+// monitoring, undrain — with the audit catching version drift.
+func TestOSUpgradeWorkflow(t *testing.T) {
+	r := newRobotron(t)
+	provisionPOP(t, r)
+	if err := r.CollectOnce(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := testCtx("pop")
+	victim := "pr1.pop1-c1" // vendor1 device running 7.3.2
+
+	if _, err := r.Designer.EnsureOsImage(ctx, "os-7.4.1", "7.4.1", "vendor1"); err != nil {
+		t.Fatal(err)
+	}
+	// Vendor mismatch is refused.
+	if _, err := r.Designer.EnsureOsImage(ctx, "os-18.1", "18.1R1", "vendor2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Designer.AssignOsImage(ctx, victim, "os-18.1"); err == nil {
+		t.Error("cross-vendor image assignment should fail")
+	}
+	if _, err := r.Designer.AssignOsImage(ctx, victim, "os-7.4.1"); err != nil {
+		t.Fatal(err)
+	}
+	// The audit now flags the version drift: design wants 7.4.1, the
+	// device still runs 7.3.2.
+	rep, err := r.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ByKind()["os-mismatch"] != 1 {
+		t.Errorf("audit = %v, want one os-mismatch", rep.ByKind())
+	}
+	// Drain, upgrade, recollect, undrain.
+	if err := r.DrainDevice(ctx, victim); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := r.Fleet.Device(victim)
+	d.UpgradeOS("7.4.1")
+	if err := r.CollectOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.UndrainDevice(ctx, victim); err != nil {
+		t.Fatal(err)
+	}
+	rep, _ = r.Audit()
+	if rep.ByKind()["os-mismatch"] != 0 {
+		t.Errorf("os-mismatch persists after upgrade: %v", rep.Anomalies)
+	}
+	v, _ := d.ShowVersion()
+	if v.OSVersion != "7.4.1" {
+		t.Errorf("device version = %s", v.OSVersion)
+	}
+	obj, _ := r.Store.FindOne("DerivedDevice", fbnet.Eq("name", victim))
+	if obj.String("os_version") != "7.4.1" {
+		t.Errorf("derived version = %s", obj.String("os_version"))
+	}
+}
+
+func grepLines(s, pat string) string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, pat) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/robotron-net/robotron/internal/design"
+	"github.com/robotron-net/robotron/internal/fbnet"
+)
+
+// TestMonitoringFollowsFleetGrowth: jobs installed before a second
+// cluster exists still cover it — the fleet is enumerated at execution
+// time, not at job-installation time.
+func TestMonitoringFollowsFleetGrowth(t *testing.T) {
+	r := newRobotron(t)
+	provisionPOP(t, r) // installs standard monitoring over pop1
+	if err := r.CollectOnce(); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := r.Store.Count("DerivedDevice")
+	if before != 6 {
+		t.Fatalf("derived devices = %d", before)
+	}
+	// A new cluster lands months later; no monitoring reconfiguration.
+	if _, err := r.Designer.EnsureSite("pop2", "pop", "emea"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ProvisionCluster(testCtx("pop"), "pop2", "pop2-c1", design.POPGen1()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CollectOnce(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := r.Store.Count("DerivedDevice")
+	if after != 12 {
+		t.Errorf("derived devices after growth = %d, want 12", after)
+	}
+	// The new cluster's devices are fully observed (not just versions).
+	objs, err := r.Store.Find("DerivedInterface", fbnet.Contains("device_name", "pop2-c1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) == 0 {
+		t.Error("new cluster's interfaces not collected")
+	}
+}

@@ -1,0 +1,555 @@
+// Package core assembles Robotron's subsystems into the top-down
+// management life cycle of SIGCOMM '16, §3 and §5: network design → config
+// generation → deployment → monitoring, all grounded in FBNet as the
+// single source of truth.
+//
+// A Robotron instance owns one FBNet store, the design tools, the config
+// generator and repository, the deployment engine, the monitoring
+// pipelines, and (in this reproduction) the simulated device fleet the
+// network runs on. The examples and the CLI drive this API.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/robotron-net/robotron/internal/audit"
+	"github.com/robotron-net/robotron/internal/configgen"
+	"github.com/robotron-net/robotron/internal/deploy"
+	"github.com/robotron-net/robotron/internal/design"
+	"github.com/robotron-net/robotron/internal/fbnet"
+	"github.com/robotron-net/robotron/internal/monitor"
+	"github.com/robotron-net/robotron/internal/netsim"
+	"github.com/robotron-net/robotron/internal/relstore"
+	"github.com/robotron-net/robotron/internal/revctl"
+)
+
+// Robotron is the assembled system.
+type Robotron struct {
+	Store      *fbnet.Store
+	Designer   *design.Designer
+	Generator  *configgen.Generator
+	Repo       *revctl.Repo
+	Fleet      *netsim.Fleet
+	Deployer   *deploy.Deployer
+	JobManager *monitor.JobManager
+	Classifier *monitor.Classifier
+	ConfigMon  *monitor.ConfigMonitor
+	Timeseries *monitor.TimeseriesBackend
+
+	// Logf receives progress output; nil silences it.
+	Logf func(format string, args ...any)
+}
+
+// Options configure construction.
+type Options struct {
+	// DBName names the master database server.
+	DBName string
+	// Pools overrides the default address pools.
+	Pools *design.Pools
+	// Logf receives progress output.
+	Logf func(format string, args ...any)
+	// Store attaches to an existing FBNet store (e.g. a service
+	// deployment's master) instead of creating a fresh one.
+	Store *fbnet.Store
+}
+
+// New builds a complete Robotron instance over fresh state.
+func New(opts Options) (*Robotron, error) {
+	if opts.DBName == "" {
+		opts.DBName = "fbnet-master"
+	}
+	store := opts.Store
+	if store == nil {
+		db := relstore.NewDB(opts.DBName)
+		var err error
+		store, err = fbnet.Open(db, fbnet.NewCatalog())
+		if err != nil {
+			return nil, err
+		}
+	}
+	pools := design.DefaultPools()
+	if opts.Pools != nil {
+		pools = *opts.Pools
+	}
+	designer, err := design.NewDesigner(store, pools)
+	if err != nil {
+		return nil, err
+	}
+	if err := designer.EnsureStandardHardware(); err != nil {
+		return nil, err
+	}
+	repo := revctl.NewRepo()
+	gen, err := configgen.NewGenerator(store, repo)
+	if err != nil {
+		return nil, err
+	}
+	fleet := netsim.NewFleet()
+	jm := monitor.NewJobManager(monitor.FleetDeviceResolver(fleet))
+	jm.SetDeviceLister(func() []string { return monitor.SortedDeviceNames(fleet) })
+	ts := monitor.NewTimeseriesBackend()
+	for _, b := range []monitor.Backend{ts, monitor.NewDerivedBackend(store), monitor.NewConfigBackend(repo)} {
+		if err := jm.RegisterBackend(b); err != nil {
+			return nil, err
+		}
+	}
+	cls := monitor.NewClassifier()
+	monitor.StandardRules(cls)
+	monitor.RecordEvents(cls, store)
+	cm := monitor.NewConfigMonitor(jm, repo, store, gen.Golden)
+	cm.Attach(cls)
+	// Event-driven collection: a link or BGP state alert triggers an
+	// immediate targeted poll of the reporting device, so Derived models
+	// converge on the event rather than the next periodic cycle (the
+	// ad-hoc job path of §5.4.2).
+	cls.OnAlert(func(a monitor.Alert) {
+		var data monitor.DataType
+		switch a.Rule {
+		case "link-state":
+			data = monitor.DataInterfaces
+		case "bgp-updown":
+			data = monitor.DataBGP
+		default:
+			return
+		}
+		_, _ = jm.RunOnce(monitor.JobSpec{
+			Name: "adhoc-event-" + a.Message.Host, Period: time.Second,
+			Engine: monitor.EngineCLI, Data: data,
+			Devices: []string{a.Message.Host}, Backends: []string{"fbnet-derived"},
+		})
+	})
+	r := &Robotron{
+		Store:      store,
+		Designer:   designer,
+		Generator:  gen,
+		Repo:       repo,
+		Fleet:      fleet,
+		Deployer:   deploy.NewDeployer(deploy.FleetResolver(fleet)),
+		JobManager: jm,
+		Classifier: cls,
+		ConfigMon:  cm,
+		Timeseries: ts,
+		Logf:       opts.Logf,
+	}
+	return r, nil
+}
+
+func (r *Robotron) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// vendorOf resolves a device's netsim vendor personality from its FBNet
+// hardware profile.
+func (r *Robotron) vendorOf(dev fbnet.Object) (netsim.Vendor, error) {
+	hw, err := r.Store.GetByID("HardwareProfile", dev.Ref("hw_profile"))
+	if err != nil {
+		return "", err
+	}
+	vendor, err := r.Store.GetByID("Vendor", hw.Ref("vendor"))
+	if err != nil {
+		return "", err
+	}
+	switch vendor.String("syntax") {
+	case "vendor2":
+		return netsim.Vendor2, nil
+	default:
+		return netsim.Vendor1, nil
+	}
+}
+
+// SyncFleet materializes the physical network implied by FBNet Desired
+// state into the simulator: devices exist, cables follow circuits, and
+// every device logs to the classifier. Idempotent. In production this is
+// the part of the world Robotron does NOT control — racking and cabling —
+// which is why design changes and deployments are decoupled (§8).
+func (r *Robotron) SyncFleet() error {
+	devs, err := r.Store.Find("Device", nil)
+	if err != nil {
+		return err
+	}
+	siteOf := map[int64]string{}
+	for _, dev := range devs {
+		name := dev.String("name")
+		if _, exists := r.Fleet.Device(name); exists {
+			continue
+		}
+		siteID := dev.Ref("site")
+		if _, ok := siteOf[siteID]; !ok {
+			site, err := r.Store.GetByID("Site", siteID)
+			if err != nil {
+				return err
+			}
+			siteOf[siteID] = site.String("name")
+		}
+		vendor, err := r.vendorOf(dev)
+		if err != nil {
+			return err
+		}
+		d, err := r.Fleet.AddDevice(name, vendor, dev.String("role"), siteOf[siteID])
+		if err != nil {
+			return err
+		}
+		d.SetSyslogSink(func(m netsim.SyslogMessage) { r.Classifier.Process(m) })
+	}
+	// Cable per Desired circuit.
+	circuits, err := r.Store.Find("Circuit", fbnet.Ne("status", "decommissioned"))
+	if err != nil {
+		return err
+	}
+	for _, c := range circuits {
+		aDev, aIf, ok1, err := r.circuitEnd(c, "a_interface")
+		if err != nil {
+			return err
+		}
+		zDev, zIf, ok2, err := r.circuitEnd(c, "z_interface")
+		if err != nil {
+			return err
+		}
+		if !ok1 || !ok2 {
+			continue
+		}
+		if far, farIf, cabled := r.Fleet.CableOf(aDev, aIf); cabled {
+			if far != zDev || farIf != zIf {
+				return fmt.Errorf("core: %s:%s is cabled to %s:%s but the design wants %s:%s",
+					aDev, aIf, far, farIf, zDev, zIf)
+			}
+			continue
+		}
+		if err := r.Fleet.Wire(aDev, aIf, zDev, zIf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Robotron) circuitEnd(c fbnet.Object, field string) (dev, iface string, ok bool, err error) {
+	pifID := c.Ref(field)
+	if pifID == 0 {
+		return "", "", false, nil
+	}
+	pif, err := r.Store.GetByID("PhysicalInterface", pifID)
+	if err != nil {
+		return "", "", false, err
+	}
+	lc, err := r.Store.GetByID("Linecard", pif.Ref("linecard"))
+	if err != nil {
+		return "", "", false, err
+	}
+	d, err := r.Store.GetByID("Device", lc.Ref("device"))
+	if err != nil {
+		return "", "", false, err
+	}
+	return d.String("name"), pif.String("name"), true, nil
+}
+
+// ApplyRecabling reconciles the physical cabling with the Desired
+// circuits: cables contradicting the design are removed and the designed
+// ones installed — the field technician executing a cabling work order
+// after a circuit migration. Returns the number of cables moved.
+func (r *Robotron) ApplyRecabling() (int, error) {
+	circuits, err := r.Store.Find("Circuit", fbnet.Ne("status", "decommissioned"))
+	if err != nil {
+		return 0, err
+	}
+	moved := 0
+	for _, c := range circuits {
+		aDev, aIf, ok1, err := r.circuitEnd(c, "a_interface")
+		if err != nil {
+			return moved, err
+		}
+		zDev, zIf, ok2, err := r.circuitEnd(c, "z_interface")
+		if err != nil {
+			return moved, err
+		}
+		if !ok1 || !ok2 {
+			continue
+		}
+		for _, end := range [][2]string{{aDev, aIf}, {zDev, zIf}} {
+			if far, farIf, cabled := r.Fleet.CableOf(end[0], end[1]); cabled {
+				wantFar, wantFarIf := zDev, zIf
+				if end[0] == zDev && end[1] == zIf {
+					wantFar, wantFarIf = aDev, aIf
+				}
+				if far != wantFar || farIf != wantFarIf {
+					r.Fleet.Uncable(end[0], end[1])
+					moved++
+				}
+			}
+		}
+	}
+	if err := r.SyncFleet(); err != nil {
+		return moved, err
+	}
+	return moved, nil
+}
+
+// ProvisionResult reports a cluster provisioning run.
+type ProvisionResult struct {
+	Build   design.BuildResult
+	Devices []string
+	Report  deploy.Report
+}
+
+// ProvisionCluster executes the full life cycle for a new cluster: design
+// (template → FBNet objects), physical build-out (simulated), config
+// generation, initial provisioning, golden commits, and promotion of the
+// cluster and its circuits to production.
+func (r *Robotron) ProvisionCluster(ctx design.ChangeContext, siteName, clusterName string, tpl design.TopologyTemplate) (ProvisionResult, error) {
+	var out ProvisionResult
+	build, err := r.Designer.BuildCluster(ctx, siteName, clusterName, tpl)
+	if err != nil {
+		return out, fmt.Errorf("core: design stage failed: %w", err)
+	}
+	out.Build = build
+	out.Devices = build.DeviceNames
+	r.logf("design: cluster %s materialized %d objects", clusterName, build.Stats.Total())
+
+	if err := r.SyncFleet(); err != nil {
+		return out, fmt.Errorf("core: physical build-out failed: %w", err)
+	}
+	configs := make(map[string]string, len(build.DeviceNames))
+	for _, name := range build.DeviceNames {
+		cfg, err := r.Generator.GenerateDevice(name)
+		if err != nil {
+			return out, fmt.Errorf("core: config generation failed: %w", err)
+		}
+		configs[name] = cfg
+	}
+	r.logf("configgen: %d device configs generated", len(configs))
+
+	rep, err := r.Deployer.InitialProvision(configs, deploy.Options{Notify: r.Logf})
+	out.Report = rep
+	if err != nil {
+		return out, fmt.Errorf("core: initial provisioning failed: %w", err)
+	}
+	for name, cfg := range configs {
+		if _, err := r.Generator.CommitGolden(name, cfg, ctx.EmployeeID, "initial provisioning of "+clusterName); err != nil {
+			return out, err
+		}
+	}
+	// Promote the cluster and its circuits to production and undrain.
+	_, err = r.Store.Mutate(func(m *fbnet.Mutation) error {
+		cluster, err := m.FindOne("Cluster", fbnet.Eq("name", clusterName))
+		if err != nil {
+			return err
+		}
+		if err := m.Update("Cluster", cluster.ID, map[string]any{"status": "production"}); err != nil {
+			return err
+		}
+		circuits, err := m.Find("Circuit", fbnet.And(
+			fbnet.Eq("status", "provisioning"),
+			fbnet.Eq("a_interface.linecard.device.cluster", cluster.ID),
+		))
+		if err != nil {
+			return err
+		}
+		for _, c := range circuits {
+			if err := m.Update("Circuit", c.ID, map[string]any{"status": "production"}); err != nil {
+				return err
+			}
+		}
+		devs, err := m.Referencing("Device", "cluster", cluster.ID)
+		if err != nil {
+			return err
+		}
+		for _, d := range devs {
+			if err := m.Update("Device", d.ID, map[string]any{"drain_state": "undrained"}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return out, err
+	}
+	for _, name := range build.DeviceNames {
+		if d, ok := r.Fleet.Device(name); ok {
+			d.SetTrafficLoad(0.3)
+		}
+	}
+	r.logf("deploy: cluster %s provisioned and serving", clusterName)
+	return out, nil
+}
+
+// GenerateAndDeploy regenerates configs for the named devices and deploys
+// them incrementally. Golden configs are committed *before* deployment:
+// the golden is the current intent (§5.4.3), so the config-change events
+// the deployment itself raises compare against the new intent, and a
+// failed or rolled-back deployment correctly leaves the device flagged as
+// deviating until it is retried.
+func (r *Robotron) GenerateAndDeploy(devices []string, opts deploy.Options, author string) (deploy.Report, error) {
+	configs := make(map[string]string, len(devices))
+	for _, name := range devices {
+		cfg, err := r.Generator.GenerateDevice(name)
+		if err != nil {
+			return deploy.Report{}, err
+		}
+		configs[name] = cfg
+	}
+	for name, cfg := range configs {
+		if _, err := r.Generator.CommitGolden(name, cfg, author, "incremental update intent"); err != nil {
+			return deploy.Report{}, err
+		}
+	}
+	if opts.Notify == nil {
+		opts.Notify = r.Logf
+	}
+	return r.Deployer.Deploy(configs, opts)
+}
+
+// PromoteCircuits moves every fully-deployed provisioning circuit to
+// production, the design-side close-out after a successful turn-up.
+// Returns the number promoted.
+func (r *Robotron) PromoteCircuits() (int, error) {
+	n := 0
+	_, err := r.Store.Mutate(func(m *fbnet.Mutation) error {
+		circuits, err := m.Find("Circuit", fbnet.Eq("status", "provisioning"))
+		if err != nil {
+			return err
+		}
+		for _, c := range circuits {
+			if c.Ref("a_interface") == 0 || c.Ref("z_interface") == 0 {
+				continue
+			}
+			if err := m.Update("Circuit", c.ID, map[string]any{"status": "production"}); err != nil {
+				return err
+			}
+			n++
+		}
+		return nil
+	})
+	return n, err
+}
+
+// DevicesOfSite lists device names at a site.
+func (r *Robotron) DevicesOfSite(site string) ([]string, error) {
+	devs, err := r.Store.Find("Device", fbnet.Eq("site.name", site))
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(devs))
+	for i, d := range devs {
+		names[i] = d.String("name")
+	}
+	return names, nil
+}
+
+// InstallStandardMonitoring registers the standard periodic jobs with the
+// Table 2-shaped engine mix. The jobs target the whole fleet *as of each
+// execution*, so clusters provisioned later are monitored automatically.
+func (r *Robotron) InstallStandardMonitoring() error {
+	if len(r.Fleet.Devices()) == 0 {
+		return fmt.Errorf("core: no devices to monitor")
+	}
+	for _, j := range StandardJobs(nil) {
+		if err := r.JobManager.AddJob(j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StandardJobs returns the standard job mix: SNMP counters dominate, CLI
+// covers the vendor gaps, RPC/XML and Thrift carry structured state
+// (§5.4.2, Table 2). A nil device list targets the whole fleet at each
+// execution.
+func StandardJobs(devices []string) []monitor.JobSpec {
+	all := devices == nil
+	return []monitor.JobSpec{
+		{Name: "snmp-counters", Period: 1 * time.Minute, Engine: monitor.EngineSNMP,
+			Data: monitor.DataCounters, Devices: devices, AllDevices: all, Backends: []string{"timeseries"}},
+		{Name: "snmp-interfaces", Period: 2 * time.Minute, Engine: monitor.EngineSNMP,
+			Data: monitor.DataInterfaces, Devices: devices, AllDevices: all, Backends: []string{"timeseries", "fbnet-derived"}},
+		{Name: "cli-lldp", Period: 10 * time.Minute, Engine: monitor.EngineCLI,
+			Data: monitor.DataLLDP, Devices: devices, AllDevices: all, Backends: []string{"fbnet-derived"}},
+		{Name: "cli-config-backup", Period: 60 * time.Minute, Engine: monitor.EngineCLI,
+			Data: monitor.DataConfig, Devices: devices, AllDevices: all, Backends: []string{"config-backup"}},
+		{Name: "rpcxml-interfaces", Period: 15 * time.Minute, Engine: monitor.EngineRPCXML,
+			Data: monitor.DataInterfaces, Devices: devices, AllDevices: all, Backends: []string{"fbnet-derived"}},
+		{Name: "thrift-bgp", Period: 5 * time.Minute, Engine: monitor.EngineThrift,
+			Data: monitor.DataBGP, Devices: devices, AllDevices: all, Backends: []string{"fbnet-derived"}},
+		{Name: "thrift-version", Period: 30 * time.Minute, Engine: monitor.EngineThrift,
+			Data: monitor.DataVersion, Devices: devices, AllDevices: all, Backends: []string{"fbnet-derived"}},
+	}
+}
+
+// CollectOnce runs every installed job once and refreshes derived
+// circuits, the "one monitoring cycle" primitive used by audits and
+// examples.
+func (r *Robotron) CollectOnce() error {
+	for _, spec := range r.JobManager.Jobs() {
+		if _, err := r.JobManager.RunOnce(monitor.JobSpec{
+			Name: "adhoc-" + spec.Name, Period: spec.Period, Engine: spec.Engine,
+			Data: spec.Data, Devices: spec.Devices, AllDevices: spec.AllDevices,
+			Backends: spec.Backends,
+		}); err != nil {
+			return err
+		}
+	}
+	_, err := monitor.DeriveCircuits(r.Store)
+	return err
+}
+
+// Audit runs the Desired-vs-Derived anomaly detection.
+func (r *Robotron) Audit() (audit.Report, error) {
+	return audit.Run(r.Store)
+}
+
+// MetricHealthCheck returns a phased-deployment health gate that requires
+// the device reachable, its running config converged on the intent, and
+// its CPU utilization below maxCPU percent — "Robotron monitors metrics to
+// track the progress of each phase" (§5.3.2).
+func MetricHealthCheck(maxCPU float64) func(t deploy.Target, intended string) error {
+	return func(t deploy.Target, intended string) error {
+		if !t.Reachable() {
+			return fmt.Errorf("device unreachable")
+		}
+		running, err := t.RunningConfig()
+		if err != nil {
+			return err
+		}
+		if running != intended {
+			return fmt.Errorf("running config deviates from intent")
+		}
+		counters, ok := t.(interface {
+			Counters() (map[string]float64, error)
+		})
+		if !ok {
+			return nil // transport without metrics: config check suffices
+		}
+		c, err := counters.Counters()
+		if err != nil {
+			return err
+		}
+		if cpu := c["cpu_util"]; cpu > maxCPU {
+			return fmt.Errorf("cpu utilization %.1f%% exceeds gate %.1f%%", cpu, maxCPU)
+		}
+		return nil
+	}
+}
+
+// DrainDevice records the drain in FBNet and moves production traffic off
+// the device (§1's drain procedure, a prerequisite for maintenance and
+// initial provisioning).
+func (r *Robotron) DrainDevice(ctx design.ChangeContext, name string) error {
+	if _, err := r.Designer.SetDrainState(ctx, name, "drained"); err != nil {
+		return err
+	}
+	if d, ok := r.Fleet.Device(name); ok {
+		d.SetTrafficLoad(0)
+	}
+	return nil
+}
+
+// UndrainDevice returns a device to service.
+func (r *Robotron) UndrainDevice(ctx design.ChangeContext, name string) error {
+	if _, err := r.Designer.SetDrainState(ctx, name, "undrained"); err != nil {
+		return err
+	}
+	if d, ok := r.Fleet.Device(name); ok {
+		d.SetTrafficLoad(0.3)
+	}
+	return nil
+}

@@ -1,0 +1,633 @@
+// Package deploy implements Robotron's config deployment stage (SIGCOMM
+// '16, §5.3): agile, scalable, safe rollout of generated configs to
+// network devices while minimizing the risk of network outages.
+//
+// Two scenarios are supported. Initial provisioning (§5.3.1) erases and
+// replaces the full config of drained devices, then validates connectivity.
+// Incremental updates (§5.3.2) change running devices and compose four
+// safety mechanisms:
+//
+//   - Dryrun mode: diffs between new and running configs are produced —
+//     natively on platforms that support it, by before/after comparison on
+//     those that don't — and presented for human review.
+//   - Atomic mode: multi-device changes commit as one transaction; any
+//     device failure rolls back every device already committed.
+//   - Phased mode: devices update in engineer-specified phases (by
+//     percentage, site, role) with a health gate between phases; a failed
+//     gate halts the deployment and notifies the engineer.
+//   - Human confirmation: commits are provisional for a grace period and
+//     roll back automatically unless confirmed (device-native where
+//     available, emulated by the deployer elsewhere).
+package deploy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/robotron-net/robotron/internal/confdiff"
+	"github.com/robotron-net/robotron/internal/netsim"
+)
+
+// Target is the management session surface the deployer needs from a
+// device; *netsim.Device implements it.
+type Target interface {
+	Name() string
+	Vendor() netsim.Vendor
+	Role() string
+	Site() string
+	Reachable() bool
+	TrafficLoad() float64
+	RunningConfig() (string, error)
+	LoadConfig(string) error
+	DryrunDiff() (string, error)
+	Commit() error
+	CommitConfirmed(grace time.Duration) error
+	Confirm() error
+	Rollback() error
+	EraseConfig() error
+}
+
+var _ Target = (*netsim.Device)(nil)
+
+// Resolver maps a device name to a management session.
+type Resolver func(name string) (Target, error)
+
+// FleetResolver resolves against a netsim fleet.
+func FleetResolver(f *netsim.Fleet) Resolver {
+	return func(name string) (Target, error) {
+		d, ok := f.Device(name)
+		if !ok {
+			return nil, fmt.Errorf("deploy: unknown device %q", name)
+		}
+		return d, nil
+	}
+}
+
+// Phase selects a subset of devices for one rollout step: the paper's
+// "permutation of percentage/region/role of devices to be updated in each
+// phase". Zero-valued filters match everything; Percent 0 means 100.
+type Phase struct {
+	Name    string
+	Percent int
+	Role    string
+	Site    string
+}
+
+// Options control one deployment.
+type Options struct {
+	// Atomic commits all devices as one transaction with rollback on any
+	// failure.
+	Atomic bool
+	// Phases splits the rollout; empty means a single phase of everything.
+	// Devices matched by no phase form a final implicit phase.
+	Phases []Phase
+	// ConfirmGrace > 0 makes commits provisional: the returned Pending
+	// must be confirmed within the grace period or every device rolls
+	// back.
+	ConfirmGrace time.Duration
+	// CommitTimeout bounds how long one device may take to apply its
+	// config; a device that "cannot finish applying the config within a
+	// given time window" fails the deployment (and, in atomic mode, rolls
+	// the whole transaction back once the straggler settles). 0 disables.
+	CommitTimeout time.Duration
+	// Review, if set, receives each device's diff before anything is
+	// committed; returning false aborts the deployment ("the user is
+	// presented with a diff ... to verify all changes").
+	Review func(device, diff string) bool
+	// HealthCheck gates phased rollouts; nil uses the default check
+	// (device reachable, running config matches intent).
+	HealthCheck func(t Target, intended string) error
+	// Notify receives progress and failure notifications ("engineers will
+	// get a notification from Robotron upon failures").
+	Notify func(format string, args ...any)
+}
+
+func (o *Options) notify(format string, args ...any) {
+	if o.Notify != nil {
+		o.Notify(format, args...)
+	}
+}
+
+// Result reports the outcome for one device.
+type Result struct {
+	Device  string
+	Action  string // "committed", "rolled-back", "skipped", "erased+provisioned"
+	Err     error
+	Added   int
+	Removed int
+}
+
+// Report is the outcome of one deployment.
+type Report struct {
+	Results []Result
+	// Pending is non-nil when ConfirmGrace was set: call Confirm to make
+	// the deployment permanent or Rollback to abandon it; doing neither
+	// rolls back automatically when the grace period expires.
+	Pending *Pending
+}
+
+// Failed returns the results that carry errors.
+func (r Report) Failed() []Result {
+	var out []Result
+	for _, res := range r.Results {
+		if res.Err != nil {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// Deployer executes deployments against a device fleet.
+type Deployer struct {
+	Resolve Resolver
+}
+
+// NewDeployer returns a deployer using the given resolver.
+func NewDeployer(r Resolver) *Deployer { return &Deployer{Resolve: r} }
+
+// ErrDrainRequired is returned by initial provisioning for devices still
+// carrying traffic ("network devices must be completely drained").
+var ErrDrainRequired = errors.New("deploy: device must be drained before initial provisioning")
+
+// ErrReviewRejected is returned when the human reviewer declines a diff.
+var ErrReviewRejected = errors.New("deploy: diff review rejected by operator")
+
+// InitialProvision erases and installs configs on clean (drained) devices,
+// then validates basic connectivity (§5.3.1).
+func (d *Deployer) InitialProvision(configs map[string]string, opts Options) (Report, error) {
+	var rep Report
+	names := sortedKeys(configs)
+	// Drain check first: fail before touching anything.
+	for _, name := range names {
+		t, err := d.Resolve(name)
+		if err != nil {
+			return rep, err
+		}
+		if t.TrafficLoad() > 0 {
+			return rep, fmt.Errorf("%w: %s carries traffic (load %.2f)", ErrDrainRequired, name, t.TrafficLoad())
+		}
+	}
+	for _, name := range names {
+		t, err := d.Resolve(name)
+		if err != nil {
+			return rep, err
+		}
+		res := Result{Device: name, Action: "erased+provisioned"}
+		err = func() error {
+			if err := t.EraseConfig(); err != nil {
+				return err
+			}
+			if err := t.LoadConfig(configs[name]); err != nil {
+				return err
+			}
+			if err := t.Commit(); err != nil {
+				return err
+			}
+			// Basic validation: device reachable and running the config.
+			if !t.Reachable() {
+				return fmt.Errorf("deploy: %s unreachable after provisioning", name)
+			}
+			running, err := t.RunningConfig()
+			if err != nil {
+				return err
+			}
+			if running != configs[name] {
+				return fmt.Errorf("deploy: %s running config does not match provisioned config", name)
+			}
+			return nil
+		}()
+		res.Err = err
+		stats := confdiff.Compute("", configs[name]).Stats(true)
+		res.Added = stats.Added
+		rep.Results = append(rep.Results, res)
+		if err != nil {
+			opts.notify("initial provisioning failed on %s: %v", name, err)
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// Dryrun produces the per-device diff between the new configs and the
+// running configs without committing anything. Platforms with native
+// dryrun (Vendor2) are asked directly — catching "most errors from invalid
+// configurations and vendor bugs" — while the rest get an emulated diff.
+func (d *Deployer) Dryrun(configs map[string]string) (map[string]string, error) {
+	out := make(map[string]string, len(configs))
+	for _, name := range sortedKeys(configs) {
+		t, err := d.Resolve(name)
+		if err != nil {
+			return nil, err
+		}
+		diff, err := d.dryrunOne(t, configs[name])
+		if err != nil {
+			return nil, err
+		}
+		out[name] = diff
+	}
+	return out, nil
+}
+
+func (d *Deployer) dryrunOne(t Target, newCfg string) (string, error) {
+	if err := t.LoadConfig(newCfg); err != nil {
+		return "", fmt.Errorf("deploy: %s rejected candidate config: %w", t.Name(), err)
+	}
+	native, err := t.DryrunDiff()
+	switch {
+	case err == nil:
+		return native, nil
+	case errors.Is(err, netsim.ErrNotSupported):
+		// Emulated diff for platforms without native dryrun.
+		running, err := t.RunningConfig()
+		if err != nil {
+			return "", err
+		}
+		return confdiff.Compute(running, newCfg).Unified(3), nil
+	default:
+		return "", err
+	}
+}
+
+// Deploy performs an incremental update of the given device configs with
+// the safety mechanisms selected in opts.
+func (d *Deployer) Deploy(configs map[string]string, opts Options) (Report, error) {
+	var rep Report
+	targets := make(map[string]Target, len(configs))
+	for _, name := range sortedKeys(configs) {
+		t, err := d.Resolve(name)
+		if err != nil {
+			return rep, err
+		}
+		targets[name] = t
+	}
+	// Dryrun + human review before any commit.
+	diffStats := make(map[string]confdiff.Stats, len(configs))
+	for _, name := range sortedKeys(configs) {
+		t := targets[name]
+		diff, err := d.dryrunOne(t, configs[name])
+		if err != nil {
+			return rep, err
+		}
+		running, err := t.RunningConfig()
+		if err != nil {
+			return rep, err
+		}
+		diffStats[name] = confdiff.Compute(running, configs[name]).Stats(true)
+		if opts.Review != nil && !opts.Review(name, diff) {
+			opts.notify("deployment aborted: %s diff rejected by reviewer", name)
+			return rep, fmt.Errorf("%w (device %s)", ErrReviewRejected, name)
+		}
+	}
+	phases := partitionPhases(targets, opts.Phases)
+	pending := &Pending{notify: opts.notify}
+	committed := make([]string, 0, len(configs))
+	// stragglers are devices whose commit outlived the time window; their
+	// in-flight result must settle before any rollback is safe.
+	type straggler struct {
+		name string
+		done <-chan error
+	}
+	var stragglers []straggler
+	settleStragglers := func() {
+		for _, s := range stragglers {
+			if err := <-s.done; err == nil {
+				// The late commit landed after all: it must be rolled
+				// back with the rest.
+				committed = append(committed, s.name)
+				opts.notify("straggler %s finished committing after the window; including in rollback", s.name)
+			}
+		}
+		stragglers = nil
+	}
+	rollbackAll := func() {
+		if opts.ConfirmGrace > 0 {
+			// Commit-confirmed devices are tracked by the pending set,
+			// which also disarms device-native rollback timers.
+			_ = pending.Rollback()
+			for i := len(committed) - 1; i >= 0; i-- {
+				rep.Results = append(rep.Results, Result{Device: committed[i], Action: "rolled-back"})
+			}
+			return
+		}
+		for i := len(committed) - 1; i >= 0; i-- {
+			name := committed[i]
+			if err := targets[name].Rollback(); err != nil {
+				opts.notify("rollback of %s failed: %v", name, err)
+			} else {
+				rep.Results = append(rep.Results, Result{Device: name, Action: "rolled-back"})
+			}
+		}
+	}
+	for pi, phase := range phases {
+		opts.notify("phase %d/%d (%s): %d device(s)", pi+1, len(phases), phase.name, len(phase.devices))
+		for _, name := range phase.devices {
+			t := targets[name]
+			var err error
+			if opts.CommitTimeout > 0 {
+				done := make(chan error, 1)
+				go func(t Target, cfg string) {
+					done <- commitOne(t, cfg, opts.ConfirmGrace, pending)
+				}(t, configs[name])
+				select {
+				case err = <-done:
+				case <-time.After(opts.CommitTimeout):
+					stragglers = append(stragglers, straggler{name: name, done: done})
+					err = fmt.Errorf("deploy: %s did not finish applying within %v", name, opts.CommitTimeout)
+				}
+			} else {
+				err = commitOne(t, configs[name], opts.ConfirmGrace, pending)
+			}
+			stats := diffStats[name]
+			res := Result{Device: name, Action: "committed", Err: err, Added: stats.Added, Removed: stats.Removed}
+			rep.Results = append(rep.Results, res)
+			if err != nil {
+				opts.notify("commit failed on %s: %v", name, err)
+				if opts.Atomic {
+					settleStragglers()
+					opts.notify("atomic deployment: rolling back %d committed device(s)", len(committed))
+					rollbackAll()
+					return rep, fmt.Errorf("deploy: atomic deployment failed on %s: %w", name, err)
+				}
+				return rep, fmt.Errorf("deploy: deployment failed on %s: %w", name, err)
+			}
+			committed = append(committed, name)
+		}
+		// Health gate: "Robotron monitors metrics to track the progress of
+		// each phase and only continues deployment if the previous phase
+		// is successful."
+		check := opts.HealthCheck
+		if check == nil {
+			check = defaultHealthCheck
+		}
+		for _, name := range phase.devices {
+			if err := check(targets[name], configs[name]); err != nil {
+				opts.notify("phase %d health gate failed on %s: %v — halting deployment", pi+1, name, err)
+				if opts.Atomic {
+					rollbackAll()
+					return rep, fmt.Errorf("deploy: atomic deployment health check failed on %s: %w", name, err)
+				}
+				return rep, fmt.Errorf("deploy: phase %d halted: %s unhealthy: %w", pi+1, name, err)
+			}
+		}
+	}
+	if opts.ConfirmGrace > 0 {
+		pending.arm(opts.ConfirmGrace)
+		rep.Pending = pending
+	}
+	return rep, nil
+}
+
+// commitOne commits one device, provisionally when grace > 0. Vendor2
+// uses the device's native commit-confirmed; other platforms are emulated
+// by the deployer's rollback timer.
+func commitOne(t Target, cfg string, grace time.Duration, pending *Pending) error {
+	if err := t.LoadConfig(cfg); err != nil {
+		return err
+	}
+	if grace <= 0 {
+		return t.Commit()
+	}
+	if err := t.CommitConfirmed(grace); err == nil {
+		pending.add(t, true)
+		return nil
+	} else if !errors.Is(err, netsim.ErrNotSupported) {
+		return err
+	}
+	if err := t.Commit(); err != nil {
+		return err
+	}
+	pending.add(t, false)
+	return nil
+}
+
+func defaultHealthCheck(t Target, intended string) error {
+	if !t.Reachable() {
+		return fmt.Errorf("device unreachable")
+	}
+	running, err := t.RunningConfig()
+	if err != nil {
+		return err
+	}
+	if running != intended {
+		return fmt.Errorf("running config deviates from intent")
+	}
+	return nil
+}
+
+// phaseSet is a resolved phase: name + member devices.
+type phaseSet struct {
+	name    string
+	devices []string
+}
+
+// partitionPhases assigns every device to exactly one phase, in order;
+// unmatched devices form a trailing implicit phase.
+func partitionPhases(targets map[string]Target, phases []Phase) []phaseSet {
+	remaining := sortedKeys(targets)
+	if len(phases) == 0 {
+		return []phaseSet{{name: "all", devices: remaining}}
+	}
+	var out []phaseSet
+	taken := map[string]bool{}
+	for i, p := range phases {
+		var matching []string
+		for _, name := range remaining {
+			if taken[name] {
+				continue
+			}
+			t := targets[name]
+			if p.Role != "" && t.Role() != p.Role {
+				continue
+			}
+			if p.Site != "" && t.Site() != p.Site {
+				continue
+			}
+			matching = append(matching, name)
+		}
+		pct := p.Percent
+		if pct <= 0 || pct > 100 {
+			pct = 100
+		}
+		n := (len(matching)*pct + 99) / 100
+		selected := matching[:min(n, len(matching))]
+		for _, name := range selected {
+			taken[name] = true
+		}
+		name := p.Name
+		if name == "" {
+			name = fmt.Sprintf("phase-%d", i+1)
+		}
+		if len(selected) > 0 {
+			out = append(out, phaseSet{name: name, devices: selected})
+		}
+	}
+	var rest []string
+	for _, name := range remaining {
+		if !taken[name] {
+			rest = append(rest, name)
+		}
+	}
+	if len(rest) > 0 {
+		out = append(out, phaseSet{name: "final", devices: rest})
+	}
+	return out
+}
+
+// Pending is a deployment awaiting human confirmation (§5.3.2): "a final
+// confirmation must be provided during the grace period otherwise
+// Robotron will rollback the changes."
+type Pending struct {
+	notify func(string, ...any)
+
+	mu      sync.Mutex
+	native  []Target // devices with device-native commit-confirmed
+	emul    []Target // devices whose rollback the deployer emulates
+	timer   *time.Timer
+	settled bool
+}
+
+func (p *Pending) add(t Target, native bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if native {
+		p.native = append(p.native, t)
+	} else {
+		p.emul = append(p.emul, t)
+	}
+}
+
+func (p *Pending) arm(grace time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.timer = time.AfterFunc(grace, p.expire)
+}
+
+// Devices returns the names of devices pending confirmation.
+func (p *Pending) Devices() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	for _, t := range p.native {
+		out = append(out, t.Name())
+	}
+	for _, t := range p.emul {
+		out = append(out, t.Name())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Confirm finalizes the deployment on every device.
+func (p *Pending) Confirm() error {
+	p.mu.Lock()
+	if p.settled {
+		p.mu.Unlock()
+		return fmt.Errorf("deploy: deployment already settled")
+	}
+	p.settled = true
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+	native := p.native
+	p.mu.Unlock()
+	var errs []string
+	for _, t := range native {
+		if err := t.Confirm(); err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", t.Name(), err))
+		}
+	}
+	// Emulated devices are already committed permanently; stopping the
+	// timer is the confirmation.
+	if len(errs) > 0 {
+		return fmt.Errorf("deploy: confirmation failed: %s", strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+// Rollback abandons the deployment immediately on every device.
+func (p *Pending) Rollback() error {
+	p.mu.Lock()
+	if p.settled {
+		p.mu.Unlock()
+		return fmt.Errorf("deploy: deployment already settled")
+	}
+	p.settled = true
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+	p.mu.Unlock()
+	p.rollbackAll()
+	return nil
+}
+
+// expire fires when the grace period lapses without confirmation.
+func (p *Pending) expire() {
+	p.mu.Lock()
+	if p.settled {
+		p.mu.Unlock()
+		return
+	}
+	p.settled = true
+	p.mu.Unlock()
+	if p.notify != nil {
+		p.notify("grace period expired without confirmation: rolling back")
+	}
+	// Native devices roll back on their own; the deployer reverts the rest.
+	p.mu.Lock()
+	emul := append([]Target(nil), p.emul...)
+	p.mu.Unlock()
+	for _, t := range emul {
+		if err := t.Rollback(); err != nil && p.notify != nil {
+			p.notify("emulated rollback of %s failed: %v", t.Name(), err)
+		}
+	}
+}
+
+func (p *Pending) rollbackAll() {
+	p.mu.Lock()
+	native := append([]Target(nil), p.native...)
+	emul := append([]Target(nil), p.emul...)
+	p.mu.Unlock()
+	for _, t := range emul {
+		if err := t.Rollback(); err != nil && p.notify != nil {
+			p.notify("rollback of %s failed: %v", t.Name(), err)
+		}
+	}
+	for _, t := range native {
+		// Force the native rollback now rather than waiting for the
+		// device timer: roll back explicitly, then confirm the (now
+		// reverted) state to disarm the device timer.
+		if err := t.Rollback(); err != nil && p.notify != nil {
+			p.notify("rollback of %s failed: %v", t.Name(), err)
+		}
+		_ = t.Confirm()
+	}
+}
+
+// Settled reports whether the pending deployment was confirmed or rolled
+// back (explicitly or by expiry).
+func (p *Pending) Settled() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.settled
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,552 @@
+package design
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"github.com/robotron-net/robotron/internal/fbnet"
+	"github.com/robotron-net/robotron/internal/ipam"
+)
+
+// Pools are the address pools design operations allocate from.
+type Pools struct {
+	V6P2P      *ipam.Pool
+	V4P2P      *ipam.Pool
+	V6Loopback *ipam.Pool
+	V4Loopback *ipam.Pool
+}
+
+// DefaultPools returns a pool layout sized for a large simulated network.
+func DefaultPools() Pools {
+	return Pools{
+		V6P2P:      ipam.MustPool("2401:db00:f000::/44"),
+		V4P2P:      ipam.MustPool("10.128.0.0/10"),
+		V6Loopback: ipam.MustPool("2401:db00:e000::/44"),
+		V4Loopback: ipam.MustPool("10.0.0.0/12"),
+	}
+}
+
+// ErrReviewRejected is returned when a change's reviewer declines it.
+var ErrReviewRejected = errors.New("design: change rejected by reviewer")
+
+// ChangeContext identifies and describes one design change; Robotron
+// "requires employee ID and ticket ID to track design change history"
+// (§5.1.3).
+type ChangeContext struct {
+	EmployeeID  string
+	TicketID    string
+	Description string
+	Domain      string // "pop" | "dc" | "backbone"
+	NowUnix     int64
+	// Review, if set, receives the resulting object changes before the
+	// transaction commits; returning false rolls everything back
+	// ("Robotron displays the resulting design changes and requires users
+	// to visually review and confirm before committing", §5.1.3).
+	Review func(fbnet.ChangeStats) bool
+}
+
+func (c ChangeContext) validate() error {
+	if c.EmployeeID == "" || c.TicketID == "" {
+		return fmt.Errorf("design: employee ID and ticket ID are required for design changes")
+	}
+	switch c.Domain {
+	case "pop", "dc", "backbone":
+		return nil
+	}
+	return fmt.Errorf("design: unknown domain %q", c.Domain)
+}
+
+// ChangeResult reports one committed design change.
+type ChangeResult struct {
+	ChangeID int64
+	Stats    fbnet.ChangeStats
+}
+
+// Designer drives design changes against an FBNet store.
+type Designer struct {
+	store *fbnet.Store
+	pools Pools
+}
+
+// NewDesigner creates a designer, reserving every prefix already present
+// in FBNet so pool allocations can never conflict with existing design
+// state — the invariant whose absence caused "many circuits misconfigured
+// with conflicting IPs" before automation (§7).
+func NewDesigner(store *fbnet.Store, pools Pools) (*Designer, error) {
+	d := &Designer{store: store, pools: pools}
+	reserve := func(model string, pool6, pool4 *ipam.Pool) error {
+		objs, err := store.Find(model, nil)
+		if err != nil {
+			return err
+		}
+		for _, o := range objs {
+			pfxStr := o.String("prefix")
+			pfx, err := netip.ParsePrefix(pfxStr)
+			if err != nil {
+				return fmt.Errorf("design: existing %s %q is invalid: %w", model, pfxStr, err)
+			}
+			pool := pool4
+			if pfx.Addr().Is6() {
+				pool = pool6
+			}
+			if pool == nil || !pool.Root().Overlaps(pfx) {
+				continue // out-of-pool legacy space
+			}
+			if pool.Owner(pfx) != "" {
+				continue // both /127 endpoints of one p2p subnet share a reservation
+			}
+			if err := pool.Reserve(pfx, fmt.Sprintf("%s/%d", model, o.ID)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := reserve("V6Prefix", pools.V6P2P, nil); err != nil {
+		return nil, err
+	}
+	if err := reserve("V4Prefix", nil, pools.V4P2P); err != nil {
+		return nil, err
+	}
+	if err := reserveLoopbacks(store, pools); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func reserveLoopbacks(store *fbnet.Store, pools Pools) error {
+	devs, err := store.Find("Device", nil)
+	if err != nil {
+		return err
+	}
+	for _, dev := range devs {
+		for field, pool := range map[string]*ipam.Pool{
+			"loopback_v6": pools.V6Loopback,
+			"loopback_v4": pools.V4Loopback,
+		} {
+			s := dev.String(field)
+			if s == "" || pool == nil {
+				continue
+			}
+			pfx, err := netip.ParsePrefix(s)
+			if err != nil {
+				return fmt.Errorf("design: device %s has invalid %s %q", dev.String("name"), field, s)
+			}
+			if !pool.Root().Overlaps(pfx) {
+				continue
+			}
+			if err := pool.Reserve(pfx, dev.String("name")); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Store exposes the underlying FBNet store.
+func (d *Designer) Store() *fbnet.Store { return d.store }
+
+// change wraps one design change: validation of the context, the mutation
+// itself, atomic recording of the DesignChange object with per-object
+// entries, and release of pool allocations if the change fails.
+func (d *Designer) change(ctx ChangeContext, fn func(*fbnet.Mutation, *allocTracker) error) (ChangeResult, error) {
+	if err := ctx.validate(); err != nil {
+		return ChangeResult{}, err
+	}
+	at := &allocTracker{pools: d.pools}
+	var changeID int64
+	_, err := d.store.Mutate(func(m *fbnet.Mutation) error {
+		if err := fn(m, at); err != nil {
+			return err
+		}
+		stats := m.Stats()
+		if ctx.Review != nil && !ctx.Review(stats) {
+			return fmt.Errorf("%w (ticket %s)", ErrReviewRejected, ctx.TicketID)
+		}
+		var err error
+		changeID, err = m.Create("DesignChange", map[string]any{
+			"employee_id":  ctx.EmployeeID,
+			"ticket_id":    ctx.TicketID,
+			"description":  ctx.Description,
+			"domain":       ctx.Domain,
+			"created_unix": ctx.NowUnix,
+			"num_created":  len(stats.Created),
+			"num_modified": len(stats.Modified),
+			"num_deleted":  len(stats.Deleted),
+		})
+		if err != nil {
+			return err
+		}
+		record := func(refs []fbnet.ObjectRef, action string) error {
+			for _, r := range refs {
+				if _, err := m.Create("DesignChangeEntry", map[string]any{
+					"change": changeID, "model_name": r.Model,
+					"object_id": r.ID, "action": action,
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := record(stats.Created, "create"); err != nil {
+			return err
+		}
+		if err := record(stats.Modified, "modify"); err != nil {
+			return err
+		}
+		return record(stats.Deleted, "delete")
+	})
+	if err != nil {
+		at.releaseAll()
+		return ChangeResult{}, err
+	}
+	at.releaseFreed()
+	return ChangeResult{ChangeID: changeID, Stats: loadChangeStats(d.store, changeID)}, nil
+}
+
+// loadChangeStats reloads the committed per-change entries to build
+// ChangeStats for the caller (Fig. 15 accounting).
+func loadChangeStats(store *fbnet.Store, changeID int64) fbnet.ChangeStats {
+	// Follow the indexed reverse relation rather than scanning the (large)
+	// entry table: design-change accounting runs after every change.
+	ids, err := store.DB().Referencing("DesignChangeEntry", "change", changeID)
+	if err != nil {
+		return fbnet.ChangeStats{}
+	}
+	var cs fbnet.ChangeStats
+	for _, id := range ids {
+		e, err := store.GetByID("DesignChangeEntry", id)
+		if err != nil {
+			continue
+		}
+		ref := fbnet.ObjectRef{Model: e.String("model_name"), ID: e.Int("object_id")}
+		switch e.String("action") {
+		case "create":
+			cs.Created = append(cs.Created, ref)
+		case "modify":
+			cs.Modified = append(cs.Modified, ref)
+		case "delete":
+			cs.Deleted = append(cs.Deleted, ref)
+		}
+	}
+	return cs
+}
+
+// allocTracker records pool allocations made during a change so they can
+// be released if the transaction rolls back, and prefix frees that must
+// only happen after the transaction commits.
+type allocTracker struct {
+	pools     Pools
+	allocated []trackedAlloc
+	toFree    []trackedAlloc
+}
+
+type trackedAlloc struct {
+	pool *ipam.Pool
+	pfx  netip.Prefix
+}
+
+func (a *allocTracker) p2p(v6 bool, owner string) (ipam.P2P, error) {
+	pool := a.pools.V4P2P
+	if v6 {
+		pool = a.pools.V6P2P
+	}
+	if pool == nil {
+		return ipam.P2P{}, fmt.Errorf("design: no p2p pool configured for this address family")
+	}
+	pp, err := pool.AllocateP2P(owner)
+	if err != nil {
+		return ipam.P2P{}, err
+	}
+	a.allocated = append(a.allocated, trackedAlloc{pool: pool, pfx: pp.Subnet})
+	return pp, nil
+}
+
+func (a *allocTracker) loopback(v6 bool, owner string) (netip.Prefix, error) {
+	pool := a.pools.V4Loopback
+	if v6 {
+		pool = a.pools.V6Loopback
+	}
+	if pool == nil {
+		return netip.Prefix{}, fmt.Errorf("design: no loopback pool configured for this address family")
+	}
+	pfx, err := pool.AllocateHost(owner)
+	if err != nil {
+		return netip.Prefix{}, err
+	}
+	a.allocated = append(a.allocated, trackedAlloc{pool: pool, pfx: pfx})
+	return pfx, nil
+}
+
+// free schedules an existing prefix for release when the change commits.
+func (a *allocTracker) free(pfxStr string) {
+	pfx, err := netip.ParsePrefix(pfxStr)
+	if err != nil {
+		return
+	}
+	for _, pool := range []*ipam.Pool{a.pools.V6P2P, a.pools.V4P2P, a.pools.V6Loopback, a.pools.V4Loopback} {
+		if pool != nil && pool.Root().Overlaps(pfx) {
+			a.toFree = append(a.toFree, trackedAlloc{pool: pool, pfx: pfx})
+			return
+		}
+	}
+}
+
+func (a *allocTracker) releaseAll() {
+	for _, t := range a.allocated {
+		_ = t.pool.Free(t.pfx)
+	}
+	a.allocated = nil
+	a.toFree = nil
+}
+
+func (a *allocTracker) releaseFreed() {
+	for _, t := range a.toFree {
+		_ = t.pool.Free(t.pfx)
+	}
+	a.toFree = nil
+}
+
+// --- bootstrap helpers ---
+
+// EnsureRegion returns the id of a region, creating it if needed.
+func (d *Designer) EnsureRegion(name string) (int64, error) {
+	if objs, err := d.store.Find("Region", fbnet.Eq("name", name)); err != nil {
+		return 0, err
+	} else if len(objs) == 1 {
+		return objs[0].ID, nil
+	}
+	var id int64
+	_, err := d.store.Mutate(func(m *fbnet.Mutation) error {
+		var err error
+		id, err = m.Create("Region", map[string]any{"name": name})
+		return err
+	})
+	return id, err
+}
+
+// EnsureSite returns the id of a site, creating it (and its region) if
+// needed.
+func (d *Designer) EnsureSite(name, kind, region string) (int64, error) {
+	if objs, err := d.store.Find("Site", fbnet.Eq("name", name)); err != nil {
+		return 0, err
+	} else if len(objs) == 1 {
+		return objs[0].ID, nil
+	}
+	regionID, err := d.EnsureRegion(region)
+	if err != nil {
+		return 0, err
+	}
+	var id int64
+	_, err = d.store.Mutate(func(m *fbnet.Mutation) error {
+		var err error
+		id, err = m.Create("Site", map[string]any{"name": name, "kind": kind, "region": regionID})
+		return err
+	})
+	return id, err
+}
+
+// EnsureStandardHardware registers the two synthetic vendors and the
+// hardware profiles the standard templates reference.
+func (d *Designer) EnsureStandardHardware() error {
+	if objs, err := d.store.Find("Vendor", fbnet.Eq("name", "vendor1")); err != nil {
+		return err
+	} else if len(objs) > 0 {
+		return nil // already bootstrapped
+	}
+	_, err := d.store.Mutate(func(m *fbnet.Mutation) error {
+		v1, err := m.Create("Vendor", map[string]any{"name": "vendor1", "syntax": "vendor1"})
+		if err != nil {
+			return err
+		}
+		v2, err := m.Create("Vendor", map[string]any{"name": "vendor2", "syntax": "vendor2"})
+		if err != nil {
+			return err
+		}
+		profiles := []struct {
+			name   string
+			vendor int64
+			slots  int
+			ports  int
+			speed  int
+		}{
+			{"Router_Vendor1", v1, 8, 16, 10000},
+			{"Router_Vendor2", v2, 8, 16, 10000},
+			{"Switch_Vendor1", v1, 2, 32, 10000},
+			{"Switch_Vendor2", v2, 2, 32, 10000},
+			{"TOR_Vendor1", v1, 1, 48, 10000},
+			{"Backbone_Vendor2", v2, 16, 16, 100000},
+		}
+		for _, p := range profiles {
+			if _, err := m.Create("HardwareProfile", map[string]any{
+				"name": p.name, "vendor": p.vendor, "num_slots": p.slots,
+				"ports_per_linecard": p.ports, "port_speed_mbps": p.speed,
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return err
+}
+
+// --- port allocation ---
+
+// portAllocator hands out free physical ports on devices within one
+// mutation, deriving interface names from the device's vendor syntax.
+type portAllocator struct {
+	m    *fbnet.Mutation
+	used map[int64]map[string]bool // device id -> taken interface names
+	meta map[int64]*devMeta
+}
+
+type devMeta struct {
+	devID     int64
+	syntax    string
+	slots     []int64 // linecard ids in slot order
+	slotNums  []int
+	numSlots  int // chassis capacity; linecards are added on demand
+	portsPer  int
+	speedMbps int64
+}
+
+func newPortAllocator(m *fbnet.Mutation) *portAllocator {
+	return &portAllocator{
+		m:    m,
+		used: make(map[int64]map[string]bool),
+		meta: make(map[int64]*devMeta),
+	}
+}
+
+func (pa *portAllocator) load(devID int64) (*devMeta, error) {
+	if meta, ok := pa.meta[devID]; ok {
+		return meta, nil
+	}
+	dev, err := pa.m.Get("Device", devID)
+	if err != nil {
+		return nil, err
+	}
+	hw, err := pa.m.Get("HardwareProfile", dev.Ref("hw_profile"))
+	if err != nil {
+		return nil, err
+	}
+	vendor, err := pa.m.Get("Vendor", hw.Ref("vendor"))
+	if err != nil {
+		return nil, err
+	}
+	meta := &devMeta{
+		devID:     devID,
+		syntax:    vendor.String("syntax"),
+		numSlots:  int(hw.Int("num_slots")),
+		portsPer:  int(hw.Int("ports_per_linecard")),
+		speedMbps: hw.Int("port_speed_mbps"),
+	}
+	lcs, err := pa.m.Referencing("Linecard", "device", devID)
+	if err != nil {
+		return nil, err
+	}
+	for _, lc := range lcs {
+		meta.slots = append(meta.slots, lc.ID)
+		meta.slotNums = append(meta.slotNums, int(lc.Int("slot")))
+	}
+	taken := map[string]bool{}
+	for _, lc := range lcs {
+		pifs, err := pa.m.Referencing("PhysicalInterface", "linecard", lc.ID)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pifs {
+			taken[p.String("name")] = true
+		}
+	}
+	pa.used[devID] = taken
+	pa.meta[devID] = meta
+	return meta, nil
+}
+
+// ifaceName builds the vendor-specific interface name for slot/port.
+func ifaceName(syntax string, slot, port int) string {
+	if syntax == "vendor2" {
+		return fmt.Sprintf("et-%d/0/%d", slot, port)
+	}
+	return fmt.Sprintf("et%d/%d", slot, port)
+}
+
+// allocPort creates a PhysicalInterface on the first free port of devID,
+// associated with aggID (0 for none). Linecards are installed on demand up
+// to the chassis slot capacity. Returns the new pif id and name.
+func (pa *portAllocator) allocPort(devID, aggID int64) (int64, string, error) {
+	meta, err := pa.load(devID)
+	if err != nil {
+		return 0, "", err
+	}
+	taken := pa.used[devID]
+	for {
+		for i, lcID := range meta.slots {
+			slot := meta.slotNums[i]
+			for port := 1; port <= meta.portsPer; port++ {
+				name := ifaceName(meta.syntax, slot, port)
+				if taken[name] {
+					continue
+				}
+				fields := map[string]any{
+					"name": name, "speed_mbps": meta.speedMbps, "linecard": lcID,
+				}
+				if aggID != 0 {
+					fields["agg_interface"] = aggID
+				}
+				id, err := pa.m.Create("PhysicalInterface", fields)
+				if err != nil {
+					return 0, "", err
+				}
+				taken[name] = true
+				return id, name, nil
+			}
+		}
+		if len(meta.slots) >= meta.numSlots {
+			return 0, "", fmt.Errorf("design: device %d is out of ports (%d slots of %d ports)",
+				devID, meta.numSlots, meta.portsPer)
+		}
+		nextSlot := 1
+		for _, s := range meta.slotNums {
+			if s >= nextSlot {
+				nextSlot = s + 1
+			}
+		}
+		lcID, err := pa.m.Create("Linecard", map[string]any{"slot": nextSlot, "device": devID})
+		if err != nil {
+			return 0, "", err
+		}
+		meta.slots = append(meta.slots, lcID)
+		meta.slotNums = append(meta.slotNums, nextSlot)
+	}
+}
+
+// nextAggNumber returns the next unused aggregated-interface number on a
+// device.
+func (pa *portAllocator) nextAggNumber(devID int64) (int64, error) {
+	aggs, err := pa.m.Referencing("AggregatedInterface", "device", devID)
+	if err != nil {
+		return 0, err
+	}
+	used := map[int64]bool{}
+	for _, a := range aggs {
+		used[a.Int("number")] = true
+	}
+	for n := int64(0); ; n++ {
+		if !used[n] {
+			return n, nil
+		}
+	}
+}
+
+// deviceName composes a standard device name: role + index + cluster/site.
+func deviceName(prefix string, n int, scope string) string {
+	return fmt.Sprintf("%s%d.%s", prefix, n, scope)
+}
+
+// clusterScope returns the cluster short name used in device names.
+func clusterScope(clusterName string) string {
+	return strings.ReplaceAll(clusterName, "/", "-")
+}

@@ -1,0 +1,83 @@
+package design
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/robotron-net/robotron/internal/fbnet"
+)
+
+func TestReviewGateApprove(t *testing.T) {
+	d := newTestDesigner(t)
+	d.EnsureSite("pop1", "pop", "apac")
+	var reviewed fbnet.ChangeStats
+	ctx := testCtx("pop")
+	ctx.Review = func(s fbnet.ChangeStats) bool {
+		reviewed = s
+		return true
+	}
+	res, err := d.BuildCluster(ctx, "pop1", "c1", POPGen1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reviewed.Created) != len(res.Stats.Created) {
+		t.Errorf("reviewer saw %d created objects, change recorded %d",
+			len(reviewed.Created), len(res.Stats.Created))
+	}
+}
+
+func TestReviewGateReject(t *testing.T) {
+	d := newTestDesigner(t)
+	d.EnsureSite("pop1", "pop", "apac")
+	used := d.pools.V6P2P.Used()
+	ctx := testCtx("pop")
+	ctx.Review = func(s fbnet.ChangeStats) bool { return false }
+	_, err := d.BuildCluster(ctx, "pop1", "c1", POPGen1())
+	if !errors.Is(err, ErrReviewRejected) {
+		t.Fatalf("want ErrReviewRejected, got %v", err)
+	}
+	// Everything rolled back: no objects, no change record, no leaked
+	// addresses.
+	for _, model := range []string{"Device", "Circuit", "Cluster", "DesignChange"} {
+		if n, _ := d.Store().Count(model); n != 0 {
+			t.Errorf("%d %s objects survive a rejected review", n, model)
+		}
+	}
+	if d.pools.V6P2P.Used() != used {
+		t.Error("pool allocations leaked on rejected review")
+	}
+}
+
+func TestDrainStateLifecycle(t *testing.T) {
+	d := newTestDesigner(t)
+	d.EnsureSite("bb-site", "backbone", "nam")
+	if _, err := d.AddBackboneRouter(testCtx("backbone"), "bb1", "bb-site", "Backbone_Vendor2", "bb"); err != nil {
+		t.Fatal(err)
+	}
+	// Backbone routers start drained.
+	drained, err := d.IsDrained("bb1")
+	if err != nil || !drained {
+		t.Fatalf("new router drained = %v, %v", drained, err)
+	}
+	res, err := d.SetDrainState(testCtx("backbone"), "bb1", "undrained")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.Modified) != 1 {
+		t.Errorf("drain change stats = %+v", res.Stats)
+	}
+	if drained, _ := d.IsDrained("bb1"); drained {
+		t.Error("still drained after undrain")
+	}
+	// Idempotent transitions are rejected (operator safety: a no-op drain
+	// usually means the wrong device name).
+	if _, err := d.SetDrainState(testCtx("backbone"), "bb1", "undrained"); err == nil {
+		t.Error("repeated undrain should fail")
+	}
+	if _, err := d.SetDrainState(testCtx("backbone"), "bb1", "bogus"); err == nil {
+		t.Error("bad state should fail")
+	}
+	if _, err := d.SetDrainState(testCtx("backbone"), "ghost", "drained"); err == nil {
+		t.Error("unknown device should fail")
+	}
+}

@@ -1,0 +1,225 @@
+package design
+
+import (
+	"fmt"
+	"net/netip"
+
+	"github.com/robotron-net/robotron/internal/fbnet"
+	"github.com/robotron-net/robotron/internal/ipam"
+)
+
+// Design validation (§5.1.3): "Robotron embeds various rules to
+// automatically validate objects ... These rules check object value and
+// relationship fields to ensure data integrity (e.g., a circuit must be
+// associated to two physical interfaces), and avoid duplicate objects."
+// Field-level rules (prefix syntax, enum values, uniqueness) live on the
+// FBNet models; the cross-object rules below run over a whole design.
+
+// Violation is one detected design-rule violation.
+type Violation struct {
+	Rule   string
+	Model  string
+	ID     int64
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s id %d: %s", v.Rule, v.Model, v.ID, v.Detail)
+}
+
+// ValidateDesign checks the cross-object design rules over the entire
+// Desired state and returns all violations found.
+func ValidateDesign(store *fbnet.Store) ([]Violation, error) {
+	var out []Violation
+	add := func(rule, model string, id int64, format string, args ...any) {
+		out = append(out, Violation{Rule: rule, Model: model, ID: id, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	// Rule: every non-decommissioned circuit terminates at two physical
+	// interfaces on two distinct devices.
+	circuits, err := store.Find("Circuit", fbnet.Ne("status", "decommissioned"))
+	if err != nil {
+		return nil, err
+	}
+	pifDevice := func(pifID int64) (int64, error) {
+		pif, err := store.GetByID("PhysicalInterface", pifID)
+		if err != nil {
+			return 0, err
+		}
+		lc, err := store.GetByID("Linecard", pif.Ref("linecard"))
+		if err != nil {
+			return 0, err
+		}
+		return lc.Ref("device"), nil
+	}
+	for _, c := range circuits {
+		a, z := c.Ref("a_interface"), c.Ref("z_interface")
+		if a == 0 || z == 0 {
+			add("circuit-endpoints", "Circuit", c.ID, "circuit %s is missing an endpoint", c.String("circuit_id"))
+			continue
+		}
+		if a == z {
+			add("circuit-endpoints", "Circuit", c.ID, "circuit %s has duplicate endpoints", c.String("circuit_id"))
+			continue
+		}
+		aDev, err := pifDevice(a)
+		if err != nil {
+			return nil, err
+		}
+		zDev, err := pifDevice(z)
+		if err != nil {
+			return nil, err
+		}
+		if aDev == zDev {
+			add("circuit-endpoints", "Circuit", c.ID, "circuit %s terminates twice on device %d", c.String("circuit_id"), aDev)
+		}
+	}
+
+	// Rule: the two p2p prefixes of a link group belong to one subnet
+	// ("point-to-point IP addresses of a circuit are rejected if they
+	// belong to different subnets", §1).
+	lgs, err := store.Find("LinkGroup", nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, lg := range lgs {
+		for _, pm := range []string{"V6Prefix", "V4Prefix"} {
+			aPfx, err := linkGroupSidePrefixes(store, lg, pm, "a_device")
+			if err != nil {
+				return nil, err
+			}
+			zPfx, err := linkGroupSidePrefixes(store, lg, pm, "z_device")
+			if err != nil {
+				return nil, err
+			}
+			for _, ap := range aPfx {
+				for _, zp := range zPfx {
+					if ap.Bits() != zp.Bits() || !ipam.SameSubnet(ap.Addr(), zp.Addr(), ap.Bits()) {
+						add("p2p-same-subnet", "LinkGroup", lg.ID,
+							"%s endpoints %s and %s are in different subnets", lg.String("name"), ap, zp)
+					}
+				}
+			}
+		}
+	}
+
+	// Rule: BGP sessions connect distinct devices, and iBGP peers share
+	// one AS while eBGP peers do not ("proper configuration must exist in
+	// both peers of every iBGP session", §1).
+	for _, model := range []string{"BgpV6Session", "BgpV4Session"} {
+		sessions, err := store.Find(model, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range sessions {
+			if s.Ref("local_device") != 0 && s.Ref("local_device") == s.Ref("remote_device") {
+				add("bgp-distinct-peers", model, s.ID, "session peers with itself")
+			}
+			switch s.String("session_type") {
+			case "ibgp":
+				if s.Int("local_as") != s.Int("remote_as") {
+					add("bgp-as-match", model, s.ID, "iBGP session with mismatched AS %d != %d",
+						s.Int("local_as"), s.Int("remote_as"))
+				}
+			case "ebgp":
+				if s.Int("local_as") == s.Int("remote_as") {
+					add("bgp-as-match", model, s.ID, "eBGP session within one AS %d", s.Int("local_as"))
+				}
+			}
+		}
+	}
+
+	// Rule: backbone mesh completeness — every pair of mesh-role devices
+	// has an iBGP session object (in either direction). Cluster-resident
+	// PRs/DRs (cluster field set) run the cluster's eBGP fabric instead
+	// and are exempt.
+	meshDevs, err := store.Find("Device", fbnet.And(
+		fbnet.In("role", "pr", "bb", "dr"),
+		fbnet.IsNull("cluster"),
+	))
+	if err != nil {
+		return nil, err
+	}
+	ibgp, err := store.Find("BgpV6Session", fbnet.Eq("session_type", "ibgp"))
+	if err != nil {
+		return nil, err
+	}
+	havePair := map[[2]int64]bool{}
+	for _, s := range ibgp {
+		l, r := s.Ref("local_device"), s.Ref("remote_device")
+		havePair[[2]int64{l, r}] = true
+		havePair[[2]int64{r, l}] = true
+	}
+	for i := range meshDevs {
+		for j := i + 1; j < len(meshDevs); j++ {
+			a, b := meshDevs[i], meshDevs[j]
+			if a.String("loopback_v6") == "" || b.String("loopback_v6") == "" {
+				continue
+			}
+			if !havePair[[2]int64{a.ID, b.ID}] {
+				add("ibgp-full-mesh", "Device", a.ID, "no iBGP session between %s and %s",
+					a.String("name"), b.String("name"))
+			}
+		}
+	}
+	return out, nil
+}
+
+// linkGroupSidePrefixes collects the p2p prefixes configured on the
+// aggregated interfaces of one side of a link group.
+func linkGroupSidePrefixes(store *fbnet.Store, lg fbnet.Object, prefixModel, sideField string) ([]netip.Prefix, error) {
+	devID := lg.Ref(sideField)
+	circuits, err := store.DB().Referencing("Circuit", "link_group", lg.ID)
+	if err != nil {
+		return nil, err
+	}
+	aggSeen := map[int64]bool{}
+	var out []netip.Prefix
+	for _, cid := range circuits {
+		c, err := store.GetByID("Circuit", cid)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range []string{"a_interface", "z_interface"} {
+			pifID := c.Ref(f)
+			if pifID == 0 {
+				continue
+			}
+			pif, err := store.GetByID("PhysicalInterface", pifID)
+			if err != nil {
+				return nil, err
+			}
+			lc, err := store.GetByID("Linecard", pif.Ref("linecard"))
+			if err != nil {
+				return nil, err
+			}
+			if lc.Ref("device") != devID {
+				continue
+			}
+			aggID := pif.Ref("agg_interface")
+			if aggID == 0 || aggSeen[aggID] {
+				continue
+			}
+			aggSeen[aggID] = true
+			pfxIDs, err := store.DB().Referencing(prefixModel, "interface", aggID)
+			if err != nil {
+				return nil, err
+			}
+			for _, pid := range pfxIDs {
+				p, err := store.GetByID(prefixModel, pid)
+				if err != nil {
+					return nil, err
+				}
+				if p.String("purpose") != "p2p" {
+					continue
+				}
+				pfx, err := netip.ParsePrefix(p.String("prefix"))
+				if err != nil {
+					return nil, fmt.Errorf("design: stored prefix %q is invalid: %w", p.String("prefix"), err)
+				}
+				out = append(out, pfx)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,522 @@
+package fbnet
+
+import (
+	"github.com/robotron-net/robotron/internal/relstore"
+)
+
+// NewCatalog registers the standard Robotron model catalog and returns the
+// registry. The paper reports "over 250 models in total covering IP/AS
+// number allocations, optical transport, BGP, operational events, etc"
+// (§4.1.1); this catalog is a representative core covering the same
+// domains — locations, hardware, interfaces and circuits (Fig. 5),
+// addressing, routing, MPLS, peering, optical transport, consoles/assets,
+// templates, and change tracking — in the Desired group, plus the Derived
+// group populated by monitoring (§4.1.2).
+//
+// Models must be registered referenced-first, like SQL tables with foreign
+// keys. Field design follows the paper's three modeling principles: only
+// fields the management tools need; Desired/Derived counterparts kept
+// structurally similar (DerivedInterface adds oper_status, exactly the
+// §4.1.2 example); no duplicated sources of truth (a physical interface
+// reaches its device via its linecard, not a second device field).
+func NewCatalog() *Registry {
+	r := NewRegistry()
+	registerDesired(r)
+	registerDerived(r)
+	// asset_url is the paper's example of an attribute generated
+	// systematically on the fly (§6.1); the derivation evolves with the
+	// asset-management system and can be re-registered.
+	if err := r.RegisterComputed("Device", "asset_url", func(o Object) any {
+		return "https://assets.example.com/device/" + o.String("name")
+	}); err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func registerDesired(r *Registry) {
+	// --- locations ---
+	r.MustRegister(Model{
+		Name: "Region", Group: Desired,
+		Doc: "A geographic region grouping sites.",
+		Fields: []Field{
+			{Name: "name", Type: relstore.ColString, Unique: true, Validate: ValidateNonEmpty},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "Site", Group: Desired,
+		Doc: "A physical network location: an edge POP, a data center, or a backbone location.",
+		Fields: []Field{
+			{Name: "name", Type: relstore.ColString, Unique: true, Validate: ValidateNonEmpty},
+			{Name: "kind", Type: relstore.ColString, Validate: ValidateOneOf("pop", "dc", "backbone")},
+			{Name: "region", Kind: RelationField, Target: "Region", OnDelete: relstore.Restrict},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "Cluster", Group: Desired,
+		Doc: "A cluster of devices within a site, built from one topology template generation.",
+		Fields: []Field{
+			{Name: "name", Type: relstore.ColString, Unique: true, Validate: ValidateNonEmpty},
+			{Name: "site", Kind: RelationField, Target: "Site", OnDelete: relstore.Restrict},
+			{Name: "generation", Type: relstore.ColString},
+			{Name: "status", Type: relstore.ColString, Validate: ValidateOneOf("planned", "provisioning", "production", "decommissioned")},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "RackProfile", Group: Desired,
+		Doc: "Per-rack interface allocation profile used by DC cluster switch configs (§8, Stale Configs).",
+		Fields: []Field{
+			{Name: "name", Type: relstore.ColString, Unique: true},
+			{Name: "num_downlinks", Type: relstore.ColInt},
+			{Name: "uplink_speed_mbps", Type: relstore.ColInt},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "Rack", Group: Desired,
+		Doc: "A server rack within a cluster.",
+		Fields: []Field{
+			{Name: "name", Type: relstore.ColString, Unique: true},
+			{Name: "cluster", Kind: RelationField, Target: "Cluster", OnDelete: relstore.Cascade},
+			{Name: "profile", Kind: RelationField, Target: "RackProfile", OnDelete: relstore.Restrict, Nullable: true},
+		},
+	})
+
+	// --- hardware ---
+	r.MustRegister(Model{
+		Name: "Vendor", Group: Desired,
+		Doc: "A network equipment vendor; selects the config template dialect.",
+		Fields: []Field{
+			{Name: "name", Type: relstore.ColString, Unique: true},
+			{Name: "syntax", Type: relstore.ColString, Validate: ValidateOneOf("vendor1", "vendor2")},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "HardwareProfile", Group: Desired,
+		Doc: "A device hardware platform: vendor, chassis model, linecard layout.",
+		Fields: []Field{
+			{Name: "name", Type: relstore.ColString, Unique: true},
+			{Name: "vendor", Kind: RelationField, Target: "Vendor", OnDelete: relstore.Restrict},
+			{Name: "num_slots", Type: relstore.ColInt},
+			{Name: "ports_per_linecard", Type: relstore.ColInt},
+			{Name: "port_speed_mbps", Type: relstore.ColInt},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "OsImage", Group: Desired,
+		Doc: "A qualified network OS image; OS upgrade is a routine task (§1).",
+		Fields: []Field{
+			{Name: "name", Type: relstore.ColString, Unique: true},
+			{Name: "version", Type: relstore.ColString, Validate: ValidateNonEmpty},
+			{Name: "vendor", Kind: RelationField, Target: "Vendor", OnDelete: relstore.Restrict},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "Device", Group: Desired,
+		Doc: "A network device: peering router (PR), backbone router (BB), datacenter router (DR), aggregation switch (PSW/FSW), or rack switch (TOR).",
+		Fields: []Field{
+			{Name: "name", Type: relstore.ColString, Unique: true, Validate: ValidateNonEmpty},
+			{Name: "role", Type: relstore.ColString, Validate: ValidateOneOf("pr", "bb", "dr", "psw", "fsw", "ssw", "tor")},
+			{Name: "site", Kind: RelationField, Target: "Site", OnDelete: relstore.Restrict},
+			{Name: "cluster", Kind: RelationField, Target: "Cluster", OnDelete: relstore.Cascade, Nullable: true},
+			{Name: "hw_profile", Kind: RelationField, Target: "HardwareProfile", OnDelete: relstore.Restrict},
+			{Name: "mgmt_ip", Type: relstore.ColString, Nullable: true, Validate: ValidateIPAddr},
+			{Name: "loopback_v6", Type: relstore.ColString, Nullable: true, Validate: ValidateV6Prefix},
+			{Name: "loopback_v4", Type: relstore.ColString, Nullable: true, Validate: ValidateV4Prefix},
+			// drain_state is the paper's example of a purely operational
+			// attribute added to Desired models over time (§6.1).
+			{Name: "drain_state", Type: relstore.ColString, Validate: ValidateOneOf("drained", "undrained")},
+			{Name: "os_image", Kind: RelationField, Target: "OsImage", OnDelete: relstore.Restrict, Nullable: true},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "Linecard", Group: Desired,
+		Doc: "A linecard installed in a device chassis slot.",
+		Fields: []Field{
+			{Name: "slot", Type: relstore.ColInt},
+			{Name: "model", Type: relstore.ColString, Nullable: true},
+			{Name: "device", Kind: RelationField, Target: "Device", OnDelete: relstore.Cascade},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "AggregatedInterface", Group: Desired,
+		Doc: "A LACP bundle (aeX) grouping physical interfaces on one device (Fig. 4).",
+		Fields: []Field{
+			{Name: "name", Type: relstore.ColString, Validate: ValidateNonEmpty},
+			{Name: "number", Type: relstore.ColInt},
+			{Name: "mtu", Type: relstore.ColInt},
+			{Name: "device", Kind: RelationField, Target: "Device", OnDelete: relstore.Cascade},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "PhysicalInterface", Group: Desired,
+		Doc: "A physical port etX/Y on a linecard; optionally grouped into an aggregated interface (Fig. 5).",
+		Fields: []Field{
+			{Name: "name", Type: relstore.ColString, Validate: ValidateNonEmpty},
+			{Name: "speed_mbps", Type: relstore.ColInt},
+			{Name: "linecard", Kind: RelationField, Target: "Linecard", OnDelete: relstore.Cascade},
+			{Name: "agg_interface", Kind: RelationField, Target: "AggregatedInterface", OnDelete: relstore.SetNull, Nullable: true},
+		},
+	})
+
+	// --- circuits ---
+	r.MustRegister(Model{
+		Name: "CircuitProvider", Group: Desired,
+		Doc: "A long-haul circuit provider for backbone and peering circuits.",
+		Fields: []Field{
+			{Name: "name", Type: relstore.ColString, Unique: true},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "LinkGroup", Group: Desired,
+		Doc: "A logical bundle of parallel circuits between two devices (the 20G link of Fig. 4).",
+		Fields: []Field{
+			{Name: "name", Type: relstore.ColString, Unique: true},
+			{Name: "a_device", Kind: RelationField, Target: "Device", OnDelete: relstore.Cascade, ReverseName: "link_groups_a"},
+			{Name: "z_device", Kind: RelationField, Target: "Device", OnDelete: relstore.Cascade, ReverseName: "link_groups_z"},
+			{Name: "capacity_mbps", Type: relstore.ColInt},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "Circuit", Group: Desired,
+		Doc: "A point-to-point circuit terminating at two physical interfaces (Fig. 5).",
+		Fields: []Field{
+			{Name: "circuit_id", Type: relstore.ColString, Unique: true},
+			{Name: "a_interface", Kind: RelationField, Target: "PhysicalInterface", OnDelete: relstore.SetNull, Nullable: true, ReverseName: "circuits_a"},
+			{Name: "z_interface", Kind: RelationField, Target: "PhysicalInterface", OnDelete: relstore.SetNull, Nullable: true, ReverseName: "circuits_z"},
+			{Name: "link_group", Kind: RelationField, Target: "LinkGroup", OnDelete: relstore.Cascade, Nullable: true},
+			{Name: "provider", Kind: RelationField, Target: "CircuitProvider", OnDelete: relstore.Restrict, Nullable: true},
+			{Name: "status", Type: relstore.ColString, Validate: ValidateOneOf("planned", "provisioning", "production", "decommissioned")},
+		},
+	})
+
+	// --- addressing ---
+	r.MustRegister(Model{
+		Name: "PrefixPool", Group: Desired,
+		Doc: "An address pool from which design tools allocate prefixes (§7).",
+		Fields: []Field{
+			{Name: "name", Type: relstore.ColString, Unique: true},
+			{Name: "root", Type: relstore.ColString},
+			{Name: "purpose", Type: relstore.ColString, Validate: ValidateOneOf("p2p", "loopback", "rack", "external")},
+			{Name: "site", Kind: RelationField, Target: "Site", OnDelete: relstore.Cascade, Nullable: true},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "V6Prefix", Group: Desired,
+		Doc: "An IPv6 prefix assigned to an aggregated interface (Fig. 5, 6).",
+		Fields: []Field{
+			{Name: "prefix", Type: relstore.ColString, Unique: true, Validate: ValidateV6Prefix},
+			{Name: "interface", Kind: RelationField, Target: "AggregatedInterface", OnDelete: relstore.Cascade, Nullable: true},
+			{Name: "pool", Kind: RelationField, Target: "PrefixPool", OnDelete: relstore.Restrict, Nullable: true},
+			{Name: "purpose", Type: relstore.ColString, Validate: ValidateOneOf("p2p", "loopback", "rack", "external")},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "V4Prefix", Group: Desired,
+		Doc: "An IPv4 prefix assigned to an aggregated interface.",
+		Fields: []Field{
+			{Name: "prefix", Type: relstore.ColString, Unique: true, Validate: ValidateV4Prefix},
+			{Name: "interface", Kind: RelationField, Target: "AggregatedInterface", OnDelete: relstore.Cascade, Nullable: true},
+			{Name: "pool", Kind: RelationField, Target: "PrefixPool", OnDelete: relstore.Restrict, Nullable: true},
+			{Name: "purpose", Type: relstore.ColString, Validate: ValidateOneOf("p2p", "loopback", "rack", "external")},
+		},
+	})
+
+	// --- routing ---
+	r.MustRegister(Model{
+		Name: "ASN", Group: Desired,
+		Doc: "An autonomous system number allocation.",
+		Fields: []Field{
+			{Name: "number", Type: relstore.ColInt, Unique: true},
+			{Name: "name", Type: relstore.ColString},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "RoutingPolicy", Group: Desired,
+		Doc: "A named import/export routing policy attached to BGP sessions (§8, Complexity of Modeling).",
+		Fields: []Field{
+			{Name: "name", Type: relstore.ColString, Unique: true},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "PolicyTerm", Group: Desired,
+		Doc: "One match/action term within a routing policy.",
+		Fields: []Field{
+			{Name: "policy", Kind: RelationField, Target: "RoutingPolicy", OnDelete: relstore.Cascade},
+			{Name: "seq", Type: relstore.ColInt},
+			{Name: "match_prefix", Type: relstore.ColString, Nullable: true},
+			{Name: "action", Type: relstore.ColString, Validate: ValidateOneOf("accept", "reject", "prepend")},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "BgpV6Session", Group: Desired,
+		Doc: "An IPv6 BGP session between a local device and a remote device or external peer (Fig. 5).",
+		Fields: []Field{
+			{Name: "local_device", Kind: RelationField, Target: "Device", OnDelete: relstore.Cascade, ReverseName: "bgp_v6_sessions_local"},
+			{Name: "remote_device", Kind: RelationField, Target: "Device", OnDelete: relstore.Cascade, Nullable: true, ReverseName: "bgp_v6_sessions_remote"},
+			{Name: "local_prefix", Kind: RelationField, Target: "V6Prefix", OnDelete: relstore.Cascade, Nullable: true, ReverseName: "bgp_v6_sessions_local_prefix"},
+			{Name: "remote_addr", Type: relstore.ColString, Nullable: true, Validate: ValidateIPAddr},
+			{Name: "local_as", Type: relstore.ColInt},
+			{Name: "remote_as", Type: relstore.ColInt},
+			{Name: "session_type", Type: relstore.ColString, Validate: ValidateOneOf("ebgp", "ibgp")},
+			{Name: "import_policy", Kind: RelationField, Target: "RoutingPolicy", OnDelete: relstore.Restrict, Nullable: true, ReverseName: "importing_v6_sessions"},
+			{Name: "export_policy", Kind: RelationField, Target: "RoutingPolicy", OnDelete: relstore.Restrict, Nullable: true, ReverseName: "exporting_v6_sessions"},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "BgpV4Session", Group: Desired,
+		Doc: "An IPv4 BGP session; created to capture the Gen1 (L2) to Gen2 (L3 BGP) DC transition (§6.1).",
+		Fields: []Field{
+			{Name: "local_device", Kind: RelationField, Target: "Device", OnDelete: relstore.Cascade, ReverseName: "bgp_v4_sessions_local"},
+			{Name: "remote_device", Kind: RelationField, Target: "Device", OnDelete: relstore.Cascade, Nullable: true, ReverseName: "bgp_v4_sessions_remote"},
+			{Name: "local_prefix", Kind: RelationField, Target: "V4Prefix", OnDelete: relstore.Cascade, Nullable: true, ReverseName: "bgp_v4_sessions_local_prefix"},
+			{Name: "remote_addr", Type: relstore.ColString, Nullable: true, Validate: ValidateIPAddr},
+			{Name: "local_as", Type: relstore.ColInt},
+			{Name: "remote_as", Type: relstore.ColInt},
+			{Name: "session_type", Type: relstore.ColString, Validate: ValidateOneOf("ebgp", "ibgp")},
+			{Name: "import_policy", Kind: RelationField, Target: "RoutingPolicy", OnDelete: relstore.Restrict, Nullable: true, ReverseName: "importing_v4_sessions"},
+			{Name: "export_policy", Kind: RelationField, Target: "RoutingPolicy", OnDelete: relstore.Restrict, Nullable: true, ReverseName: "exporting_v4_sessions"},
+		},
+	})
+
+	r.MustRegister(Model{
+		Name: "FirewallPolicy", Group: Desired,
+		Doc: "A named packet filter; firewall rule changes deploy in phases (§5.3.2).",
+		Fields: []Field{
+			{Name: "name", Type: relstore.ColString, Unique: true},
+			{Name: "direction", Type: relstore.ColString, Validate: ValidateOneOf("in", "out")},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "FirewallRule", Group: Desired,
+		Doc: "One term of a firewall policy.",
+		Fields: []Field{
+			{Name: "policy", Kind: RelationField, Target: "FirewallPolicy", OnDelete: relstore.Cascade},
+			{Name: "seq", Type: relstore.ColInt},
+			{Name: "action", Type: relstore.ColString, Validate: ValidateOneOf("permit", "deny")},
+			{Name: "protocol", Type: relstore.ColString, Validate: ValidateOneOf("any", "tcp", "udp", "icmp6")},
+			{Name: "src_prefix", Type: relstore.ColString, Nullable: true},
+			{Name: "dst_port", Type: relstore.ColInt, Nullable: true},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "DeviceFirewall", Group: Desired,
+		Doc: "Attachment of a firewall policy to a device's control plane.",
+		Fields: []Field{
+			{Name: "device", Kind: RelationField, Target: "Device", OnDelete: relstore.Cascade},
+			{Name: "policy", Kind: RelationField, Target: "FirewallPolicy", OnDelete: relstore.Restrict},
+		},
+	})
+
+	// --- MPLS (backbone traffic engineering, §2.3) ---
+	r.MustRegister(Model{
+		Name: "MplsTunnel", Group: Desired,
+		Doc: "An MPLS-TE tunnel between two edge nodes (PR/DR) across the backbone.",
+		Fields: []Field{
+			{Name: "name", Type: relstore.ColString, Unique: true},
+			{Name: "head_device", Kind: RelationField, Target: "Device", OnDelete: relstore.Cascade, ReverseName: "mpls_tunnels_head"},
+			{Name: "tail_device", Kind: RelationField, Target: "Device", OnDelete: relstore.Cascade, ReverseName: "mpls_tunnels_tail"},
+			{Name: "bandwidth_mbps", Type: relstore.ColInt},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "MplsPathHop", Group: Desired,
+		Doc: "One explicit hop of an MPLS-TE tunnel path.",
+		Fields: []Field{
+			{Name: "tunnel", Kind: RelationField, Target: "MplsTunnel", OnDelete: relstore.Cascade},
+			{Name: "seq", Type: relstore.ColInt},
+			{Name: "via_device", Kind: RelationField, Target: "Device", OnDelete: relstore.Cascade},
+		},
+	})
+
+	// --- peering (§2.1) ---
+	r.MustRegister(Model{
+		Name: "PeeringPartner", Group: Desired,
+		Doc: "An external network we peer with at edge POPs.",
+		Fields: []Field{
+			{Name: "name", Type: relstore.ColString, Unique: true},
+			{Name: "asn", Kind: RelationField, Target: "ASN", OnDelete: relstore.Restrict},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "PeeringInterconnect", Group: Desired,
+		Doc: "A peering or transit attachment on a peering router.",
+		Fields: []Field{
+			{Name: "partner", Kind: RelationField, Target: "PeeringPartner", OnDelete: relstore.Cascade},
+			{Name: "device", Kind: RelationField, Target: "Device", OnDelete: relstore.Cascade},
+			{Name: "kind", Type: relstore.ColString, Validate: ValidateOneOf("peering", "transit")},
+			{Name: "v6_session", Kind: RelationField, Target: "BgpV6Session", OnDelete: relstore.SetNull, Nullable: true},
+			{Name: "v4_session", Kind: RelationField, Target: "BgpV4Session", OnDelete: relstore.SetNull, Nullable: true},
+		},
+	})
+
+	// --- optical transport (§2.3) ---
+	r.MustRegister(Model{
+		Name: "OpticalLineSystem", Group: Desired,
+		Doc: "A long-haul optical line system connecting backbone locations.",
+		Fields: []Field{
+			{Name: "name", Type: relstore.ColString, Unique: true},
+			{Name: "a_site", Kind: RelationField, Target: "Site", OnDelete: relstore.Restrict, ReverseName: "optical_systems_a"},
+			{Name: "z_site", Kind: RelationField, Target: "Site", OnDelete: relstore.Restrict, ReverseName: "optical_systems_z"},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "OpticalChannel", Group: Desired,
+		Doc: "A wavelength on an optical line system carrying one circuit.",
+		Fields: []Field{
+			{Name: "line_system", Kind: RelationField, Target: "OpticalLineSystem", OnDelete: relstore.Cascade},
+			{Name: "wavelength_nm", Type: relstore.ColInt},
+			{Name: "circuit", Kind: RelationField, Target: "Circuit", OnDelete: relstore.SetNull, Nullable: true},
+		},
+	})
+
+	// --- consoles and assets ---
+	r.MustRegister(Model{
+		Name: "ConsoleServer", Group: Desired,
+		Doc: "An out-of-band console server at a site.",
+		Fields: []Field{
+			{Name: "name", Type: relstore.ColString, Unique: true},
+			{Name: "site", Kind: RelationField, Target: "Site", OnDelete: relstore.Restrict},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "ConsolePort", Group: Desired,
+		Doc: "A console server port cabled to a device's console.",
+		Fields: []Field{
+			{Name: "server", Kind: RelationField, Target: "ConsoleServer", OnDelete: relstore.Cascade},
+			{Name: "port", Type: relstore.ColInt},
+			{Name: "device", Kind: RelationField, Target: "Device", OnDelete: relstore.SetNull, Nullable: true},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "Asset", Group: Desired,
+		Doc: "Asset-management record for a device; asset_url is derived on the fly (§6.1, Logic Changes).",
+		Fields: []Field{
+			{Name: "tag", Type: relstore.ColString, Unique: true},
+			{Name: "device", Kind: RelationField, Target: "Device", OnDelete: relstore.SetNull, Nullable: true},
+			{Name: "purchase_order", Type: relstore.ColString, Nullable: true},
+		},
+	})
+
+	// --- templates and change tracking ---
+	r.MustRegister(Model{
+		Name: "TopologyTemplate", Group: Desired,
+		Doc: "A stored topology template (Fig. 7) from which clusters are materialized.",
+		Fields: []Field{
+			{Name: "name", Type: relstore.ColString, Unique: true},
+			{Name: "version", Type: relstore.ColInt},
+			{Name: "body", Type: relstore.ColString},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "ConfigTemplate", Group: Desired,
+		Doc: "A vendor-specific config template reference (stored in the config repository, §5.2).",
+		Fields: []Field{
+			{Name: "name", Type: relstore.ColString, Unique: true},
+			{Name: "vendor", Kind: RelationField, Target: "Vendor", OnDelete: relstore.Restrict},
+			{Name: "role", Type: relstore.ColString},
+			{Name: "repo_path", Type: relstore.ColString},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "DesignChange", Group: Desired,
+		Doc: "An atomic human-specified design change, tracked with employee and ticket IDs (§5.1.3, §6.2).",
+		Fields: []Field{
+			{Name: "employee_id", Type: relstore.ColString, Validate: ValidateNonEmpty},
+			{Name: "ticket_id", Type: relstore.ColString, Validate: ValidateNonEmpty},
+			{Name: "description", Type: relstore.ColString},
+			{Name: "domain", Type: relstore.ColString, Validate: ValidateOneOf("pop", "dc", "backbone")},
+			{Name: "created_unix", Type: relstore.ColInt},
+			{Name: "num_created", Type: relstore.ColInt},
+			{Name: "num_modified", Type: relstore.ColInt},
+			{Name: "num_deleted", Type: relstore.ColInt},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "DesignChangeEntry", Group: Desired,
+		Doc: "One object touched by a design change, by model and action.",
+		Fields: []Field{
+			{Name: "change", Kind: RelationField, Target: "DesignChange", OnDelete: relstore.Cascade},
+			{Name: "model_name", Type: relstore.ColString},
+			{Name: "object_id", Type: relstore.ColInt},
+			{Name: "action", Type: relstore.ColString, Validate: ValidateOneOf("create", "modify", "delete")},
+		},
+	})
+}
+
+func registerDerived(r *Registry) {
+	r.MustRegister(Model{
+		Name: "DerivedDevice", Group: Derived,
+		Doc: "Operational view of a device, populated by active monitoring (§5.4.2).",
+		Fields: []Field{
+			{Name: "name", Type: relstore.ColString, Unique: true},
+			{Name: "vendor", Type: relstore.ColString, Nullable: true},
+			{Name: "os_version", Type: relstore.ColString, Nullable: true},
+			{Name: "uptime_s", Type: relstore.ColInt},
+			{Name: "last_seen_unix", Type: relstore.ColInt},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "DerivedInterface", Group: Derived,
+		Doc: "Operational view of an interface; carries oper_status, the §4.1.2 example of a Derived-only attribute.",
+		Fields: []Field{
+			{Name: "device_name", Type: relstore.ColString},
+			{Name: "name", Type: relstore.ColString},
+			{Name: "oper_status", Type: relstore.ColString, Validate: ValidateOneOf("up", "down")},
+			{Name: "speed_mbps", Type: relstore.ColInt},
+			{Name: "last_change_unix", Type: relstore.ColInt},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "DerivedLldpNeighbor", Group: Derived,
+		Doc: "One LLDP adjacency collected from a device.",
+		Fields: []Field{
+			{Name: "device_name", Type: relstore.ColString},
+			{Name: "interface_name", Type: relstore.ColString},
+			{Name: "neighbor_device", Type: relstore.ColString},
+			{Name: "neighbor_interface", Type: relstore.ColString},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "DerivedCircuit", Group: Derived,
+		Doc: "A circuit inferred from matching LLDP data on both ends (§4.1.2).",
+		Fields: []Field{
+			{Name: "a_device", Type: relstore.ColString},
+			{Name: "a_interface", Type: relstore.ColString},
+			{Name: "z_device", Type: relstore.ColString},
+			{Name: "z_interface", Type: relstore.ColString},
+			{Name: "source", Type: relstore.ColString, Validate: ValidateOneOf("lldp")},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "DerivedBgpSession", Group: Derived,
+		Doc: "Operational state of a BGP session collected from a device.",
+		Fields: []Field{
+			{Name: "device_name", Type: relstore.ColString},
+			{Name: "peer_addr", Type: relstore.ColString},
+			{Name: "family", Type: relstore.ColString, Validate: ValidateOneOf("v4", "v6")},
+			{Name: "state", Type: relstore.ColString},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "DerivedConfig", Group: Derived,
+		Doc: "Fingerprint of the running config last collected from a device (§5.4.3).",
+		Fields: []Field{
+			{Name: "device_name", Type: relstore.ColString, Unique: true},
+			{Name: "config_hash", Type: relstore.ColString},
+			{Name: "revision", Type: relstore.ColString, Nullable: true},
+			{Name: "collected_unix", Type: relstore.ColInt},
+			{Name: "conforms", Type: relstore.ColBool},
+		},
+	})
+	r.MustRegister(Model{
+		Name: "OperationalEvent", Group: Derived,
+		Doc: "A notable operational event (reboot, linecard removal, config change) from passive monitoring.",
+		Fields: []Field{
+			{Name: "device_name", Type: relstore.ColString},
+			{Name: "kind", Type: relstore.ColString},
+			{Name: "detail", Type: relstore.ColString, Nullable: true},
+			{Name: "urgency", Type: relstore.ColString, Nullable: true},
+			{Name: "at_unix", Type: relstore.ColInt},
+		},
+	})
+}

@@ -1,0 +1,229 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/robotron-net/robotron/internal/design"
+	"github.com/robotron-net/robotron/internal/thriftlite"
+)
+
+// The high-level write APIs (§4.2.2): "FBNet's write APIs provide
+// high-level operations that add, update, or delete multiple objects to
+// ensure data integrity ... one of the write APIs is designed for portmap
+// manipulation." These RPCs run the design tools server-side, colocated
+// with the master database, so every operation is one validated
+// transaction regardless of which region the caller sits in.
+
+// ChangeMeta carries the §5.1.3 attribution every design change requires.
+type ChangeMeta struct {
+	EmployeeID  string `thrift:"1"`
+	TicketID    string `thrift:"2"`
+	Description string `thrift:"3"`
+	Domain      string `thrift:"4"`
+	NowUnix     int64  `thrift:"5"`
+}
+
+func (m ChangeMeta) ctx() design.ChangeContext {
+	return design.ChangeContext{
+		EmployeeID: m.EmployeeID, TicketID: m.TicketID,
+		Description: m.Description, Domain: m.Domain, NowUnix: m.NowUnix,
+	}
+}
+
+// ChangeReply reports a committed design change.
+type ChangeReply struct {
+	ChangeID    int64 `thrift:"1"`
+	NumCreated  int64 `thrift:"2"`
+	NumModified int64 `thrift:"3"`
+	NumDeleted  int64 `thrift:"4"`
+}
+
+func toReply(cr design.ChangeResult) *ChangeReply {
+	return &ChangeReply{
+		ChangeID:    cr.ChangeID,
+		NumCreated:  int64(len(cr.Stats.Created)),
+		NumModified: int64(len(cr.Stats.Modified)),
+		NumDeleted:  int64(len(cr.Stats.Deleted)),
+	}
+}
+
+// BuildClusterRequest materializes a named standard template.
+type BuildClusterRequest struct {
+	Meta     ChangeMeta `thrift:"1"`
+	Site     string     `thrift:"2"`
+	Cluster  string     `thrift:"3"`
+	Template string     `thrift:"4"` // pop-gen1, pop-gen2, dc-gen1, dc-gen2, dc-gen3
+	Racks    int64      `thrift:"5"` // for DC templates
+}
+
+// AddCircuitRequest provisions (or grows) a bundle between two devices.
+type AddCircuitRequest struct {
+	Meta     ChangeMeta `thrift:"1"`
+	A        string     `thrift:"2"`
+	Z        string     `thrift:"3"`
+	Circuits int64      `thrift:"4"`
+}
+
+// AddRouterRequest joins a router to the backbone mesh.
+type AddRouterRequest struct {
+	Meta      ChangeMeta `thrift:"1"`
+	Name      string     `thrift:"2"`
+	Site      string     `thrift:"3"`
+	HwProfile string     `thrift:"4"`
+	Role      string     `thrift:"5"`
+}
+
+// MigrateCircuitRequest moves a circuit's Z end to a new router.
+type MigrateCircuitRequest struct {
+	Meta      ChangeMeta `thrift:"1"`
+	CircuitID string     `thrift:"2"`
+	NewZ      string     `thrift:"3"`
+}
+
+// DesignAPI hosts the design tools behind the write service.
+type DesignAPI struct {
+	mu       sync.Mutex
+	designer *design.Designer
+}
+
+// EnableDesignAPI creates a server-side designer over the master store
+// (with its own address pools seeded from existing FBNet state) and
+// registers the design RPCs on the write service. Call once per
+// deployment; re-enable after a master failover.
+func (d *Deployment) EnableDesignAPI(pools design.Pools) (*DesignAPI, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	designer, err := design.NewDesigner(d.masterStore, pools)
+	if err != nil {
+		return nil, err
+	}
+	if err := designer.EnsureStandardHardware(); err != nil {
+		return nil, err
+	}
+	api := &DesignAPI{designer: designer}
+	api.register(d.writeSrv.rpc)
+	return api, nil
+}
+
+func (api *DesignAPI) register(srv *thriftlite.Server) {
+	thriftlite.RegisterTyped(srv, "design.build_cluster", api.handleBuildCluster)
+	thriftlite.RegisterTyped(srv, "design.add_circuit", api.handleAddCircuit)
+	thriftlite.RegisterTyped(srv, "design.add_router", api.handleAddRouter)
+	thriftlite.RegisterTyped(srv, "design.migrate_circuit", api.handleMigrateCircuit)
+}
+
+func (api *DesignAPI) handleBuildCluster(req *BuildClusterRequest) (*ChangeReply, error) {
+	api.mu.Lock()
+	defer api.mu.Unlock()
+	tpl, err := templateByName(req.Template, int(req.Racks))
+	if err != nil {
+		return nil, err
+	}
+	// Sites are part of the design; ensure idempotently from the template
+	// kind so remote callers don't need a separate bootstrap API.
+	kind := "dc"
+	if tpl.Racks == 0 {
+		kind = "pop"
+	}
+	if _, err := api.designer.EnsureSite(req.Site, kind, "global"); err != nil {
+		return nil, err
+	}
+	res, err := api.designer.BuildCluster(req.Meta.ctx(), req.Site, req.Cluster, tpl)
+	if err != nil {
+		return nil, err
+	}
+	return toReply(res.ChangeResult), nil
+}
+
+func templateByName(name string, racks int) (design.TopologyTemplate, error) {
+	if racks <= 0 {
+		racks = 4
+	}
+	switch name {
+	case "pop-gen1":
+		return design.POPGen1(), nil
+	case "pop-gen2":
+		return design.POPGen2(), nil
+	case "dc-gen1":
+		return design.DCGen1(racks), nil
+	case "dc-gen2":
+		return design.DCGen2(racks), nil
+	case "dc-gen3":
+		return design.DCGen3(racks), nil
+	}
+	return design.TopologyTemplate{}, fmt.Errorf("service: unknown topology template %q", name)
+}
+
+func (api *DesignAPI) handleAddCircuit(req *AddCircuitRequest) (*ChangeReply, error) {
+	api.mu.Lock()
+	defer api.mu.Unlock()
+	res, err := api.designer.AddBackboneCircuit(req.Meta.ctx(), req.A, req.Z, int(req.Circuits))
+	if err != nil {
+		return nil, err
+	}
+	return toReply(res), nil
+}
+
+func (api *DesignAPI) handleAddRouter(req *AddRouterRequest) (*ChangeReply, error) {
+	api.mu.Lock()
+	defer api.mu.Unlock()
+	if _, err := api.designer.EnsureSite(req.Site, "backbone", "global"); err != nil {
+		return nil, err
+	}
+	res, err := api.designer.AddBackboneRouter(req.Meta.ctx(), req.Name, req.Site, req.HwProfile, req.Role)
+	if err != nil {
+		return nil, err
+	}
+	return toReply(res), nil
+}
+
+func (api *DesignAPI) handleMigrateCircuit(req *MigrateCircuitRequest) (*ChangeReply, error) {
+	api.mu.Lock()
+	defer api.mu.Unlock()
+	res, err := api.designer.MigrateCircuit(req.Meta.ctx(), req.CircuitID, req.NewZ)
+	if err != nil {
+		return nil, err
+	}
+	return toReply(res), nil
+}
+
+// --- client-side wrappers ---
+
+// BuildCluster invokes the cluster-build write API on the master region.
+func (c *Client) BuildCluster(ctx ctxType, req *BuildClusterRequest) (*ChangeReply, error) {
+	return callDesign[BuildClusterRequest, ChangeReply](ctx, c, "design.build_cluster", req)
+}
+
+// AddCircuit invokes the circuit write API.
+func (c *Client) AddCircuit(ctx ctxType, req *AddCircuitRequest) (*ChangeReply, error) {
+	return callDesign[AddCircuitRequest, ChangeReply](ctx, c, "design.add_circuit", req)
+}
+
+// AddRouter invokes the backbone-router write API.
+func (c *Client) AddRouter(ctx ctxType, req *AddRouterRequest) (*ChangeReply, error) {
+	return callDesign[AddRouterRequest, ChangeReply](ctx, c, "design.add_router", req)
+}
+
+// MigrateCircuit invokes the circuit-migration write API.
+func (c *Client) MigrateCircuit(ctx ctxType, req *MigrateCircuitRequest) (*ChangeReply, error) {
+	return callDesign[MigrateCircuitRequest, ChangeReply](ctx, c, "design.migrate_circuit", req)
+}
+
+func callDesign[Req, Resp any](ctx ctxType, c *Client, method string, req *Req) (*Resp, error) {
+	c.mu.Lock()
+	addr := c.writeAddr
+	c.mu.Unlock()
+	conn, err := c.conn(addr)
+	if err != nil {
+		return nil, fmt.Errorf("service: write service unreachable: %w", err)
+	}
+	resp, err := thriftlite.CallTyped[Req, Resp](ctx, conn, method, req)
+	if err != nil {
+		if _, isRemote := err.(*thriftlite.RemoteError); !isRemote {
+			c.dropConn(addr)
+		}
+		return nil, err
+	}
+	return resp, nil
+}

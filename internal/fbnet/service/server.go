@@ -1,0 +1,140 @@
+package service
+
+import (
+	"fmt"
+	"net"
+
+	"github.com/robotron-net/robotron/internal/fbnet"
+	"github.com/robotron-net/robotron/internal/thriftlite"
+)
+
+// Server is one FBNet API service replica. Read replicas serve Get from
+// their (possibly lagging) local database; the write service additionally
+// accepts Write batches against the master.
+type Server struct {
+	name    string
+	store   *fbnet.Store
+	rpc     *thriftlite.Server
+	ln      net.Listener
+	writing bool
+}
+
+// NewReadServer starts a read-only API service replica on addr, serving
+// from store (typically a replica database view).
+func NewReadServer(name, addr string, store *fbnet.Store) (*Server, error) {
+	return newServer(name, addr, store, false)
+}
+
+// NewWriteServer starts a read/write API service on addr; store must be
+// backed by the master database.
+func NewWriteServer(name, addr string, store *fbnet.Store) (*Server, error) {
+	return newServer(name, addr, store, true)
+}
+
+func newServer(name, addr string, store *fbnet.Store, writing bool) (*Server, error) {
+	s := &Server{name: name, store: store, writing: writing}
+	s.rpc = thriftlite.NewServer()
+	thriftlite.RegisterTyped(s.rpc, "fbnet.ping", s.handlePing)
+	thriftlite.RegisterTyped(s.rpc, "fbnet.get", s.handleGet)
+	if writing {
+		thriftlite.RegisterTyped(s.rpc, "fbnet.write", s.handleWrite)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	go s.rpc.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Name returns the replica name.
+func (s *Server) Name() string { return s.name }
+
+// Close shuts the replica down.
+func (s *Server) Close() { s.rpc.Shutdown() }
+
+func (s *Server) handlePing(req *PingRequest) (*PingResponse, error) {
+	// A ping only succeeds when the backing database responds, so clients
+	// can use it as a health check through to storage.
+	if !s.store.DB().Healthy() {
+		return nil, fmt.Errorf("service: %s: database down", s.name)
+	}
+	return &PingResponse{Echo: req.Echo, Replica: s.name}, nil
+}
+
+func (s *Server) handleGet(req *GetRequest) (*GetResponse, error) {
+	q, err := req.Query.toQuery()
+	if err != nil {
+		return nil, err
+	}
+	results, err := s.store.Get(req.Model, req.Fields, q)
+	if err != nil {
+		return nil, err
+	}
+	if req.Limit > 0 && int64(len(results)) > req.Limit {
+		results = results[:req.Limit]
+	}
+	resp := &GetResponse{}
+	for _, r := range results {
+		wr := WireResult{ID: r.ID}
+		for _, path := range req.Fields {
+			wf := WireField{Path: path}
+			switch v := r.Fields[path].(type) {
+			case []any:
+				wf.Multi = true
+				for _, el := range v {
+					wf.Vals = append(wf.Vals, toWireValue(el))
+				}
+			default:
+				wf.Vals = []WireValue{toWireValue(v)}
+			}
+			wr.Fields = append(wr.Fields, wf)
+		}
+		resp.Results = append(resp.Results, wr)
+	}
+	return resp, nil
+}
+
+func (s *Server) handleWrite(req *WriteRequest) (*WriteResponse, error) {
+	resp := &WriteResponse{}
+	_, err := s.store.Mutate(func(m *fbnet.Mutation) error {
+		for _, op := range req.Ops {
+			fields := make(map[string]any, len(op.Fields))
+			for _, f := range op.Fields {
+				if len(f.Vals) != 1 {
+					return fmt.Errorf("service: write field %q must have exactly 1 value", f.Path)
+				}
+				fields[f.Path] = f.Vals[0].value()
+			}
+			switch op.Action {
+			case "create":
+				id, err := m.Create(op.Model, fields)
+				if err != nil {
+					return err
+				}
+				resp.CreatedIDs = append(resp.CreatedIDs, id)
+			case "update":
+				if err := m.Update(op.Model, op.ID, fields); err != nil {
+					return err
+				}
+				resp.NumModified++
+			case "delete":
+				if err := m.Delete(op.Model, op.ID); err != nil {
+					return err
+				}
+				resp.NumDeleted++
+			default:
+				return fmt.Errorf("service: unknown write action %q", op.Action)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,289 @@
+// Package service exposes FBNet's read and write APIs as language-
+// independent RPCs over the thriftlite wire format (SIGCOMM '16, §4.3.2)
+// and implements the replicated, multi-region deployment of §4.3.3: one
+// master database region accepting writes, per-region read replicas,
+// client failover between service replicas, and master promotion when the
+// master database fails.
+package service
+
+import (
+	"fmt"
+
+	"github.com/robotron-net/robotron/internal/fbnet"
+)
+
+// WireValue is a tagged union carrying one field value across the wire.
+type WireValue struct {
+	Kind string  `thrift:"1"` // "s", "i", "b", "f", "nil"
+	S    string  `thrift:"2"`
+	I    int64   `thrift:"3"`
+	B    bool    `thrift:"4"`
+	F    float64 `thrift:"5"`
+}
+
+func toWireValue(v any) WireValue {
+	switch x := v.(type) {
+	case nil:
+		return WireValue{Kind: "nil"}
+	case string:
+		return WireValue{Kind: "s", S: x}
+	case int:
+		return WireValue{Kind: "i", I: int64(x)}
+	case int64:
+		return WireValue{Kind: "i", I: x}
+	case bool:
+		return WireValue{Kind: "b", B: x}
+	case float64:
+		return WireValue{Kind: "f", F: x}
+	default:
+		return WireValue{Kind: "s", S: fmt.Sprintf("%v", x)}
+	}
+}
+
+func (w WireValue) value() any {
+	switch w.Kind {
+	case "s":
+		return w.S
+	case "i":
+		return w.I
+	case "b":
+		return w.B
+	case "f":
+		return w.F
+	default:
+		return nil
+	}
+}
+
+// WireQuery is the serializable query expression tree; clients build it
+// with the Eq/In/... constructors below and servers convert it into an
+// fbnet.Query.
+type WireQuery struct {
+	Op    string       `thrift:"1"` // eq ne lt le gt ge in regexp contains isnull and or not all
+	Field string       `thrift:"2"`
+	Vals  []WireValue  `thrift:"3"`
+	Subs  []*WireQuery `thrift:"4"`
+}
+
+// Eq matches field == v.
+func Eq(field string, v any) *WireQuery {
+	return &WireQuery{Op: "eq", Field: field, Vals: []WireValue{toWireValue(v)}}
+}
+
+// Ne matches field != v.
+func Ne(field string, v any) *WireQuery {
+	return &WireQuery{Op: "ne", Field: field, Vals: []WireValue{toWireValue(v)}}
+}
+
+// Lt matches field < v.
+func Lt(field string, v any) *WireQuery {
+	return &WireQuery{Op: "lt", Field: field, Vals: []WireValue{toWireValue(v)}}
+}
+
+// Le matches field <= v.
+func Le(field string, v any) *WireQuery {
+	return &WireQuery{Op: "le", Field: field, Vals: []WireValue{toWireValue(v)}}
+}
+
+// Gt matches field > v.
+func Gt(field string, v any) *WireQuery {
+	return &WireQuery{Op: "gt", Field: field, Vals: []WireValue{toWireValue(v)}}
+}
+
+// Ge matches field >= v.
+func Ge(field string, v any) *WireQuery {
+	return &WireQuery{Op: "ge", Field: field, Vals: []WireValue{toWireValue(v)}}
+}
+
+// In matches field against any of vs.
+func In(field string, vs ...any) *WireQuery {
+	q := &WireQuery{Op: "in", Field: field}
+	for _, v := range vs {
+		q.Vals = append(q.Vals, toWireValue(v))
+	}
+	return q
+}
+
+// Regexp matches string fields against a pattern.
+func Regexp(field, pattern string) *WireQuery {
+	return &WireQuery{Op: "regexp", Field: field, Vals: []WireValue{{Kind: "s", S: pattern}}}
+}
+
+// Contains matches string fields containing v.
+func Contains(field, v string) *WireQuery {
+	return &WireQuery{Op: "contains", Field: field, Vals: []WireValue{{Kind: "s", S: v}}}
+}
+
+// IsNull matches NULL fields.
+func IsNull(field string) *WireQuery { return &WireQuery{Op: "isnull", Field: field} }
+
+// And combines queries conjunctively.
+func And(qs ...*WireQuery) *WireQuery { return &WireQuery{Op: "and", Subs: qs} }
+
+// Or combines queries disjunctively.
+func Or(qs ...*WireQuery) *WireQuery { return &WireQuery{Op: "or", Subs: qs} }
+
+// Not inverts a query.
+func Not(q *WireQuery) *WireQuery { return &WireQuery{Op: "not", Subs: []*WireQuery{q}} }
+
+// All matches everything.
+func All() *WireQuery { return &WireQuery{Op: "all"} }
+
+// toQuery converts the wire tree into an fbnet.Query.
+func (w *WireQuery) toQuery() (fbnet.Query, error) {
+	if w == nil {
+		return fbnet.All(), nil
+	}
+	vals := make([]any, len(w.Vals))
+	for i, v := range w.Vals {
+		vals[i] = v.value()
+	}
+	one := func() (any, error) {
+		if len(vals) != 1 {
+			return nil, fmt.Errorf("service: op %q wants exactly 1 value, got %d", w.Op, len(vals))
+		}
+		return vals[0], nil
+	}
+	switch w.Op {
+	case "eq":
+		v, err := one()
+		if err != nil {
+			return nil, err
+		}
+		return fbnet.Eq(w.Field, v), nil
+	case "ne":
+		v, err := one()
+		if err != nil {
+			return nil, err
+		}
+		return fbnet.Ne(w.Field, v), nil
+	case "lt":
+		v, err := one()
+		if err != nil {
+			return nil, err
+		}
+		return fbnet.Lt(w.Field, v), nil
+	case "le":
+		v, err := one()
+		if err != nil {
+			return nil, err
+		}
+		return fbnet.Le(w.Field, v), nil
+	case "gt":
+		v, err := one()
+		if err != nil {
+			return nil, err
+		}
+		return fbnet.Gt(w.Field, v), nil
+	case "ge":
+		v, err := one()
+		if err != nil {
+			return nil, err
+		}
+		return fbnet.Ge(w.Field, v), nil
+	case "in":
+		return fbnet.In(w.Field, vals...), nil
+	case "regexp":
+		v, err := one()
+		if err != nil {
+			return nil, err
+		}
+		s, _ := v.(string)
+		return fbnet.Regexp(w.Field, s), nil
+	case "contains":
+		v, err := one()
+		if err != nil {
+			return nil, err
+		}
+		s, _ := v.(string)
+		return fbnet.Contains(w.Field, s), nil
+	case "isnull":
+		return fbnet.IsNull(w.Field), nil
+	case "all":
+		return fbnet.All(), nil
+	case "and", "or":
+		subs := make([]fbnet.Query, 0, len(w.Subs))
+		for _, s := range w.Subs {
+			q, err := s.toQuery()
+			if err != nil {
+				return nil, err
+			}
+			subs = append(subs, q)
+		}
+		if w.Op == "and" {
+			return fbnet.And(subs...), nil
+		}
+		return fbnet.Or(subs...), nil
+	case "not":
+		if len(w.Subs) != 1 {
+			return nil, fmt.Errorf("service: not wants exactly 1 sub-query")
+		}
+		q, err := w.Subs[0].toQuery()
+		if err != nil {
+			return nil, err
+		}
+		return fbnet.Not(q), nil
+	}
+	return nil, fmt.Errorf("service: unknown query op %q", w.Op)
+}
+
+// WireField is one requested field of one result row.
+type WireField struct {
+	Path  string      `thrift:"1"`
+	Vals  []WireValue `thrift:"2"`
+	Multi bool        `thrift:"3"` // path traversed a reverse connection
+}
+
+// WireResult is one object in a read response.
+type WireResult struct {
+	ID     int64       `thrift:"1"`
+	Fields []WireField `thrift:"2"`
+}
+
+// GetRequest is the read API request: get<ObjectType>(fields, query).
+// Limit > 0 caps the number of returned objects (in id order), bounding
+// response size for the high-read-rate paths of §4.3.
+type GetRequest struct {
+	Model  string     `thrift:"1"`
+	Fields []string   `thrift:"2"`
+	Query  *WireQuery `thrift:"3"`
+	Limit  int64      `thrift:"4"`
+}
+
+// GetResponse carries the matching objects.
+type GetResponse struct {
+	Results []WireResult `thrift:"1"`
+}
+
+// WriteOp is one object operation in a write batch.
+type WriteOp struct {
+	Action string      `thrift:"1"` // "create", "update", "delete"
+	Model  string      `thrift:"2"`
+	ID     int64       `thrift:"3"` // update/delete
+	Fields []WireField `thrift:"4"` // create/update: single-valued fields
+}
+
+// WriteRequest is a batch of object operations executed in one database
+// transaction: "each write API is wrapped in a single database
+// transaction, and therefore no partial state is visible" (§4.3.2).
+type WriteRequest struct {
+	Ops []WriteOp `thrift:"1"`
+}
+
+// WriteResponse reports created object ids (parallel to create ops).
+type WriteResponse struct {
+	CreatedIDs  []int64 `thrift:"1"`
+	NumModified int64   `thrift:"2"`
+	NumDeleted  int64   `thrift:"3"`
+}
+
+// PingRequest/PingResponse implement service health checks.
+type PingRequest struct {
+	Echo string `thrift:"1"`
+}
+
+// PingResponse echoes the request and names the serving replica.
+type PingResponse struct {
+	Echo    string `thrift:"1"`
+	Replica string `thrift:"2"`
+}

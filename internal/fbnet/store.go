@@ -1,0 +1,350 @@
+package fbnet
+
+import (
+	"fmt"
+
+	"github.com/robotron-net/robotron/internal/relstore"
+)
+
+// Object is a snapshot of one FBNet object. Relation fields hold the id of
+// the referenced object (0 meaning NULL).
+type Object struct {
+	Model  string
+	ID     int64
+	Fields map[string]any
+}
+
+// String returns a string field's value ("" when NULL or absent).
+func (o Object) String(field string) string {
+	s, _ := o.Fields[field].(string)
+	return s
+}
+
+// Int returns an int field's value (0 when NULL or absent).
+func (o Object) Int(field string) int64 {
+	n, _ := o.Fields[field].(int64)
+	return n
+}
+
+// Bool returns a bool field's value.
+func (o Object) Bool(field string) bool {
+	b, _ := o.Fields[field].(bool)
+	return b
+}
+
+// Ref returns a relation field's target id (0 when NULL).
+func (o Object) Ref(field string) int64 { return o.Int(field) }
+
+// Store binds a model registry to a relstore database.
+type Store struct {
+	reg *Registry
+	db  *relstore.DB
+}
+
+// Open creates (or verifies) one table per registered model on db and
+// returns the store. Opening the same registry against a database that
+// already has the tables (e.g. a promoted replica) is not an error.
+func Open(db *relstore.DB, reg *Registry) (*Store, error) {
+	existing := make(map[string]bool)
+	for _, t := range db.Tables() {
+		existing[t] = true
+	}
+	for _, name := range reg.Models() {
+		if existing[name] {
+			continue
+		}
+		m, _ := reg.Model(name)
+		def := relstore.TableDef{Name: name}
+		for _, f := range m.Fields {
+			switch f.Kind {
+			case ValueField:
+				def.Columns = append(def.Columns, relstore.Column{
+					Name: f.Name, Type: f.Type, Nullable: f.Nullable,
+					Unique: f.Unique, Validate: f.Validate,
+				})
+			case RelationField:
+				def.Columns = append(def.Columns, relstore.Column{
+					Name: f.Name, Type: relstore.ColInt, Nullable: f.Nullable,
+				})
+				def.ForeignKeys = append(def.ForeignKeys, relstore.ForeignKey{
+					Column: f.Name, RefTable: f.Target, OnDelete: f.OnDelete,
+				})
+			}
+		}
+		if err := db.CreateTable(def); err != nil {
+			return nil, fmt.Errorf("fbnet: creating table for model %s: %w", name, err)
+		}
+	}
+	return &Store{reg: reg, db: db}, nil
+}
+
+// Registry returns the store's model registry.
+func (s *Store) Registry() *Registry { return s.reg }
+
+// DB returns the underlying database (used by the service layer for
+// replication wiring).
+func (s *Store) DB() *relstore.DB { return s.db }
+
+// ReadOnlyView returns a Store over a different database (typically a
+// replica) sharing this store's registry.
+func (s *Store) ReadOnlyView(db *relstore.DB) *Store {
+	return &Store{reg: s.reg, db: db}
+}
+
+// AddField evolves a model in place with a new value field — the paper's
+// most common model change ("new attributes are constantly added to
+// existing models as needed", §6.1; drain_state itself arrived this way).
+// The field must be nullable so existing objects read it as NULL; the
+// underlying schema change replicates through the binlog like any write.
+// Relationship fields cannot be added live (they require new foreign-key
+// indexes); those changes ship as new models.
+func (s *Store) AddField(model string, f Field) error {
+	m, ok := s.reg.Model(model)
+	if !ok {
+		return fmt.Errorf("fbnet: unknown model %q", model)
+	}
+	if f.Kind != ValueField {
+		return fmt.Errorf("fbnet: only value fields can be added to a live model; ship relationship changes as a new model")
+	}
+	if !f.Nullable {
+		return fmt.Errorf("fbnet: new field %s.%s must be nullable (existing objects have no value)", model, f.Name)
+	}
+	if _, dup := m.Field(f.Name); dup {
+		return fmt.Errorf("fbnet: model %s already has field %q", model, f.Name)
+	}
+	for _, rv := range s.reg.Reverses(model) {
+		if rv.name == f.Name {
+			return fmt.Errorf("fbnet: field %q collides with a reverse connection on %s", f.Name, model)
+		}
+	}
+	if err := s.db.AlterAddColumn(model, relstore.Column{
+		Name: f.Name, Type: f.Type, Nullable: true,
+		Unique: f.Unique, Validate: f.Validate,
+	}); err != nil {
+		return err
+	}
+	m.Fields = append(m.Fields, f)
+	return nil
+}
+
+// GetByID fetches one object.
+func (s *Store) GetByID(model string, id int64) (Object, error) {
+	if _, ok := s.reg.Model(model); !ok {
+		return Object{}, fmt.Errorf("fbnet: unknown model %q", model)
+	}
+	row, err := s.db.Get(model, id)
+	if err != nil {
+		return Object{}, err
+	}
+	return Object{Model: model, ID: row.ID, Fields: row.Values}, nil
+}
+
+// Count returns the number of objects of a model.
+func (s *Store) Count(model string) (int, error) {
+	return s.db.Count(model)
+}
+
+// Mutation is a transactional write scope over the object store: FBNet's
+// write APIs are "wrapped in a single database transaction, and therefore
+// no partial state is visible to other applications before the API call
+// completes successfully" (§4.3.2). All reads within a Mutation observe
+// its uncommitted changes.
+type Mutation struct {
+	store *Store
+	tx    *relstore.Tx
+	// changed records every touched object for design-change accounting
+	// (§6.2, Fig. 15).
+	created  []ObjectRef
+	modified []ObjectRef
+	deleted  []ObjectRef
+}
+
+// ObjectRef identifies one object touched by a mutation.
+type ObjectRef struct {
+	Model string
+	ID    int64
+}
+
+// ChangeStats summarizes a mutation for design-change accounting.
+type ChangeStats struct {
+	Created  []ObjectRef
+	Modified []ObjectRef
+	Deleted  []ObjectRef
+}
+
+// Total returns the total number of changed objects.
+func (c ChangeStats) Total() int {
+	return len(c.Created) + len(c.Modified) + len(c.Deleted)
+}
+
+// ByModel returns changed-object counts keyed by model name.
+func (c ChangeStats) ByModel() map[string]int {
+	out := map[string]int{}
+	for _, refs := range [][]ObjectRef{c.Created, c.Modified, c.Deleted} {
+		for _, r := range refs {
+			out[r.Model]++
+		}
+	}
+	return out
+}
+
+// Stats snapshots the objects touched so far within the mutation,
+// excluding the change-tracking models themselves (DesignChange,
+// DesignChangeEntry), so a design change can record its own size
+// atomically (§5.1.3, §6.2).
+func (m *Mutation) Stats() ChangeStats {
+	filter := func(refs []ObjectRef) []ObjectRef {
+		var out []ObjectRef
+		for _, r := range refs {
+			if r.Model == "DesignChange" || r.Model == "DesignChangeEntry" {
+				continue
+			}
+			out = append(out, r)
+		}
+		return out
+	}
+	return ChangeStats{
+		Created:  filter(m.created),
+		Modified: filter(m.modified),
+		Deleted:  filter(m.deleted),
+	}
+}
+
+// Mutate runs fn in a transaction. On error the transaction rolls back and
+// no partial state is visible. On success it returns statistics about the
+// objects changed.
+func (s *Store) Mutate(fn func(*Mutation) error) (ChangeStats, error) {
+	tx, err := s.db.Begin()
+	if err != nil {
+		return ChangeStats{}, err
+	}
+	m := &Mutation{store: s, tx: tx}
+	if err := fn(m); err != nil {
+		tx.Rollback()
+		return ChangeStats{}, err
+	}
+	if err := tx.Commit(); err != nil {
+		return ChangeStats{}, err
+	}
+	return ChangeStats{Created: m.created, Modified: m.modified, Deleted: m.deleted}, nil
+}
+
+// Create inserts a new object and returns its id.
+func (m *Mutation) Create(model string, fields map[string]any) (int64, error) {
+	if _, ok := m.store.reg.Model(model); !ok {
+		return 0, fmt.Errorf("fbnet: unknown model %q", model)
+	}
+	id, err := m.tx.Insert(model, fields)
+	if err != nil {
+		return 0, err
+	}
+	m.created = append(m.created, ObjectRef{Model: model, ID: id})
+	return id, nil
+}
+
+// Update changes fields of an existing object.
+func (m *Mutation) Update(model string, id int64, fields map[string]any) error {
+	if _, ok := m.store.reg.Model(model); !ok {
+		return fmt.Errorf("fbnet: unknown model %q", model)
+	}
+	if err := m.tx.Update(model, id, fields); err != nil {
+		return err
+	}
+	m.modified = append(m.modified, ObjectRef{Model: model, ID: id})
+	return nil
+}
+
+// Delete removes an object. Referential actions apply: dependent objects
+// are cascaded or disassociated per the model's relationship declarations,
+// the mechanism behind the paper's "delete router" design tool (§5.1.2).
+func (m *Mutation) Delete(model string, id int64) error {
+	if _, ok := m.store.reg.Model(model); !ok {
+		return fmt.Errorf("fbnet: unknown model %q", model)
+	}
+	// Record cascades by comparing affected tables before/after.
+	before := m.snapshotRefs(model, id)
+	if err := m.tx.Delete(model, id); err != nil {
+		return err
+	}
+	m.deleted = append(m.deleted, before...)
+	return nil
+}
+
+// snapshotRefs lists the object plus everything that would be cascaded or
+// modified by deleting it, for change accounting.
+func (m *Mutation) snapshotRefs(model string, id int64) []ObjectRef {
+	var out []ObjectRef
+	seen := map[ObjectRef]bool{}
+	var walk func(model string, id int64)
+	walk = func(model string, id int64) {
+		ref := ObjectRef{Model: model, ID: id}
+		if seen[ref] {
+			return
+		}
+		seen[ref] = true
+		out = append(out, ref)
+		for _, rv := range m.store.reg.Reverses(model) {
+			srcModel, _ := m.store.reg.Model(rv.model)
+			f, _ := srcModel.Field(rv.field)
+			if f.OnDelete != relstore.Cascade {
+				continue
+			}
+			ids, err := m.tx.Referencing(rv.model, rv.field, id)
+			if err != nil {
+				continue
+			}
+			for _, rid := range ids {
+				walk(rv.model, rid)
+			}
+		}
+	}
+	walk(model, id)
+	return out
+}
+
+// Get fetches one object within the mutation (sees uncommitted changes).
+func (m *Mutation) Get(model string, id int64) (Object, error) {
+	row, err := m.tx.Get(model, id)
+	if err != nil {
+		return Object{}, err
+	}
+	return Object{Model: model, ID: row.ID, Fields: row.Values}, nil
+}
+
+// Find returns objects of a model matching the query within the mutation.
+func (m *Mutation) Find(model string, q Query) ([]Object, error) {
+	return find(m.store.reg, txReader{m.tx}, model, q)
+}
+
+// FindOne returns exactly one matching object, erroring on zero or many.
+func (m *Mutation) FindOne(model string, q Query) (Object, error) {
+	objs, err := m.Find(model, q)
+	if err != nil {
+		return Object{}, err
+	}
+	switch len(objs) {
+	case 0:
+		return Object{}, fmt.Errorf("fbnet: no %s matches %s", model, q)
+	case 1:
+		return objs[0], nil
+	default:
+		return Object{}, fmt.Errorf("fbnet: %d %s objects match %s, want exactly 1", len(objs), model, q)
+	}
+}
+
+// Referencing lists objects of srcModel whose srcField references id.
+func (m *Mutation) Referencing(srcModel, srcField string, id int64) ([]Object, error) {
+	ids, err := m.tx.Referencing(srcModel, srcField, id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Object, 0, len(ids))
+	for _, rid := range ids {
+		o, err := m.Get(srcModel, rid)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}

@@ -1,0 +1,275 @@
+package ipam
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocateSequential(t *testing.T) {
+	p := MustPool("10.128.0.0/24")
+	a, err := p.Allocate(31, "c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != "10.128.0.0/31" {
+		t.Errorf("first /31 = %s", a)
+	}
+	b, _ := p.Allocate(31, "c2")
+	if b.String() != "10.128.0.2/31" {
+		t.Errorf("second /31 = %s", b)
+	}
+	if p.Used() != 2 {
+		t.Errorf("Used = %d", p.Used())
+	}
+	if p.Owner(a) != "c1" || p.Owner(b) != "c2" {
+		t.Errorf("owners: %q %q", p.Owner(a), p.Owner(b))
+	}
+}
+
+func TestAllocateV6(t *testing.T) {
+	p := MustPool("2401:db00::/64")
+	a, err := p.Allocate(127, "c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != "2401:db00::/127" {
+		t.Errorf("first /127 = %s", a)
+	}
+	b, _ := p.Allocate(127, "c2")
+	if b.String() != "2401:db00::2/127" {
+		t.Errorf("second /127 = %s", b)
+	}
+}
+
+func TestAllocateMixedSizes(t *testing.T) {
+	p := MustPool("10.0.0.0/16")
+	sub, err := p.Allocate(24, "rack1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.String() != "10.0.0.0/24" {
+		t.Errorf("/24 = %s", sub)
+	}
+	// The next /31 must skip the allocated /24.
+	p2p, err := p.Allocate(31, "c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2p.String() != "10.0.1.0/31" {
+		t.Errorf("/31 after /24 = %s", p2p)
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	p := MustPool("10.0.0.0/30")
+	if _, err := p.Allocate(31, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Allocate(31, "b"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := p.Allocate(31, "c")
+	if err == nil || !strings.Contains(err.Error(), "exhausted") {
+		t.Errorf("want exhaustion error, got %v", err)
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	p := MustPool("10.0.0.0/29")
+	a, _ := p.Allocate(31, "a")
+	b, _ := p.Allocate(31, "b")
+	if err := p.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.Allocate(31, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Errorf("freed space not reused: got %s, want %s", c, a)
+	}
+	if err := p.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(b); err == nil {
+		t.Error("double free should fail")
+	}
+}
+
+func TestReserve(t *testing.T) {
+	p := MustPool("10.0.0.0/24")
+	pfx := netip.MustParsePrefix("10.0.0.128/31")
+	if err := p.Reserve(pfx, "legacy"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Reserve(pfx, "dup"); err == nil {
+		t.Error("duplicate reserve should fail")
+	}
+	if err := p.Reserve(netip.MustParsePrefix("192.168.0.0/31"), "x"); err == nil {
+		t.Error("out-of-pool reserve should fail")
+	}
+	// Allocations skip the reserved prefix.
+	for i := 0; i < 64; i++ {
+		got, err := p.Allocate(31, "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Overlaps(pfx) {
+			t.Fatalf("allocation %s overlaps reserved %s", got, pfx)
+		}
+	}
+}
+
+func TestAllocateP2PV6(t *testing.T) {
+	p := MustPool("2401:db00:f000::/64")
+	pp, err := p.AllocateP2P("circuit-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Subnet.Bits() != 127 {
+		t.Errorf("v6 p2p bits = %d, want 127", pp.Subnet.Bits())
+	}
+	if !SameSubnet(pp.A, pp.Z, 127) {
+		t.Errorf("p2p endpoints in different subnets: %s %s", pp.A, pp.Z)
+	}
+	if pp.A == pp.Z {
+		t.Error("endpoints must differ")
+	}
+	if got := pp.APrefix(); got != "2401:db00:f000::/127" {
+		t.Errorf("APrefix = %s", got)
+	}
+	if got := pp.ZPrefix(); got != "2401:db00:f000::1/127" {
+		t.Errorf("ZPrefix = %s", got)
+	}
+}
+
+func TestAllocateP2PV4(t *testing.T) {
+	p := MustPool("10.64.0.0/16")
+	pp, err := p.AllocateP2P("circuit-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Subnet.Bits() != 31 {
+		t.Errorf("v4 p2p bits = %d, want 31", pp.Subnet.Bits())
+	}
+	if !SameSubnet(pp.A, pp.Z, 31) {
+		t.Error("endpoints in different subnets")
+	}
+}
+
+func TestAllocateHost(t *testing.T) {
+	p6 := MustPool("2401:db00::/48")
+	lo, err := p6.AllocateHost("bb1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.Bits() != 128 {
+		t.Errorf("v6 host bits = %d", lo.Bits())
+	}
+	p4 := MustPool("10.0.0.0/24")
+	lo4, _ := p4.AllocateHost("bb1")
+	if lo4.Bits() != 32 {
+		t.Errorf("v4 host bits = %d", lo4.Bits())
+	}
+}
+
+func TestSameSubnet(t *testing.T) {
+	a := netip.MustParseAddr("10.0.0.0")
+	z := netip.MustParseAddr("10.0.0.1")
+	w := netip.MustParseAddr("10.0.0.2")
+	if !SameSubnet(a, z, 31) {
+		t.Error(".0 and .1 share a /31")
+	}
+	if SameSubnet(a, w, 31) {
+		t.Error(".0 and .2 do not share a /31")
+	}
+	if SameSubnet(a, netip.MustParseAddr("2401:db00::1"), 31) {
+		t.Error("cross-family addresses never share a subnet")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := NewPool("not-a-prefix"); err == nil {
+		t.Error("bad root should fail")
+	}
+	p := MustPool("10.0.0.0/24")
+	if _, err := p.Allocate(16, "x"); err == nil {
+		t.Error("allocation larger than pool should fail")
+	}
+	if _, err := p.Allocate(33, "x"); err == nil {
+		t.Error("allocation longer than address should fail")
+	}
+	if err := p.Free(netip.MustParsePrefix("10.0.0.0/31")); err == nil {
+		t.Error("freeing unallocated prefix should fail")
+	}
+}
+
+func TestParsePrefixAddr(t *testing.T) {
+	a, bits, err := ParsePrefixAddr("2401:db00::1/127")
+	if err != nil || a.String() != "2401:db00::1" || bits != 127 {
+		t.Errorf("ParsePrefixAddr = %v %d %v", a, bits, err)
+	}
+	if _, _, err := ParsePrefixAddr("garbage"); err == nil {
+		t.Error("bad prefix should fail")
+	}
+}
+
+// Property: allocations never overlap, regardless of the interleaving of
+// sizes.
+func TestQuickNoOverlap(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		p := MustPool("10.0.0.0/16")
+		var got []netip.Prefix
+		for _, s := range sizes {
+			bits := 24 + int(s)%8 // /24../31
+			pfx, err := p.Allocate(bits, "t")
+			if err != nil {
+				continue // exhaustion is fine
+			}
+			got = append(got, pfx)
+		}
+		for i := range got {
+			for j := i + 1; j < len(got); j++ {
+				if got[i].Overlaps(got[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every P2P allocation yields two distinct addresses in the same
+// subnet, and subnets never collide across allocations.
+func TestQuickP2PInvariants(t *testing.T) {
+	p := MustPool("2401:db00::/96")
+	seen := map[netip.Prefix]bool{}
+	for i := 0; i < 2000; i++ {
+		pp, err := p.AllocateP2P("t")
+		if err != nil {
+			t.Fatalf("allocation %d failed: %v", i, err)
+		}
+		if seen[pp.Subnet] {
+			t.Fatalf("duplicate subnet %s", pp.Subnet)
+		}
+		seen[pp.Subnet] = true
+		if !SameSubnet(pp.A, pp.Z, 127) || pp.A == pp.Z {
+			t.Fatalf("bad endpoints %s %s", pp.A, pp.Z)
+		}
+	}
+}
+
+func BenchmarkAllocateP2P(b *testing.B) {
+	p := MustPool("2401:db00::/64")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.AllocateP2P("bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,493 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/robotron-net/robotron/internal/netsim"
+)
+
+// Active monitoring (§5.4.2, Fig. 11): the Job Manager schedules periodic
+// jobs from job specifications (collection period, data type, devices,
+// storage backends); Engines pull jobs and poll devices over different
+// mechanisms (SNMP, CLI, RPC/XML, Thrift); Backends receive collections
+// and convert them for their storage.
+
+// EngineType selects the polling mechanism, the dimension of Table 2.
+type EngineType string
+
+const (
+	EngineSNMP   EngineType = "snmp"
+	EngineCLI    EngineType = "cli"
+	EngineRPCXML EngineType = "rpcxml"
+	EngineThrift EngineType = "thrift"
+)
+
+// DataType is what a job collects.
+type DataType string
+
+const (
+	DataCounters   DataType = "counters"
+	DataInterfaces DataType = "interfaces"
+	DataLLDP       DataType = "lldp"
+	DataBGP        DataType = "bgp"
+	DataConfig     DataType = "config"
+	DataVersion    DataType = "version"
+)
+
+// DeviceAPI is the management surface engines poll; *netsim.Device
+// implements it.
+type DeviceAPI interface {
+	Name() string
+	RunningConfig() (string, error)
+	ShowInterfaces() ([]netsim.IfaceStatus, error)
+	ShowLLDPNeighbors() ([]netsim.LLDPNeighbor, error)
+	ShowBGPSummary() ([]netsim.BGPPeerStatus, error)
+	ShowVersion() (netsim.VersionInfo, error)
+	Counters() (map[string]float64, error)
+}
+
+var _ DeviceAPI = (*netsim.Device)(nil)
+
+// DeviceResolver maps device names to management sessions.
+type DeviceResolver func(name string) (DeviceAPI, error)
+
+// FleetDeviceResolver resolves against a netsim fleet.
+func FleetDeviceResolver(f *netsim.Fleet) DeviceResolver {
+	return func(name string) (DeviceAPI, error) {
+		d, ok := f.Device(name)
+		if !ok {
+			return nil, fmt.Errorf("monitor: unknown device %q", name)
+		}
+		return d, nil
+	}
+}
+
+// Collection is one polled result handed to backends.
+type Collection struct {
+	Device     string
+	Engine     EngineType
+	Data       DataType
+	At         time.Time
+	Counters   map[string]float64
+	Interfaces []netsim.IfaceStatus
+	LLDP       []netsim.LLDPNeighbor
+	BGP        []netsim.BGPPeerStatus
+	Config     string
+	Version    *netsim.VersionInfo
+}
+
+// Engine polls one data type from one device.
+type Engine interface {
+	Type() EngineType
+	// Supports reports whether this engine can collect the data type —
+	// vendor capabilities differ ("for some vendors, the operational
+	// status of the physical links within an aggregated interface can only
+	// be collected by CLI commands").
+	Supports(d DataType) bool
+	Poll(dev DeviceAPI, d DataType) (Collection, error)
+}
+
+// baseEngine implements Poll against the DeviceAPI surface.
+type baseEngine struct {
+	typ      EngineType
+	supports map[DataType]bool
+}
+
+func (e *baseEngine) Type() EngineType         { return e.typ }
+func (e *baseEngine) Supports(d DataType) bool { return e.supports[d] }
+
+func (e *baseEngine) Poll(dev DeviceAPI, d DataType) (Collection, error) {
+	if !e.supports[d] {
+		return Collection{}, fmt.Errorf("monitor: %s engine does not support %s", e.typ, d)
+	}
+	col := Collection{Device: dev.Name(), Engine: e.typ, Data: d, At: time.Now()}
+	var err error
+	switch d {
+	case DataCounters:
+		col.Counters, err = dev.Counters()
+	case DataInterfaces:
+		col.Interfaces, err = dev.ShowInterfaces()
+	case DataLLDP:
+		col.LLDP, err = dev.ShowLLDPNeighbors()
+	case DataBGP:
+		col.BGP, err = dev.ShowBGPSummary()
+	case DataConfig:
+		col.Config, err = dev.RunningConfig()
+	case DataVersion:
+		var v netsim.VersionInfo
+		v, err = dev.ShowVersion()
+		col.Version = &v
+	default:
+		err = fmt.Errorf("monitor: unknown data type %q", d)
+	}
+	if err != nil {
+		return Collection{}, err
+	}
+	return col, nil
+}
+
+// NewEngines returns the standard engine set with per-mechanism capability
+// differences.
+func NewEngines() map[EngineType]Engine {
+	return map[EngineType]Engine{
+		EngineSNMP: &baseEngine{typ: EngineSNMP, supports: map[DataType]bool{
+			DataCounters: true, DataInterfaces: true,
+		}},
+		EngineCLI: &baseEngine{typ: EngineCLI, supports: map[DataType]bool{
+			// CLI reaches everything: the fallback when standards fall short.
+			DataCounters: true, DataInterfaces: true, DataLLDP: true,
+			DataBGP: true, DataConfig: true, DataVersion: true,
+		}},
+		EngineRPCXML: &baseEngine{typ: EngineRPCXML, supports: map[DataType]bool{
+			DataInterfaces: true, DataVersion: true, DataConfig: true,
+		}},
+		EngineThrift: &baseEngine{typ: EngineThrift, supports: map[DataType]bool{
+			DataBGP: true, DataVersion: true, DataCounters: true,
+		}},
+	}
+}
+
+// Backend receives collections ("Backends receive the collected data and
+// convert it into a format appropriate for different storage locations").
+type Backend interface {
+	Name() string
+	Store(col Collection) error
+}
+
+// JobSpec describes one monitoring job: "the collection period, the type
+// of data, the devices, and the storage backends the data should be sent
+// to" (§5.4.2). AllDevices targets the whole fleet as of each execution —
+// the fleet grows constantly, and jobs must follow — and requires the job
+// manager to have a device lister.
+type JobSpec struct {
+	Name       string
+	Period     time.Duration
+	Engine     EngineType
+	Data       DataType
+	Devices    []string
+	AllDevices bool
+	Backends   []string
+}
+
+// EventStats counts collection events per engine type (Table 2). Syslog
+// (passive) events are counted by the classifier and merged in reports.
+type EventStats struct {
+	mu     sync.Mutex
+	counts map[EngineType]int64
+	errors int64
+}
+
+func newEventStats() *EventStats {
+	return &EventStats{counts: make(map[EngineType]int64)}
+}
+
+func (s *EventStats) add(e EngineType, n int64) {
+	s.mu.Lock()
+	s.counts[e] += n
+	s.mu.Unlock()
+}
+
+func (s *EventStats) addError() {
+	s.mu.Lock()
+	s.errors++
+	s.mu.Unlock()
+}
+
+// Counts returns per-engine event counts.
+func (s *EventStats) Counts() map[EngineType]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[EngineType]int64, len(s.counts))
+	for k, v := range s.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Errors returns the number of failed polls.
+func (s *EventStats) Errors() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.errors
+}
+
+// JobManager is the top tier of the active monitoring pipeline.
+type JobManager struct {
+	resolve DeviceResolver
+	// listDevices enumerates the fleet for AllDevices jobs; nil restricts
+	// jobs to explicit device lists.
+	listDevices func() []string
+	engines     map[EngineType]Engine
+	mu          sync.Mutex
+	backends    map[string]Backend
+	specs       []JobSpec
+	stats       *EventStats
+	stopCh      chan struct{}
+	wg          sync.WaitGroup
+	running     bool
+}
+
+// NewJobManager creates a job manager with the standard engines.
+func NewJobManager(resolve DeviceResolver) *JobManager {
+	return &JobManager{
+		resolve:  resolve,
+		engines:  NewEngines(),
+		backends: make(map[string]Backend),
+		stats:    newEventStats(),
+	}
+}
+
+// SetDeviceLister enables AllDevices job specs by providing the fleet
+// enumeration used at each execution.
+func (jm *JobManager) SetDeviceLister(list func() []string) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	jm.listDevices = list
+}
+
+// RegisterBackend installs a named backend.
+func (jm *JobManager) RegisterBackend(b Backend) error {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	if _, dup := jm.backends[b.Name()]; dup {
+		return fmt.Errorf("monitor: duplicate backend %q", b.Name())
+	}
+	jm.backends[b.Name()] = b
+	return nil
+}
+
+// AddJob validates and installs a periodic job specification.
+func (jm *JobManager) AddJob(spec JobSpec) error {
+	if err := jm.validate(spec); err != nil {
+		return err
+	}
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	for _, s := range jm.specs {
+		if s.Name == spec.Name {
+			return fmt.Errorf("monitor: duplicate job %q", spec.Name)
+		}
+	}
+	jm.specs = append(jm.specs, spec)
+	return nil
+}
+
+func (jm *JobManager) validate(spec JobSpec) error {
+	if spec.Name == "" {
+		return fmt.Errorf("monitor: job name required")
+	}
+	if spec.Period <= 0 {
+		return fmt.Errorf("monitor: job %q: period must be positive", spec.Name)
+	}
+	eng, ok := jm.engines[spec.Engine]
+	if !ok {
+		return fmt.Errorf("monitor: job %q: unknown engine %q", spec.Name, spec.Engine)
+	}
+	if !eng.Supports(spec.Data) {
+		return fmt.Errorf("monitor: job %q: engine %s cannot collect %s", spec.Name, spec.Engine, spec.Data)
+	}
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	if spec.AllDevices {
+		if jm.listDevices == nil {
+			return fmt.Errorf("monitor: job %q: AllDevices requires a device lister", spec.Name)
+		}
+	} else if len(spec.Devices) == 0 {
+		return fmt.Errorf("monitor: job %q: no devices", spec.Name)
+	}
+	for _, b := range spec.Backends {
+		if _, ok := jm.backends[b]; !ok {
+			return fmt.Errorf("monitor: job %q: unknown backend %q", spec.Name, b)
+		}
+	}
+	return nil
+}
+
+// Jobs returns the installed job specs.
+func (jm *JobManager) Jobs() []JobSpec {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	return append([]JobSpec(nil), jm.specs...)
+}
+
+// Stats returns the event counters.
+func (jm *JobManager) Stats() *EventStats { return jm.stats }
+
+// RunOnce executes one job immediately (the "ad-hoc monitoring jobs
+// on-demand" path, used by config monitoring).
+func (jm *JobManager) RunOnce(spec JobSpec) ([]Collection, error) {
+	if spec.Period == 0 {
+		spec.Period = time.Second // ad-hoc jobs need no real period
+	}
+	if err := jm.validate(spec); err != nil {
+		return nil, err
+	}
+	return jm.execute(spec), nil
+}
+
+// execute polls every device of a job and fans results to its backends.
+func (jm *JobManager) execute(spec JobSpec) []Collection {
+	eng := jm.engines[spec.Engine]
+	devices := spec.Devices
+	if spec.AllDevices {
+		jm.mu.Lock()
+		list := jm.listDevices
+		jm.mu.Unlock()
+		if list != nil {
+			devices = list()
+		}
+	}
+	var out []Collection
+	for _, name := range devices {
+		dev, err := jm.resolve(name)
+		if err != nil {
+			jm.stats.addError()
+			continue
+		}
+		col, err := eng.Poll(dev, spec.Data)
+		if err != nil {
+			jm.stats.addError()
+			continue
+		}
+		jm.stats.add(spec.Engine, 1)
+		out = append(out, col)
+		jm.mu.Lock()
+		backends := make([]Backend, 0, len(spec.Backends))
+		for _, bn := range spec.Backends {
+			if b, ok := jm.backends[bn]; ok {
+				backends = append(backends, b)
+			}
+		}
+		jm.mu.Unlock()
+		for _, b := range backends {
+			if err := b.Store(col); err != nil {
+				jm.stats.addError()
+			}
+		}
+	}
+	return out
+}
+
+// Start launches one goroutine per job spec, polling on its period, until
+// Stop.
+func (jm *JobManager) Start() {
+	jm.mu.Lock()
+	if jm.running {
+		jm.mu.Unlock()
+		return
+	}
+	jm.running = true
+	jm.stopCh = make(chan struct{})
+	specs := append([]JobSpec(nil), jm.specs...)
+	jm.mu.Unlock()
+	for _, spec := range specs {
+		jm.wg.Add(1)
+		go func(spec JobSpec) {
+			defer jm.wg.Done()
+			t := time.NewTicker(spec.Period)
+			defer t.Stop()
+			for {
+				select {
+				case <-jm.stopCh:
+					return
+				case <-t.C:
+					jm.execute(spec)
+				}
+			}
+		}(spec)
+	}
+}
+
+// Stop halts periodic polling.
+func (jm *JobManager) Stop() {
+	jm.mu.Lock()
+	if !jm.running {
+		jm.mu.Unlock()
+		return
+	}
+	jm.running = false
+	close(jm.stopCh)
+	jm.mu.Unlock()
+	jm.wg.Wait()
+}
+
+// RunVirtual simulates a wall-clock window without sleeping: each job
+// executes as many times as its period fits into the window, interleaved
+// in fire-time order. Deterministic; used by the Table 2 experiment.
+func (jm *JobManager) RunVirtual(window time.Duration) {
+	jm.mu.Lock()
+	specs := append([]JobSpec(nil), jm.specs...)
+	jm.mu.Unlock()
+	type fire struct {
+		next time.Duration
+		spec JobSpec
+	}
+	queue := make([]fire, 0, len(specs))
+	for _, s := range specs {
+		queue = append(queue, fire{next: s.Period, spec: s})
+	}
+	for {
+		// Pop the earliest next fire.
+		best := -1
+		for i := range queue {
+			if queue[i].next > window {
+				continue
+			}
+			if best == -1 || queue[i].next < queue[best].next ||
+				(queue[i].next == queue[best].next && queue[i].spec.Name < queue[best].spec.Name) {
+				best = i
+			}
+		}
+		if best == -1 {
+			return
+		}
+		jm.execute(queue[best].spec)
+		queue[best].next += queue[best].spec.Period
+	}
+}
+
+// FormatTable2 renders event statistics in the layout of the paper's
+// Table 2, merging the passive (syslog) count from the classifier.
+func FormatTable2(stats *EventStats, syslogEvents int64) string {
+	counts := stats.Counts()
+	rows := []struct {
+		label string
+		n     int64
+	}{
+		{"SNMP (active)", counts[EngineSNMP]},
+		{"CLI (active)", counts[EngineCLI]},
+		{"RPC/XML (active)", counts[EngineRPCXML]},
+		{"Thrift (active)", counts[EngineThrift]},
+		{"Syslog (passive)", syslogEvents},
+	}
+	var total int64
+	for _, r := range rows {
+		total += r.n
+	}
+	var b []byte
+	b = fmt.Appendf(b, "%-18s %12s %10s\n", "Types", "# of events", "Percentage")
+	for _, r := range rows {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(r.n) / float64(total)
+		}
+		b = fmt.Appendf(b, "%-18s %12d %9.2f%%\n", r.label, r.n, pct)
+	}
+	b = fmt.Appendf(b, "%-18s %12d %9.2f%%\n", "Total", total, 100.0)
+	return string(b)
+}
+
+// sortedDeviceNames returns fleet device names, a convenience for building
+// job specs.
+func SortedDeviceNames(f *netsim.Fleet) []string {
+	devs := f.Devices()
+	names := make([]string, len(devs))
+	for i, d := range devs {
+		names[i] = d.Name()
+	}
+	sort.Strings(names)
+	return names
+}

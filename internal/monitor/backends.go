@@ -1,0 +1,269 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/robotron-net/robotron/internal/fbnet"
+	"github.com/robotron-net/robotron/internal/revctl"
+)
+
+// TimeseriesBackend stores numeric samples in memory, the stand-in for the
+// metric storage active monitoring feeds.
+type TimeseriesBackend struct {
+	mu     sync.Mutex
+	series map[string][]Sample // key: device/metric
+}
+
+// Sample is one datapoint.
+type Sample struct {
+	AtUnix int64
+	Value  float64
+}
+
+// NewTimeseriesBackend returns an empty timeseries store.
+func NewTimeseriesBackend() *TimeseriesBackend {
+	return &TimeseriesBackend{series: make(map[string][]Sample)}
+}
+
+// Name implements Backend.
+func (b *TimeseriesBackend) Name() string { return "timeseries" }
+
+// Store implements Backend: counters fan out into per-metric series;
+// interface collections store per-interface octet counters.
+func (b *TimeseriesBackend) Store(col Collection) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	at := col.At.Unix()
+	for metric, v := range col.Counters {
+		key := col.Device + "/" + metric
+		b.series[key] = append(b.series[key], Sample{AtUnix: at, Value: v})
+	}
+	for _, ifc := range col.Interfaces {
+		key := col.Device + "/" + ifc.Name + "/in_octets"
+		b.series[key] = append(b.series[key], Sample{AtUnix: at, Value: float64(ifc.InOctets)})
+	}
+	return nil
+}
+
+// Series returns the samples of one device/metric key.
+func (b *TimeseriesBackend) Series(key string) []Sample {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Sample(nil), b.series[key]...)
+}
+
+// Keys lists stored series keys.
+func (b *TimeseriesBackend) Keys() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.series))
+	for k := range b.series {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DerivedBackend populates FBNet Derived models from collections
+// (§4.1.2: "data in Derived models is populated based on real-time
+// collection from network devices").
+type DerivedBackend struct {
+	store *fbnet.Store
+}
+
+// NewDerivedBackend returns a backend writing to the given FBNet store.
+func NewDerivedBackend(store *fbnet.Store) *DerivedBackend {
+	return &DerivedBackend{store: store}
+}
+
+// Name implements Backend.
+func (b *DerivedBackend) Name() string { return "fbnet-derived" }
+
+// Store implements Backend, upserting the matching Derived objects.
+func (b *DerivedBackend) Store(col Collection) error {
+	_, err := b.store.Mutate(func(m *fbnet.Mutation) error {
+		switch col.Data {
+		case DataVersion:
+			return upsert(m, "DerivedDevice", fbnet.Eq("name", col.Device), map[string]any{
+				"name": col.Device, "vendor": col.Version.Vendor,
+				"os_version": col.Version.OSVersion,
+				"uptime_s":   col.Version.UptimeS, "last_seen_unix": col.At.Unix(),
+			})
+		case DataInterfaces:
+			for _, ifc := range col.Interfaces {
+				err := upsert(m, "DerivedInterface",
+					fbnet.And(fbnet.Eq("device_name", col.Device), fbnet.Eq("name", ifc.Name)),
+					map[string]any{
+						"device_name": col.Device, "name": ifc.Name,
+						"oper_status": ifc.OperStatus, "speed_mbps": ifc.SpeedMbps,
+						"last_change_unix": col.At.Unix(),
+					})
+				if err != nil {
+					return err
+				}
+			}
+		case DataLLDP:
+			// Replace this device's adjacency rows wholesale.
+			old, err := m.Find("DerivedLldpNeighbor", fbnet.Eq("device_name", col.Device))
+			if err != nil {
+				return err
+			}
+			for _, o := range old {
+				if err := m.Delete("DerivedLldpNeighbor", o.ID); err != nil {
+					return err
+				}
+			}
+			for _, n := range col.LLDP {
+				if _, err := m.Create("DerivedLldpNeighbor", map[string]any{
+					"device_name": col.Device, "interface_name": n.LocalInterface,
+					"neighbor_device": n.NeighborDevice, "neighbor_interface": n.NeighborInterface,
+				}); err != nil {
+					return err
+				}
+			}
+		case DataBGP:
+			for _, p := range col.BGP {
+				err := upsert(m, "DerivedBgpSession",
+					fbnet.And(fbnet.Eq("device_name", col.Device), fbnet.Eq("peer_addr", p.PeerAddr)),
+					map[string]any{
+						"device_name": col.Device, "peer_addr": p.PeerAddr,
+						"family": p.Family, "state": p.State,
+					})
+				if err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	return err
+}
+
+// upsert creates or updates one object matching q.
+func upsert(m *fbnet.Mutation, model string, q fbnet.Query, fields map[string]any) error {
+	existing, err := m.Find(model, q)
+	if err != nil {
+		return err
+	}
+	switch len(existing) {
+	case 0:
+		_, err := m.Create(model, fields)
+		return err
+	case 1:
+		return m.Update(model, existing[0].ID, fields)
+	default:
+		return fmt.Errorf("monitor: %d %s objects match upsert key", len(existing), model)
+	}
+}
+
+// DeriveCircuits rebuilds DerivedCircuit objects from LLDP adjacency: "a
+// circuit object is created if the LLDP data from two devices shows that
+// the physical interfaces connected to both ends are neighbors to each
+// other" (§4.1.2). Only adjacencies confirmed from both sides produce a
+// circuit. Returns the number of derived circuits.
+func DeriveCircuits(store *fbnet.Store) (int, error) {
+	neighbors, err := store.Find("DerivedLldpNeighbor", nil)
+	if err != nil {
+		return 0, err
+	}
+	type end struct{ dev, ifc string }
+	claims := make(map[[2]end]bool, len(neighbors))
+	for _, n := range neighbors {
+		a := end{dev: n.String("device_name"), ifc: n.String("interface_name")}
+		z := end{dev: n.String("neighbor_device"), ifc: n.String("neighbor_interface")}
+		claims[[2]end{a, z}] = true
+	}
+	var confirmed [][2]end
+	for pair := range claims {
+		rev := [2]end{pair[1], pair[0]}
+		if !claims[rev] {
+			continue
+		}
+		// Keep one canonical orientation per circuit.
+		if pair[0].dev > pair[1].dev || (pair[0].dev == pair[1].dev && pair[0].ifc > pair[1].ifc) {
+			continue
+		}
+		confirmed = append(confirmed, pair)
+	}
+	sort.Slice(confirmed, func(i, j int) bool {
+		if confirmed[i][0].dev != confirmed[j][0].dev {
+			return confirmed[i][0].dev < confirmed[j][0].dev
+		}
+		return confirmed[i][0].ifc < confirmed[j][0].ifc
+	})
+	_, err = store.Mutate(func(m *fbnet.Mutation) error {
+		old, err := m.Find("DerivedCircuit", nil)
+		if err != nil {
+			return err
+		}
+		for _, o := range old {
+			if err := m.Delete("DerivedCircuit", o.ID); err != nil {
+				return err
+			}
+		}
+		for _, pair := range confirmed {
+			if _, err := m.Create("DerivedCircuit", map[string]any{
+				"a_device": pair[0].dev, "a_interface": pair[0].ifc,
+				"z_device": pair[1].dev, "z_interface": pair[1].ifc,
+				"source": "lldp",
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return len(confirmed), nil
+}
+
+// RecordEvents subscribes an FBNet store to a classifier: every alerted
+// (non-ignored) syslog message becomes an OperationalEvent object in the
+// Derived group, giving audits and engineers a queryable event history
+// ("operational events" are one of the model domains, §4.1.1).
+func RecordEvents(cls *Classifier, store *fbnet.Store) {
+	cls.OnAlert(func(a Alert) {
+		// Event recording is best-effort: a failed write must not block
+		// the alerting path.
+		_, _ = store.Mutate(func(m *fbnet.Mutation) error {
+			_, err := m.Create("OperationalEvent", map[string]any{
+				"device_name": a.Message.Host,
+				"kind":        a.Rule,
+				"detail":      a.Message.Text,
+				"urgency":     a.Urgency.String(),
+				"at_unix":     a.Message.Time.Unix(),
+			})
+			return err
+		})
+	})
+}
+
+// ConfigBackend archives every collected running config in the revision-
+// controlled backup repository (§5.4.3: "each collected running config is
+// also backed up in a revision control system").
+type ConfigBackend struct {
+	repo *revctl.Repo
+}
+
+// NewConfigBackend returns a backend writing under backups/ in repo.
+func NewConfigBackend(repo *revctl.Repo) *ConfigBackend {
+	return &ConfigBackend{repo: repo}
+}
+
+// Name implements Backend.
+func (b *ConfigBackend) Name() string { return "config-backup" }
+
+// BackupPath is the repository path of a device's config backups.
+func BackupPath(device string) string { return "backups/" + device }
+
+// Store implements Backend.
+func (b *ConfigBackend) Store(col Collection) error {
+	if col.Data != DataConfig {
+		return nil
+	}
+	_, err := b.repo.Commit(BackupPath(col.Device), col.Config, "monitor", "periodic running-config backup")
+	return err
+}

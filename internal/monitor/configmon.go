@@ -1,0 +1,158 @@
+package monitor
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/robotron-net/robotron/internal/confdiff"
+	"github.com/robotron-net/robotron/internal/fbnet"
+	"github.com/robotron-net/robotron/internal/netsim"
+	"github.com/robotron-net/robotron/internal/revctl"
+)
+
+// ConfigMonitor implements config monitoring (§5.4.3): a running-config
+// change detected by passive monitoring triggers an ad-hoc active job that
+// collects the config, compares it with the Robotron-generated golden
+// config, archives it, and notifies engineers of any discrepancy.
+type ConfigMonitor struct {
+	jm     *JobManager
+	repo   *revctl.Repo // holds golden/<device> and backups/<device>
+	store  *fbnet.Store // Derived conformance records; may be nil
+	golden func(device string) (string, error)
+
+	mu         sync.Mutex
+	deviations []Deviation
+	handlers   []func(Deviation)
+}
+
+// Deviation is one detected divergence between running and golden config.
+type Deviation struct {
+	Device  string
+	Diff    string
+	Added   int
+	Removed int
+	At      time.Time
+}
+
+// NewConfigMonitor builds a config monitor. golden resolves a device's
+// golden config (typically configgen.Generator.Golden).
+func NewConfigMonitor(jm *JobManager, repo *revctl.Repo, store *fbnet.Store, golden func(string) (string, error)) *ConfigMonitor {
+	return &ConfigMonitor{jm: jm, repo: repo, store: store, golden: golden}
+}
+
+// Attach subscribes the monitor to the classifier: every CONFIG_CHANGED
+// alert triggers a check of the originating device.
+func (cm *ConfigMonitor) Attach(cls *Classifier) {
+	cls.OnAlert(func(a Alert) {
+		if a.Rule != "config-changed" {
+			return
+		}
+		// Errors here surface as recorded deviations or are device-
+		// unreachable transients retried on the next change event.
+		_, _ = cm.CheckDevice(a.Message.Host)
+	})
+}
+
+// OnDeviation registers a handler for detected discrepancies.
+func (cm *ConfigMonitor) OnDeviation(h func(Deviation)) {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	cm.handlers = append(cm.handlers, h)
+}
+
+// CheckDevice collects the device's running config now, archives it, and
+// compares it to golden. It returns the deviation (nil if conforming).
+func (cm *ConfigMonitor) CheckDevice(device string) (*Deviation, error) {
+	cols, err := cm.jm.RunOnce(JobSpec{
+		Name: "adhoc-config-" + device, Period: time.Second,
+		Engine: EngineCLI, Data: DataConfig,
+		Devices: []string{device}, Backends: []string{"config-backup"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("monitor: could not collect config from %s", device)
+	}
+	running := cols[0].Config
+	golden, err := cm.golden(device)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: no golden config for %s: %w", device, err)
+	}
+	d := confdiff.Compute(golden, running)
+	conforms := d.Empty()
+	if err := cm.recordConformance(device, running, conforms); err != nil {
+		return nil, err
+	}
+	if conforms {
+		return nil, nil
+	}
+	stats := d.Stats(true)
+	dev := Deviation{
+		Device: device, Diff: d.Unified(3),
+		Added: stats.Added, Removed: stats.Removed, At: cols[0].At,
+	}
+	cm.mu.Lock()
+	cm.deviations = append(cm.deviations, dev)
+	handlers := cm.handlers
+	cm.mu.Unlock()
+	for _, h := range handlers {
+		h(dev)
+	}
+	return &dev, nil
+}
+
+// recordConformance updates the DerivedConfig object for the device.
+func (cm *ConfigMonitor) recordConformance(device, running string, conforms bool) error {
+	if cm.store == nil {
+		return nil
+	}
+	_, err := cm.store.Mutate(func(m *fbnet.Mutation) error {
+		return upsert(m, "DerivedConfig", fbnet.Eq("device_name", device), map[string]any{
+			"device_name": device, "config_hash": revctl.Hash(running),
+			"collected_unix": time.Now().Unix(), "conforms": conforms,
+		})
+	})
+	return err
+}
+
+// Deviations returns all recorded deviations.
+func (cm *ConfigMonitor) Deviations() []Deviation {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	return append([]Deviation(nil), cm.deviations...)
+}
+
+// Restore pushes the golden config back to a deviating device ("restore
+// device running configs to Robotron-generated configs", §8) and
+// re-checks conformance.
+func (cm *ConfigMonitor) Restore(device string, target RestoreTarget) error {
+	golden, err := cm.golden(device)
+	if err != nil {
+		return err
+	}
+	if err := target.LoadConfig(golden); err != nil {
+		return err
+	}
+	if err := target.Commit(); err != nil {
+		return err
+	}
+	dev, err := cm.CheckDevice(device)
+	if err != nil {
+		return err
+	}
+	if dev != nil {
+		return fmt.Errorf("monitor: %s still deviates after restore", device)
+	}
+	return nil
+}
+
+// RestoreTarget is the config-push surface Restore needs; *netsim.Device
+// implements it.
+type RestoreTarget interface {
+	LoadConfig(string) error
+	Commit() error
+}
+
+var _ RestoreTarget = (*netsim.Device)(nil)

@@ -1,0 +1,777 @@
+// Package netsim simulates a fleet of managed network devices.
+//
+// Robotron's deployment and monitoring stages talk to tens of thousands of
+// heterogeneous routers and switches from multiple vendors (SIGCOMM '16,
+// §5.3, §5.4). This package provides that management plane without
+// hardware: each Device has a vendor personality (config syntax, native
+// dryrun support, commit-confirmed behavior), a running/candidate config
+// store, operational state (interfaces, LLDP adjacencies, BGP sessions,
+// CPU/memory/traffic counters) derived from its config and the fleet's
+// cabling, syslog emission on operational events, and injectable failures
+// (reboot, linecard removal, manual config drift, unreachability).
+//
+// Devices are driven either in-process (the Device methods mirror a
+// management session) or over TCP via the CLI server in mgmt.go, which is
+// what cmd/netsimd exposes.
+package netsim
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Vendor selects a device's configuration dialect and management quirks.
+type Vendor string
+
+const (
+	// Vendor1 is IOS-like: flat "interface X" stanzas, no native dryrun
+	// (diffs must be emulated by comparing before/after), no native
+	// commit-confirmed.
+	Vendor1 Vendor = "vendor1"
+	// Vendor2 is JunOS-like: brace-structured config, native "show | compare"
+	// dryrun and native commit-confirmed with automatic rollback.
+	Vendor2 Vendor = "vendor2"
+)
+
+// ErrNotSupported marks operations a vendor platform cannot perform
+// natively (e.g. dryrun on Vendor1), forcing callers onto fallback paths
+// exactly as the paper describes (§5.3.2).
+var ErrNotSupported = fmt.Errorf("netsim: not supported on this platform")
+
+// ErrUnreachable is returned by every management operation while a device
+// is down or partitioned.
+var ErrUnreachable = fmt.Errorf("netsim: device unreachable")
+
+// IfaceStatus is one row of "show interfaces".
+type IfaceStatus struct {
+	Name       string
+	OperStatus string // "up" | "down"
+	SpeedMbps  int64
+	InOctets   uint64
+	OutOctets  uint64
+}
+
+// LLDPNeighbor is one row of "show lldp neighbors".
+type LLDPNeighbor struct {
+	LocalInterface    string
+	NeighborDevice    string
+	NeighborInterface string
+}
+
+// BGPPeerStatus is one row of "show bgp summary".
+type BGPPeerStatus struct {
+	PeerAddr string
+	State    string // "Established" | "Active" | "Idle"
+	Family   string // "v4" | "v6"
+}
+
+// VersionInfo is the device identity reported by "show version".
+type VersionInfo struct {
+	Name      string
+	Vendor    string
+	OSVersion string
+	UptimeS   int64
+}
+
+// SyslogMessage is one emitted syslog event, RFC 5424-shaped.
+type SyslogMessage struct {
+	Severity int // 0 (emerg) .. 7 (debug)
+	Host     string
+	App      string
+	Text     string
+	Time     time.Time
+}
+
+// Format renders the message in an RFC 5424-like single-line form.
+func (m SyslogMessage) Format() string {
+	pri := 23*8 + m.Severity // facility local7
+	return fmt.Sprintf("<%d>1 %s %s %s - - - %s",
+		pri, m.Time.UTC().Format(time.RFC3339), m.Host, m.App, m.Text)
+}
+
+// Device simulates one managed network device. All methods are safe for
+// concurrent use.
+type Device struct {
+	name   string
+	vendor Vendor
+	role   string
+	site   string
+
+	mu          sync.Mutex
+	down        bool
+	bootTime    time.Time
+	osVersion   string
+	running     string
+	candidate   string
+	hasCand     bool
+	history     []string // committed configs, oldest first
+	ifaces      map[string]*ifaceState
+	bgpPeers    map[string]*BGPPeerStatus
+	lldp        []LLDPNeighbor
+	traffic     float64 // offered load 0..1; >0 means draining required
+	confirmTmr  *time.Timer
+	confirmPrev string
+	commitDelay time.Duration // simulated config-apply time
+
+	syslogSink func(SyslogMessage)
+	// onCommit lets the fleet recompute link state when configs change.
+	onCommit func(*Device)
+	now      func() time.Time
+}
+
+type ifaceState struct {
+	operUp    bool
+	speedMbps int64
+	inOctets  uint64
+	outOctets uint64
+	rate      uint64 // octets per second when up
+}
+
+// NewDevice creates a healthy device with an empty config.
+func NewDevice(name string, vendor Vendor, role, site string) *Device {
+	d := &Device{
+		name:      name,
+		vendor:    vendor,
+		role:      role,
+		site:      site,
+		bootTime:  time.Now(),
+		osVersion: osVersionFor(vendor),
+		ifaces:    make(map[string]*ifaceState),
+		bgpPeers:  make(map[string]*BGPPeerStatus),
+		now:       time.Now,
+	}
+	return d
+}
+
+func osVersionFor(v Vendor) string {
+	if v == Vendor2 {
+		return "17.4R2"
+	}
+	return "7.3.2"
+}
+
+// Name returns the device hostname.
+func (d *Device) Name() string { return d.name }
+
+// Vendor returns the device's vendor personality.
+func (d *Device) Vendor() Vendor { return d.vendor }
+
+// Role returns the device role (pr, bb, dr, psw, tor...).
+func (d *Device) Role() string { return d.role }
+
+// Site returns the device's site name.
+func (d *Device) Site() string { return d.site }
+
+// SetSyslogSink installs the receiver for this device's syslog messages
+// (the fleet points every device at the monitoring anycast address).
+func (d *Device) SetSyslogSink(sink func(SyslogMessage)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.syslogSink = sink
+}
+
+// emit sends a syslog message; callers must not hold d.mu.
+func (d *Device) emit(severity int, app, format string, args ...any) {
+	d.mu.Lock()
+	sink := d.syslogSink
+	now := d.now()
+	d.mu.Unlock()
+	if sink == nil {
+		return
+	}
+	sink(SyslogMessage{
+		Severity: severity,
+		Host:     d.name,
+		App:      app,
+		Text:     fmt.Sprintf(format, args...),
+		Time:     now,
+	})
+}
+
+func (d *Device) checkUp() error {
+	if d.down {
+		return fmt.Errorf("%w: %s", ErrUnreachable, d.name)
+	}
+	return nil
+}
+
+// --- configuration operations ---
+
+// RunningConfig returns the active configuration.
+func (d *Device) RunningConfig() (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkUp(); err != nil {
+		return "", err
+	}
+	return d.running, nil
+}
+
+// LoadConfig stages a full candidate configuration. Nothing changes until
+// Commit (or CommitConfirmed).
+func (d *Device) LoadConfig(cfg string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkUp(); err != nil {
+		return err
+	}
+	if err := d.vendorValidate(cfg); err != nil {
+		return err
+	}
+	d.candidate = cfg
+	d.hasCand = true
+	return nil
+}
+
+// vendorValidate performs the device's own config syntax check, the class
+// of "invalid configurations and vendor bugs" dryrun catches (§5.3.2).
+func (d *Device) vendorValidate(cfg string) error {
+	if d.vendor == Vendor2 {
+		depth := 0
+		for i, line := range strings.Split(cfg, "\n") {
+			depth += strings.Count(line, "{") - strings.Count(line, "}")
+			if depth < 0 {
+				return fmt.Errorf("netsim: %s: syntax error at line %d: unbalanced '}'", d.name, i+1)
+			}
+		}
+		if depth != 0 {
+			return fmt.Errorf("netsim: %s: syntax error: %d unclosed '{' block(s)", d.name, depth)
+		}
+	}
+	return nil
+}
+
+// DryrunDiff compares the candidate against the running config natively.
+// Vendor1 platforms return ErrNotSupported; callers fall back to comparing
+// configs before and after deployment (§5.3.2).
+func (d *Device) DryrunDiff() (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkUp(); err != nil {
+		return "", err
+	}
+	if d.vendor != Vendor2 {
+		return "", ErrNotSupported
+	}
+	if !d.hasCand {
+		return "", fmt.Errorf("netsim: %s: no candidate configuration loaded", d.name)
+	}
+	return simpleDiff(d.running, d.candidate), nil
+}
+
+// simpleDiff is the device's own terse diff rendering (not Robotron's);
+// lines only, no context.
+func simpleDiff(old, new string) string {
+	oldSet := map[string]int{}
+	for _, l := range strings.Split(old, "\n") {
+		oldSet[l]++
+	}
+	newSet := map[string]int{}
+	for _, l := range strings.Split(new, "\n") {
+		newSet[l]++
+	}
+	var b strings.Builder
+	for _, l := range strings.Split(old, "\n") {
+		if newSet[l] == 0 {
+			fmt.Fprintf(&b, "- %s\n", l)
+		}
+	}
+	for _, l := range strings.Split(new, "\n") {
+		if oldSet[l] == 0 {
+			fmt.Fprintf(&b, "+ %s\n", l)
+		}
+	}
+	return b.String()
+}
+
+// SetCommitDelay makes subsequent commits take the given time to apply,
+// simulating slow control planes (the failure mode atomic deployments
+// guard against with their time window, §5.3.2).
+func (d *Device) SetCommitDelay(delay time.Duration) {
+	d.mu.Lock()
+	d.commitDelay = delay
+	d.mu.Unlock()
+}
+
+// applyDelay simulates the device chewing on a config load.
+func (d *Device) applyDelay() {
+	d.mu.Lock()
+	delay := d.commitDelay
+	d.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+}
+
+// Commit activates the candidate configuration.
+func (d *Device) Commit() error {
+	d.applyDelay()
+	d.mu.Lock()
+	if err := d.checkUp(); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	if !d.hasCand {
+		d.mu.Unlock()
+		return fmt.Errorf("netsim: %s: no candidate configuration loaded", d.name)
+	}
+	d.commitLocked(d.candidate)
+	cb := d.onCommit
+	d.mu.Unlock()
+
+	d.emit(5, "config", "CONFIG_CHANGED: configuration committed by management session")
+	if cb != nil {
+		cb(d)
+	}
+	return nil
+}
+
+// commitLocked activates cfg and refreshes derived operational state.
+func (d *Device) commitLocked(cfg string) {
+	if d.running != "" {
+		d.history = append(d.history, d.running)
+	}
+	d.running = cfg
+	d.hasCand = false
+	d.candidate = ""
+	d.reparseLocked()
+}
+
+// CommitConfirmed activates the candidate but schedules an automatic
+// rollback after grace unless Confirm is called (§5.3.2, Human
+// Confirmation). Vendor1 emulates this in Robotron's deploy layer; the
+// device-native path exists only on Vendor2.
+func (d *Device) CommitConfirmed(grace time.Duration) error {
+	d.applyDelay()
+	d.mu.Lock()
+	if err := d.checkUp(); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	if d.vendor != Vendor2 {
+		d.mu.Unlock()
+		return ErrNotSupported
+	}
+	if !d.hasCand {
+		d.mu.Unlock()
+		return fmt.Errorf("netsim: %s: no candidate configuration loaded", d.name)
+	}
+	prev := d.running
+	d.commitLocked(d.candidate)
+	d.confirmPrev = prev
+	if d.confirmTmr != nil {
+		d.confirmTmr.Stop()
+	}
+	d.confirmTmr = time.AfterFunc(grace, func() { d.confirmExpired() })
+	cb := d.onCommit
+	d.mu.Unlock()
+
+	d.emit(5, "config", "CONFIG_CHANGED: commit confirmed will be rolled back in %s unless confirmed", grace)
+	if cb != nil {
+		cb(d)
+	}
+	return nil
+}
+
+// Confirm makes a pending commit-confirmed permanent.
+func (d *Device) Confirm() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkUp(); err != nil {
+		return err
+	}
+	if d.confirmTmr == nil {
+		return fmt.Errorf("netsim: %s: no commit pending confirmation", d.name)
+	}
+	d.confirmTmr.Stop()
+	d.confirmTmr = nil
+	d.confirmPrev = ""
+	return nil
+}
+
+func (d *Device) confirmExpired() {
+	d.mu.Lock()
+	if d.confirmTmr == nil {
+		d.mu.Unlock()
+		return
+	}
+	d.confirmTmr = nil
+	prev := d.confirmPrev
+	d.confirmPrev = ""
+	d.commitLocked(prev)
+	cb := d.onCommit
+	d.mu.Unlock()
+	d.emit(4, "config", "CONFIG_ROLLBACK: commit not confirmed within grace period, configuration rolled back")
+	if cb != nil {
+		cb(d)
+	}
+}
+
+// ConfirmPending reports whether a commit-confirmed rollback timer is armed.
+func (d *Device) ConfirmPending() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.confirmTmr != nil
+}
+
+// Rollback restores the previously committed configuration.
+func (d *Device) Rollback() error {
+	d.mu.Lock()
+	if err := d.checkUp(); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	if len(d.history) == 0 {
+		d.mu.Unlock()
+		return fmt.Errorf("netsim: %s: no previous configuration to roll back to", d.name)
+	}
+	prev := d.history[len(d.history)-1]
+	d.history = d.history[:len(d.history)-1]
+	d.running = prev
+	d.reparseLocked()
+	cb := d.onCommit
+	d.mu.Unlock()
+	d.emit(5, "config", "CONFIG_CHANGED: configuration rolled back to previous version")
+	if cb != nil {
+		cb(d)
+	}
+	return nil
+}
+
+// EraseConfig wipes the running configuration (initial provisioning starts
+// from a clean state, §5.3.1).
+func (d *Device) EraseConfig() error {
+	d.mu.Lock()
+	if err := d.checkUp(); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	d.running = ""
+	d.history = nil
+	d.hasCand = false
+	d.reparseLocked()
+	cb := d.onCommit
+	d.mu.Unlock()
+	d.emit(5, "config", "CONFIG_CHANGED: configuration erased")
+	if cb != nil {
+		cb(d)
+	}
+	return nil
+}
+
+// ApplyManualChange simulates an engineer editing the device directly
+// (the "automation fallback" of §8): the line is appended to the running
+// config and a config-change syslog fires, which is what config monitoring
+// keys on.
+func (d *Device) ApplyManualChange(line string) error {
+	d.mu.Lock()
+	if err := d.checkUp(); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	if d.running != "" && !strings.HasSuffix(d.running, "\n") {
+		d.running += "\n"
+	}
+	d.history = append(d.history, d.running)
+	d.running += line + "\n"
+	d.mu.Unlock()
+	d.emit(5, "config", "CONFIG_CHANGED: configuration changed from console by admin")
+	return nil
+}
+
+// --- operational state ---
+
+var (
+	// vendor1: "interface et1/1"; vendor2: "et-0/0/1 {" or "replace: ae0 {".
+	// Only physical/aggregate/loopback interface names count; top-level
+	// stanzas like "class-of-service {" and TE tunnels are not ports.
+	ifaceV1Re = regexp.MustCompile(`(?m)^interface +(\S+)`)
+	ifaceV2Re = regexp.MustCompile(`(?m)^(?:replace: +)?((?:et|xe|ge|ae|lo)[-0-9/.]*\d\S*) +\{`)
+	// vendor1: "neighbor 2401:db00::1 remote-as 65000"
+	// vendor2: "neighbor 2401:db00::1 {"
+	neighborRe = regexp.MustCompile(`(?m)^\s*neighbor +(\S+?)(?: +remote-as +(\d+))?(?: *\{)?\s*$`)
+	speedRe    = regexp.MustCompile(`(?m)^\s*speed +(\d+)`)
+)
+
+// reparseLocked rebuilds interface and BGP peer state from the running
+// config; existing counters carry over for surviving interfaces.
+func (d *Device) reparseLocked() {
+	re := ifaceV1Re
+	if d.vendor == Vendor2 {
+		re = ifaceV2Re
+	}
+	names := map[string]bool{}
+	for _, m := range re.FindAllStringSubmatch(d.running, -1) {
+		if strings.HasPrefix(m[1], "tunnel") {
+			continue // TE tunnels are not physical ports
+		}
+		names[m[1]] = true
+	}
+	speed := int64(10000)
+	if m := speedRe.FindStringSubmatch(d.running); m != nil {
+		fmt.Sscanf(m[1], "%d", &speed)
+	}
+	for name := range names {
+		if _, ok := d.ifaces[name]; !ok {
+			d.ifaces[name] = &ifaceState{speedMbps: speed, rate: 1 << 20}
+		}
+	}
+	for name := range d.ifaces {
+		if !names[name] {
+			delete(d.ifaces, name)
+		}
+	}
+	peers := map[string]*BGPPeerStatus{}
+	for _, m := range neighborRe.FindAllStringSubmatch(d.running, -1) {
+		addr := m[1]
+		family := "v4"
+		if strings.Contains(addr, ":") {
+			family = "v6"
+		}
+		st := "Active"
+		if old, ok := d.bgpPeers[addr]; ok {
+			st = old.State
+		}
+		peers[addr] = &BGPPeerStatus{PeerAddr: addr, State: st, Family: family}
+	}
+	d.bgpPeers = peers
+}
+
+// HasInterface reports whether the running config defines the interface.
+func (d *Device) HasInterface(name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.ifaces[name]
+	return ok
+}
+
+// setLink is called by the fleet to bring an interface up or down.
+func (d *Device) setLink(iface string, up bool) bool {
+	d.mu.Lock()
+	st, ok := d.ifaces[iface]
+	changed := ok && st.operUp != up
+	if ok {
+		st.operUp = up
+	}
+	d.mu.Unlock()
+	if changed {
+		state := "down"
+		if up {
+			state = "up"
+		}
+		d.emit(4, "link", "LINK_STATE: Interface %s changed state to %s", iface, state)
+	}
+	return changed
+}
+
+// setBGP is called by the fleet to move a BGP session's state.
+func (d *Device) setBGP(peerAddr, state string) {
+	d.mu.Lock()
+	p, ok := d.bgpPeers[peerAddr]
+	changed := ok && p.State != state
+	if ok {
+		p.State = state
+	}
+	d.mu.Unlock()
+	if changed {
+		d.emit(5, "bgp", "BGP_SESSION: neighbor %s moved to %s", peerAddr, state)
+	}
+}
+
+func (d *Device) setLLDP(neighbors []LLDPNeighbor) {
+	d.mu.Lock()
+	d.lldp = neighbors
+	d.mu.Unlock()
+}
+
+// ShowInterfaces returns interface status with monotonically advancing
+// traffic counters.
+func (d *Device) ShowInterfaces() ([]IfaceStatus, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkUp(); err != nil {
+		return nil, err
+	}
+	d.advanceCountersLocked()
+	out := make([]IfaceStatus, 0, len(d.ifaces))
+	for name, st := range d.ifaces {
+		status := "down"
+		if st.operUp {
+			status = "up"
+		}
+		out = append(out, IfaceStatus{
+			Name: name, OperStatus: status, SpeedMbps: st.speedMbps,
+			InOctets: st.inOctets, OutOctets: st.outOctets,
+		})
+	}
+	sortIfaces(out)
+	return out, nil
+}
+
+func sortIfaces(xs []IfaceStatus) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j].Name < xs[j-1].Name; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func (d *Device) advanceCountersLocked() {
+	elapsed := d.now().Sub(d.bootTime).Seconds()
+	for _, st := range d.ifaces {
+		if st.operUp {
+			st.inOctets = uint64(elapsed * float64(st.rate) * (0.5 + d.traffic))
+			st.outOctets = uint64(elapsed * float64(st.rate) * (0.4 + d.traffic))
+		}
+	}
+}
+
+// ShowLLDPNeighbors returns the current LLDP adjacency table.
+func (d *Device) ShowLLDPNeighbors() ([]LLDPNeighbor, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkUp(); err != nil {
+		return nil, err
+	}
+	return append([]LLDPNeighbor(nil), d.lldp...), nil
+}
+
+// ShowBGPSummary returns BGP peer states.
+func (d *Device) ShowBGPSummary() ([]BGPPeerStatus, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkUp(); err != nil {
+		return nil, err
+	}
+	out := make([]BGPPeerStatus, 0, len(d.bgpPeers))
+	for _, p := range d.bgpPeers {
+		out = append(out, *p)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].PeerAddr < out[j-1].PeerAddr; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}
+
+// ShowVersion returns device identity and uptime.
+func (d *Device) ShowVersion() (VersionInfo, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkUp(); err != nil {
+		return VersionInfo{}, err
+	}
+	return VersionInfo{
+		Name:      d.name,
+		Vendor:    string(d.vendor),
+		OSVersion: d.osVersion,
+		UptimeS:   int64(d.now().Sub(d.bootTime).Seconds()),
+	}, nil
+}
+
+// Counters returns SNMP-style gauges.
+func (d *Device) Counters() (map[string]float64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkUp(); err != nil {
+		return nil, err
+	}
+	up := 0
+	for _, st := range d.ifaces {
+		if st.operUp {
+			up++
+		}
+	}
+	return map[string]float64{
+		// CPU tracks control-plane size plus offered traffic.
+		"cpu_util":    10 + d.traffic*50 + float64(len(d.ifaces)),
+		"mem_util":    30 + float64(len(d.running))/100000,
+		"ifaces_up":   float64(up),
+		"ifaces_down": float64(len(d.ifaces) - up),
+	}, nil
+}
+
+// TrafficLoad returns the device's offered load (0 when drained).
+func (d *Device) TrafficLoad() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.traffic
+}
+
+// SetTrafficLoad sets offered load; the fleet drives this, deployment's
+// drain checks read it.
+func (d *Device) SetTrafficLoad(l float64) {
+	d.mu.Lock()
+	d.traffic = l
+	d.mu.Unlock()
+}
+
+// --- failure injection ---
+
+// SetDown makes the device unreachable (true) or reachable (false).
+func (d *Device) SetDown(down bool) {
+	d.mu.Lock()
+	d.down = down
+	d.mu.Unlock()
+}
+
+// Reachable reports whether management operations will succeed.
+func (d *Device) Reachable() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return !d.down
+}
+
+// Reboot resets uptime and flaps every interface, emitting the critical
+// syslog messages a real reboot produces.
+func (d *Device) Reboot() {
+	d.emit(2, "system", "DEVICE_REBOOT: System reboot requested")
+	d.mu.Lock()
+	d.bootTime = d.now()
+	var flapped []string
+	for name, st := range d.ifaces {
+		if st.operUp {
+			flapped = append(flapped, name)
+		}
+	}
+	d.mu.Unlock()
+	for _, name := range flapped {
+		d.setLink(name, false)
+	}
+	for _, name := range flapped {
+		d.setLink(name, true)
+	}
+}
+
+// UpgradeOS installs a new OS version: the device reboots and comes back
+// on the new release (the §1 "OS upgrade" task).
+func (d *Device) UpgradeOS(version string) {
+	d.emit(4, "system", "OS_UPGRADE: installing version %s", version)
+	d.mu.Lock()
+	d.osVersion = version
+	d.mu.Unlock()
+	d.Reboot()
+}
+
+// RemoveLinecard takes down every interface whose name indicates the given
+// slot (et<slot>/N), simulating a linecard pull.
+func (d *Device) RemoveLinecard(slot int) {
+	d.emit(1, "hw", "LINECARD_REMOVED: Linecard in slot %d removed", slot)
+	prefix := fmt.Sprintf("et%d/", slot)
+	prefixV2 := fmt.Sprintf("et-%d/", slot)
+	d.mu.Lock()
+	var affected []string
+	for name := range d.ifaces {
+		if strings.HasPrefix(name, prefix) || strings.HasPrefix(name, prefixV2) {
+			affected = append(affected, name)
+		}
+	}
+	d.mu.Unlock()
+	for _, name := range affected {
+		d.setLink(name, false)
+	}
+}

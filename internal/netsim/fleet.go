@@ -1,0 +1,217 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Fleet owns a set of devices and the cabling between them. It derives
+// link-level operational state: an interface is up when it is configured
+// on both ends of a cable and neither device is down, and LLDP adjacency
+// tables reflect the same cabling — the raw data from which FBNet Derived
+// circuits are built (§4.1.2).
+type Fleet struct {
+	mu      sync.Mutex
+	devices map[string]*Device
+	cables  []cable
+}
+
+type cable struct {
+	aDev, aIf, zDev, zIf string
+}
+
+// NewFleet returns an empty fleet.
+func NewFleet() *Fleet {
+	return &Fleet{devices: make(map[string]*Device)}
+}
+
+// AddDevice creates a device in the fleet and returns it.
+func (f *Fleet) AddDevice(name string, vendor Vendor, role, site string) (*Device, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.devices[name]; dup {
+		return nil, fmt.Errorf("netsim: device %q already exists", name)
+	}
+	d := NewDevice(name, vendor, role, site)
+	d.onCommit = func(*Device) { f.Recompute() }
+	f.devices[name] = d
+	return d, nil
+}
+
+// Device returns a device by name.
+func (f *Fleet) Device(name string) (*Device, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d, ok := f.devices[name]
+	return d, ok
+}
+
+// Devices returns all devices sorted by name.
+func (f *Fleet) Devices() []*Device {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	names := make([]string, 0, len(f.devices))
+	for n := range f.devices {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Device, len(names))
+	for i, n := range names {
+		out[i] = f.devices[n]
+	}
+	return out
+}
+
+// Wire cables aDev:aIf to zDev:zIf. Link state is recomputed immediately.
+func (f *Fleet) Wire(aDev, aIf, zDev, zIf string) error {
+	f.mu.Lock()
+	if _, ok := f.devices[aDev]; !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("netsim: unknown device %q", aDev)
+	}
+	if _, ok := f.devices[zDev]; !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("netsim: unknown device %q", zDev)
+	}
+	for _, c := range f.cables {
+		if (c.aDev == aDev && c.aIf == aIf) || (c.zDev == aDev && c.zIf == aIf) {
+			f.mu.Unlock()
+			return fmt.Errorf("netsim: %s:%s is already cabled", aDev, aIf)
+		}
+		if (c.aDev == zDev && c.aIf == zIf) || (c.zDev == zDev && c.zIf == zIf) {
+			f.mu.Unlock()
+			return fmt.Errorf("netsim: %s:%s is already cabled", zDev, zIf)
+		}
+	}
+	f.cables = append(f.cables, cable{aDev: aDev, aIf: aIf, zDev: zDev, zIf: zIf})
+	f.mu.Unlock()
+	f.Recompute()
+	return nil
+}
+
+// CableOf returns the far end of the cable attached to dev:iface.
+func (f *Fleet) CableOf(dev, iface string) (farDev, farIface string, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, c := range f.cables {
+		if c.aDev == dev && c.aIf == iface {
+			return c.zDev, c.zIf, true
+		}
+		if c.zDev == dev && c.zIf == iface {
+			return c.aDev, c.aIf, true
+		}
+	}
+	return "", "", false
+}
+
+// Uncable removes the cable attached to dev:iface (a fiber cut or
+// recabling event).
+func (f *Fleet) Uncable(dev, iface string) bool {
+	f.mu.Lock()
+	idx := -1
+	for i, c := range f.cables {
+		if (c.aDev == dev && c.aIf == iface) || (c.zDev == dev && c.zIf == iface) {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		f.mu.Unlock()
+		return false
+	}
+	f.cables = append(f.cables[:idx], f.cables[idx+1:]...)
+	f.mu.Unlock()
+	f.Recompute()
+	return true
+}
+
+// Recompute re-derives every link's operational state and LLDP tables
+// from cabling + configs + device health. Called automatically on wiring
+// changes and config commits.
+func (f *Fleet) Recompute() {
+	f.mu.Lock()
+	cables := append([]cable(nil), f.cables...)
+	devs := make(map[string]*Device, len(f.devices))
+	for n, d := range f.devices {
+		devs[n] = d
+	}
+	f.mu.Unlock()
+
+	lldp := make(map[string][]LLDPNeighbor)
+	cabled := make(map[string]map[string]bool) // device -> iface -> cabled
+	for _, c := range cables {
+		a, z := devs[c.aDev], devs[c.zDev]
+		if a == nil || z == nil {
+			continue
+		}
+		up := a.Reachable() && z.Reachable() && a.HasInterface(c.aIf) && z.HasInterface(c.zIf)
+		a.setLink(c.aIf, up)
+		z.setLink(c.zIf, up)
+		if cabled[c.aDev] == nil {
+			cabled[c.aDev] = map[string]bool{}
+		}
+		if cabled[c.zDev] == nil {
+			cabled[c.zDev] = map[string]bool{}
+		}
+		cabled[c.aDev][c.aIf] = true
+		cabled[c.zDev][c.zIf] = true
+		if up {
+			lldp[c.aDev] = append(lldp[c.aDev], LLDPNeighbor{
+				LocalInterface: c.aIf, NeighborDevice: c.zDev, NeighborInterface: c.zIf,
+			})
+			lldp[c.zDev] = append(lldp[c.zDev], LLDPNeighbor{
+				LocalInterface: c.zIf, NeighborDevice: c.aDev, NeighborInterface: c.aIf,
+			})
+		}
+	}
+	for name, d := range devs {
+		ns := lldp[name]
+		sort.Slice(ns, func(i, j int) bool { return ns[i].LocalInterface < ns[j].LocalInterface })
+		d.setLLDP(ns)
+		// Uncabled configured interfaces stay down.
+		if d.Reachable() {
+			ifaces, err := d.ShowInterfaces()
+			if err == nil {
+				for _, st := range ifaces {
+					if !cabled[name][st.Name] {
+						d.setLink(st.Name, false)
+					}
+				}
+			}
+		}
+	}
+	f.recomputeBGP(devs)
+}
+
+// recomputeBGP moves each configured session to Established when the peer
+// address is owned by another reachable device (its running config mentions
+// the address, e.g. as an interface address), and to Active otherwise.
+func (f *Fleet) recomputeBGP(devs map[string]*Device) {
+	configs := make(map[*Device]string, len(devs))
+	for _, d := range devs {
+		if cfg, err := d.RunningConfig(); err == nil {
+			configs[d] = cfg
+		}
+	}
+	for _, d := range devs {
+		if !d.Reachable() {
+			continue
+		}
+		peers, err := d.ShowBGPSummary()
+		if err != nil {
+			continue
+		}
+		for _, p := range peers {
+			state := "Active"
+			for other, cfg := range configs {
+				if other != d && p.PeerAddr != "" && strings.Contains(cfg, p.PeerAddr) {
+					state = "Established"
+					break
+				}
+			}
+			d.setBGP(p.PeerAddr, state)
+		}
+	}
+}

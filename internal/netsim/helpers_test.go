@@ -1,0 +1,21 @@
+package netsim
+
+import (
+	"bufio"
+	"net"
+	"testing"
+	"time"
+)
+
+func listenUDP(t *testing.T) (net.PacketConn, error) {
+	t.Helper()
+	return net.ListenPacket("udp", "127.0.0.1:0")
+}
+
+func dialTCP(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, 5*time.Second)
+}
+
+func newRawClient(conn net.Conn) *MgmtClient {
+	return &MgmtClient{conn: conn, r: bufio.NewReader(conn)}
+}

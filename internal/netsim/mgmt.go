@@ -1,0 +1,317 @@
+package netsim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The management CLI: every device can expose a TCP endpoint speaking a
+// line-oriented protocol, the transport behind Robotron's CLI deployment
+// and the CLI monitoring engine (§5.3, §5.4.2, Table 2).
+//
+// Requests are single lines; "load-config <n>" is followed by n raw bytes.
+// Responses are either "OK <n>\n" followed by n bytes of body, or
+// "ERR <message>\n". Structured show commands return JSON bodies.
+
+// MgmtServer serves the management CLI for one fleet.
+type MgmtServer struct {
+	fleet *Fleet
+	ln    net.Listener
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  bool
+	wg    sync.WaitGroup
+}
+
+// ServeMgmt starts a management endpoint for the whole fleet on addr
+// (e.g. "127.0.0.1:0"); clients select a device with the "device <name>"
+// command. Returns the server; Addr reports the bound address.
+func (f *Fleet) ServeMgmt(addr string) (*MgmtServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &MgmtServer{fleet: f, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *MgmtServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and its sessions.
+func (s *MgmtServer) Close() {
+	s.mu.Lock()
+	s.done = true
+	s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *MgmtServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.done {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.session(conn)
+	}
+}
+
+func (s *MgmtServer) session(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewReader(conn)
+	var dev *Device
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if line == "quit" {
+			writeOK(conn, "bye\n")
+			return
+		}
+		if name, ok := strings.CutPrefix(line, "device "); ok {
+			d, found := s.fleet.Device(strings.TrimSpace(name))
+			if !found {
+				writeErr(conn, fmt.Sprintf("unknown device %q", name))
+				continue
+			}
+			dev = d
+			writeOK(conn, "selected "+dev.Name()+"\n")
+			continue
+		}
+		if dev == nil {
+			writeErr(conn, "no device selected (use: device <name>)")
+			continue
+		}
+		s.dispatch(conn, r, dev, line)
+	}
+}
+
+func (s *MgmtServer) dispatch(w io.Writer, r *bufio.Reader, dev *Device, line string) {
+	reply := func(body string, err error) {
+		if err != nil {
+			writeErr(w, err.Error())
+			return
+		}
+		writeOK(w, body)
+	}
+	replyJSON := func(v any, err error) {
+		if err != nil {
+			writeErr(w, err.Error())
+			return
+		}
+		b, merr := json.Marshal(v)
+		if merr != nil {
+			writeErr(w, merr.Error())
+			return
+		}
+		writeOK(w, string(b)+"\n")
+	}
+	switch {
+	case line == "show device-info":
+		// Served even when the device is down: the management plane is
+		// out-of-band, and health checks need the reachability bit.
+		replyJSON(map[string]any{
+			"Name": dev.Name(), "Vendor": string(dev.Vendor()),
+			"Role": dev.Role(), "Site": dev.Site(),
+			"Traffic": dev.TrafficLoad(), "Reachable": dev.Reachable(),
+		}, nil)
+	case line == "show running-config":
+		cfg, err := dev.RunningConfig()
+		reply(cfg, err)
+	case line == "show interfaces":
+		v, err := dev.ShowInterfaces()
+		replyJSON(v, err)
+	case line == "show lldp neighbors":
+		v, err := dev.ShowLLDPNeighbors()
+		replyJSON(v, err)
+	case line == "show bgp summary":
+		v, err := dev.ShowBGPSummary()
+		replyJSON(v, err)
+	case line == "show version":
+		v, err := dev.ShowVersion()
+		replyJSON(v, err)
+	case line == "show counters":
+		v, err := dev.Counters()
+		replyJSON(v, err)
+	case strings.HasPrefix(line, "load-config "):
+		n, err := strconv.Atoi(strings.TrimPrefix(line, "load-config "))
+		if err != nil || n < 0 || n > 16<<20 {
+			writeErr(w, "bad length")
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			writeErr(w, "short config body: "+err.Error())
+			return
+		}
+		reply("loaded\n", dev.LoadConfig(string(buf)))
+	case line == "compare":
+		diff, err := dev.DryrunDiff()
+		reply(diff, err)
+	case line == "commit":
+		reply("committed\n", dev.Commit())
+	case strings.HasPrefix(line, "commit-confirmed-ms "):
+		ms, err := strconv.Atoi(strings.TrimPrefix(line, "commit-confirmed-ms "))
+		if err != nil || ms <= 0 {
+			writeErr(w, "bad grace period")
+			return
+		}
+		reply("committed (pending confirmation)\n", dev.CommitConfirmed(time.Duration(ms)*time.Millisecond))
+	case strings.HasPrefix(line, "commit-confirmed "):
+		secs, err := strconv.Atoi(strings.TrimPrefix(line, "commit-confirmed "))
+		if err != nil || secs <= 0 {
+			writeErr(w, "bad grace period")
+			return
+		}
+		reply("committed (pending confirmation)\n", dev.CommitConfirmed(time.Duration(secs)*time.Second))
+	case line == "confirm":
+		reply("confirmed\n", dev.Confirm())
+	case line == "rollback":
+		reply("rolled back\n", dev.Rollback())
+	case line == "erase":
+		reply("erased\n", dev.EraseConfig())
+	default:
+		writeErr(w, fmt.Sprintf("unknown command %q", line))
+	}
+}
+
+func writeOK(w io.Writer, body string) {
+	fmt.Fprintf(w, "OK %d\n%s", len(body), body)
+}
+
+func writeErr(w io.Writer, msg string) {
+	msg = strings.ReplaceAll(msg, "\n", " ")
+	fmt.Fprintf(w, "ERR %s\n", msg)
+}
+
+// MgmtClient is a client-side management session over TCP.
+type MgmtClient struct {
+	conn net.Conn
+	r    *bufio.Reader
+	mu   sync.Mutex
+}
+
+// DialMgmt connects to a fleet management endpoint and selects a device.
+func DialMgmt(addr, device string) (*MgmtClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c := &MgmtClient{conn: conn, r: bufio.NewReader(conn)}
+	if _, err := c.Do("device " + device); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Do sends one command line and returns the response body.
+func (c *MgmtClient) Do(cmd string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := fmt.Fprintf(c.conn, "%s\n", cmd); err != nil {
+		return "", err
+	}
+	return c.readReply()
+}
+
+// DoWithBody sends a command followed by a raw payload (load-config).
+func (c *MgmtClient) DoWithBody(cmd, body string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := fmt.Fprintf(c.conn, "%s\n%s", cmd, body); err != nil {
+		return "", err
+	}
+	return c.readReply()
+}
+
+func (c *MgmtClient) readReply() (string, error) {
+	header, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	header = strings.TrimRight(header, "\n")
+	if msg, ok := strings.CutPrefix(header, "ERR "); ok {
+		return "", fmt.Errorf("netsim: %s", msg)
+	}
+	lenStr, ok := strings.CutPrefix(header, "OK ")
+	if !ok {
+		return "", fmt.Errorf("netsim: malformed reply %q", header)
+	}
+	n, err := strconv.Atoi(lenStr)
+	if err != nil || n < 0 {
+		return "", fmt.Errorf("netsim: malformed reply length %q", lenStr)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// LoadConfig stages a candidate config over the session.
+func (c *MgmtClient) LoadConfig(cfg string) error {
+	_, err := c.DoWithBody(fmt.Sprintf("load-config %d", len(cfg)), cfg)
+	return err
+}
+
+// RunningConfig fetches the running config.
+func (c *MgmtClient) RunningConfig() (string, error) {
+	return c.Do("show running-config")
+}
+
+// Commit activates the candidate config.
+func (c *MgmtClient) Commit() error {
+	_, err := c.Do("commit")
+	return err
+}
+
+// ShowInterfaces fetches interface status.
+func (c *MgmtClient) ShowInterfaces() ([]IfaceStatus, error) {
+	body, err := c.Do("show interfaces")
+	if err != nil {
+		return nil, err
+	}
+	var out []IfaceStatus
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Close ends the session.
+func (c *MgmtClient) Close() error { return c.conn.Close() }

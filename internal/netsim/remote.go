@@ -1,0 +1,217 @@
+package netsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// RemoteDevice is a management session to a device reached over the TCP
+// CLI rather than in process — the transport Robotron's deployment and
+// CLI-engine monitoring actually use in production. It implements the
+// same method set as *Device (and therefore deploy.Target and
+// monitor.DeviceAPI), translating calls into protocol commands and
+// mapping the device's error strings back to sentinel errors.
+type RemoteDevice struct {
+	c    *MgmtClient
+	info deviceInfo
+}
+
+// deviceInfo is the JSON body of "show device-info".
+type deviceInfo struct {
+	Name      string
+	Vendor    string
+	Role      string
+	Site      string
+	Traffic   float64
+	Reachable bool
+}
+
+// DialDevice opens a management session to one device of a fleet served
+// at addr.
+func DialDevice(addr, device string) (*RemoteDevice, error) {
+	c, err := DialMgmt(addr, device)
+	if err != nil {
+		return nil, err
+	}
+	r := &RemoteDevice{c: c}
+	if err := r.refreshInfo(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *RemoteDevice) refreshInfo() error {
+	body, err := r.c.Do("show device-info")
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal([]byte(body), &r.info)
+}
+
+// mapErr restores sentinel error identity across the CLI boundary, the
+// way a real driver classifies vendor error strings.
+func mapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "not supported"):
+		return fmt.Errorf("%w: %s", ErrNotSupported, msg)
+	case strings.Contains(msg, "unreachable"):
+		return fmt.Errorf("%w: %s", ErrUnreachable, msg)
+	}
+	return err
+}
+
+// Name returns the device hostname.
+func (r *RemoteDevice) Name() string { return r.info.Name }
+
+// Vendor returns the device's vendor personality.
+func (r *RemoteDevice) Vendor() Vendor { return Vendor(r.info.Vendor) }
+
+// Role returns the device role.
+func (r *RemoteDevice) Role() string { return r.info.Role }
+
+// Site returns the device's site.
+func (r *RemoteDevice) Site() string { return r.info.Site }
+
+// TrafficLoad returns the device's offered load at last refresh.
+func (r *RemoteDevice) TrafficLoad() float64 {
+	if err := r.refreshInfo(); err != nil {
+		return 0
+	}
+	return r.info.Traffic
+}
+
+// Reachable probes the device through the session.
+func (r *RemoteDevice) Reachable() bool {
+	body, err := r.c.Do("show device-info")
+	if err != nil {
+		return false
+	}
+	var info deviceInfo
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		return false
+	}
+	return info.Reachable
+}
+
+// RunningConfig fetches the running config.
+func (r *RemoteDevice) RunningConfig() (string, error) {
+	out, err := r.c.Do("show running-config")
+	return out, mapErr(err)
+}
+
+// LoadConfig stages a candidate configuration.
+func (r *RemoteDevice) LoadConfig(cfg string) error {
+	return mapErr(r.c.LoadConfig(cfg))
+}
+
+// DryrunDiff runs the device-native compare (ErrNotSupported on vendor1).
+func (r *RemoteDevice) DryrunDiff() (string, error) {
+	out, err := r.c.Do("compare")
+	return out, mapErr(err)
+}
+
+// Commit activates the candidate configuration.
+func (r *RemoteDevice) Commit() error {
+	_, err := r.c.Do("commit")
+	return mapErr(err)
+}
+
+// CommitConfirmed activates the candidate with an automatic rollback
+// deadline.
+func (r *RemoteDevice) CommitConfirmed(grace time.Duration) error {
+	ms := grace.Milliseconds()
+	if ms <= 0 {
+		ms = 1
+	}
+	_, err := r.c.Do(fmt.Sprintf("commit-confirmed-ms %d", ms))
+	return mapErr(err)
+}
+
+// Confirm makes a pending commit-confirmed permanent.
+func (r *RemoteDevice) Confirm() error {
+	_, err := r.c.Do("confirm")
+	return mapErr(err)
+}
+
+// Rollback restores the previous configuration.
+func (r *RemoteDevice) Rollback() error {
+	_, err := r.c.Do("rollback")
+	return mapErr(err)
+}
+
+// EraseConfig wipes the running configuration.
+func (r *RemoteDevice) EraseConfig() error {
+	_, err := r.c.Do("erase")
+	return mapErr(err)
+}
+
+// ShowInterfaces fetches interface status.
+func (r *RemoteDevice) ShowInterfaces() ([]IfaceStatus, error) {
+	out, err := r.c.ShowInterfaces()
+	return out, mapErr(err)
+}
+
+// ShowLLDPNeighbors fetches the LLDP adjacency table.
+func (r *RemoteDevice) ShowLLDPNeighbors() ([]LLDPNeighbor, error) {
+	body, err := r.c.Do("show lldp neighbors")
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	var out []LLDPNeighbor
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ShowBGPSummary fetches BGP peer state.
+func (r *RemoteDevice) ShowBGPSummary() ([]BGPPeerStatus, error) {
+	body, err := r.c.Do("show bgp summary")
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	var out []BGPPeerStatus
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ShowVersion fetches device identity.
+func (r *RemoteDevice) ShowVersion() (VersionInfo, error) {
+	body, err := r.c.Do("show version")
+	if err != nil {
+		return VersionInfo{}, mapErr(err)
+	}
+	var out VersionInfo
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		return VersionInfo{}, err
+	}
+	return out, nil
+}
+
+// Counters fetches SNMP-style gauges.
+func (r *RemoteDevice) Counters() (map[string]float64, error) {
+	body, err := r.c.Do("show counters")
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	var out map[string]float64
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ConfirmPending is unavailable over the CLI; it always returns false.
+func (r *RemoteDevice) ConfirmPending() bool { return false }
+
+// Close ends the session.
+func (r *RemoteDevice) Close() error { return r.c.Close() }

@@ -1,0 +1,56 @@
+package netsim
+
+import (
+	"fmt"
+	"net"
+	"regexp"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Syslog transport: devices are configured to send syslog messages to a
+// collection address — in production a BGP anycast address fronting
+// multiple collectors (§5.4.1); here a UDP endpoint.
+
+// UDPSyslogSink returns a device syslog sink that forwards each message as
+// one UDP datagram to addr. Send failures are dropped, matching syslog's
+// fire-and-forget semantics.
+func UDPSyslogSink(addr string) (func(SyslogMessage), error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: syslog sink: %w", err)
+	}
+	var mu sync.Mutex
+	return func(m SyslogMessage) {
+		mu.Lock()
+		defer mu.Unlock()
+		_, _ = conn.Write([]byte(m.Format()))
+	}, nil
+}
+
+var syslogRe = regexp.MustCompile(`^<(\d+)>1 (\S+) (\S+) (\S+) \S+ \S+ \S+ (.*)$`)
+
+// ParseSyslog parses the single-line RFC 5424-like format produced by
+// SyslogMessage.Format.
+func ParseSyslog(line string) (SyslogMessage, error) {
+	m := syslogRe.FindStringSubmatch(line)
+	if m == nil {
+		return SyslogMessage{}, fmt.Errorf("netsim: malformed syslog line %q", line)
+	}
+	pri, err := strconv.Atoi(m[1])
+	if err != nil {
+		return SyslogMessage{}, fmt.Errorf("netsim: bad PRI in %q", line)
+	}
+	ts, err := time.Parse(time.RFC3339, m[2])
+	if err != nil {
+		return SyslogMessage{}, fmt.Errorf("netsim: bad timestamp in %q: %w", line, err)
+	}
+	return SyslogMessage{
+		Severity: pri % 8,
+		Host:     m[3],
+		App:      m[4],
+		Text:     m[5],
+		Time:     ts,
+	}, nil
+}

@@ -1,0 +1,302 @@
+package relstore
+
+import (
+	"fmt"
+	"sync"
+)
+
+// table is the in-memory storage for one table.
+type table struct {
+	def    TableDef
+	rows   map[int64]map[string]any
+	nextID int64
+	// unique maps column name -> value -> row id, for Unique columns.
+	unique map[string]map[any]int64
+	// refIndex maps fk column name -> referenced id -> set of referencing
+	// row ids in this table, to make referential actions O(refs).
+	refIndex map[string]map[int64]map[int64]struct{}
+}
+
+func newTable(def TableDef) *table {
+	t := &table{
+		def:      def,
+		rows:     make(map[int64]map[string]any),
+		unique:   make(map[string]map[any]int64),
+		refIndex: make(map[string]map[int64]map[int64]struct{}),
+	}
+	for _, c := range def.Columns {
+		if c.Unique {
+			t.unique[c.Name] = make(map[any]int64)
+		}
+	}
+	for _, fk := range def.ForeignKeys {
+		t.refIndex[fk.Column] = make(map[int64]map[int64]struct{})
+	}
+	return t
+}
+
+func (t *table) indexRef(col string, refID, rowID int64) {
+	m := t.refIndex[col]
+	s, ok := m[refID]
+	if !ok {
+		s = make(map[int64]struct{})
+		m[refID] = s
+	}
+	s[rowID] = struct{}{}
+}
+
+func (t *table) unindexRef(col string, refID, rowID int64) {
+	if s, ok := t.refIndex[col][refID]; ok {
+		delete(s, rowID)
+		if len(s) == 0 {
+			delete(t.refIndex[col], refID)
+		}
+	}
+}
+
+// DB is an in-memory relational database. One DB is a single "MySQL
+// server"; replication across servers is provided by Replica.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+	binlog []LogEntry
+	seq    uint64
+	closed bool
+	// name identifies this server in errors and logs (e.g. "master.ash1").
+	name string
+}
+
+// NewDB creates an empty database server with the given name.
+func NewDB(name string) *DB {
+	return &DB{tables: make(map[string]*table), name: name}
+}
+
+// Name returns the server name.
+func (db *DB) Name() string { return db.name }
+
+// CreateTable registers a new table. Schema changes are recorded in the
+// binlog so replicas converge.
+func (db *DB) CreateTable(def TableDef) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return fmt.Errorf("relstore: %s is down", db.name)
+	}
+	if _, dup := db.tables[def.Name]; dup {
+		return fmt.Errorf("relstore: table %q already exists", def.Name)
+	}
+	if err := validateDef(&def, db.tables); err != nil {
+		return err
+	}
+	db.tables[def.Name] = newTable(def)
+	db.seq++
+	db.binlog = append(db.binlog, LogEntry{Seq: db.seq, Op: OpCreateTable, Table: def.Name, Def: &def})
+	return nil
+}
+
+// AlterAddColumn adds a column to an existing table; live schema change
+// is how FBNet models grow new attributes over time ("new attributes are
+// constantly added to existing models as needed"). The column must be
+// nullable: existing rows read it as NULL. Replicated through the binlog.
+func (db *DB) AlterAddColumn(tableName string, col Column) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return fmt.Errorf("relstore: %s is down", db.name)
+	}
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("relstore: no such table %q", tableName)
+	}
+	if err := t.addColumn(col); err != nil {
+		return err
+	}
+	cp := col
+	db.seq++
+	db.binlog = append(db.binlog, LogEntry{Seq: db.seq, Op: OpAlterAddColumn, Table: tableName, Col: &cp})
+	return nil
+}
+
+// addColumn validates and applies a column addition on one table.
+func (t *table) addColumn(col Column) error {
+	if col.Name == "" || col.Name == "id" {
+		return fmt.Errorf("relstore: invalid new column name %q", col.Name)
+	}
+	if _, dup := t.def.column(col.Name); dup {
+		return fmt.Errorf("relstore: table %s already has column %q", t.def.Name, col.Name)
+	}
+	if !col.Nullable {
+		return fmt.Errorf("relstore: new column %s.%s must be nullable (existing rows have no value)", t.def.Name, col.Name)
+	}
+	t.def.Columns = append(t.def.Columns, col)
+	if col.Unique {
+		t.unique[col.Name] = make(map[any]int64)
+	}
+	return nil
+}
+
+// Tables returns the registered table names.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Def returns a copy of a table's definition.
+func (db *DB) Def(tableName string) (TableDef, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return TableDef{}, fmt.Errorf("relstore: no such table %q", tableName)
+	}
+	return t.def, nil
+}
+
+// Get returns a snapshot of one row by primary key.
+func (db *DB) Get(tableName string, id int64) (Row, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return Row{}, fmt.Errorf("relstore: %s is down", db.name)
+	}
+	t, ok := db.tables[tableName]
+	if !ok {
+		return Row{}, fmt.Errorf("relstore: no such table %q", tableName)
+	}
+	vals, ok := t.rows[id]
+	if !ok {
+		return Row{}, fmt.Errorf("relstore: %s: id %d: %w", tableName, id, ErrNoRow)
+	}
+	return Row{ID: id, Values: copyValues(vals)}, nil
+}
+
+// Select returns snapshots of all rows matching pred (nil matches all),
+// in ascending id order.
+func (db *DB) Select(tableName string, pred func(Row) bool) ([]Row, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, fmt.Errorf("relstore: %s is down", db.name)
+	}
+	t, ok := db.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("relstore: no such table %q", tableName)
+	}
+	var out []Row
+	for _, id := range sortedIDs(t.rows) {
+		r := Row{ID: id, Values: copyValues(t.rows[id])}
+		if pred == nil || pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Count returns the number of rows in a table.
+func (db *DB) Count(tableName string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("relstore: no such table %q", tableName)
+	}
+	return len(t.rows), nil
+}
+
+// LookupUnique finds a row id by a unique column value; ok is false when
+// no row has that value.
+func (db *DB) LookupUnique(tableName, col string, v any) (int64, bool, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return 0, false, fmt.Errorf("relstore: no such table %q", tableName)
+	}
+	idx, ok := t.unique[col]
+	if !ok {
+		return 0, false, fmt.Errorf("relstore: %s.%s is not a unique column", tableName, col)
+	}
+	if n, isInt := v.(int); isInt {
+		v = int64(n)
+	}
+	id, found := idx[v]
+	return id, found, nil
+}
+
+// Referencing returns the ids of rows in tableName whose fkCol references
+// refID. Used by the object layer to follow reverse relationships.
+func (db *DB) Referencing(tableName, fkCol string, refID int64) ([]int64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("relstore: no such table %q", tableName)
+	}
+	idx, ok := t.refIndex[fkCol]
+	if !ok {
+		return nil, fmt.Errorf("relstore: %s.%s is not a foreign key", tableName, fkCol)
+	}
+	set := idx[refID]
+	ids := make([]int64, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sortInt64s(ids)
+	return ids, nil
+}
+
+func sortInt64s(xs []int64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// SetDown simulates a server failure (health checks fail, all operations
+// error) or recovery. Used by the service layer's failover tests.
+func (db *DB) SetDown(down bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.closed = down
+}
+
+// Healthy reports whether the server responds to health checks.
+func (db *DB) Healthy() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return !db.closed
+}
+
+// Seq returns the current binlog sequence number.
+func (db *DB) Seq() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.seq
+}
+
+// entriesSince returns binlog entries with Seq > after.
+func (db *DB) entriesSince(after uint64) []LogEntry {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if len(db.binlog) == 0 {
+		return nil
+	}
+	// Binlog seqs are dense and ascending; index directly.
+	first := db.binlog[0].Seq
+	if after < first-1 {
+		after = first - 1
+	}
+	idx := int(after - (first - 1))
+	if idx >= len(db.binlog) {
+		return nil
+	}
+	out := make([]LogEntry, len(db.binlog)-idx)
+	copy(out, db.binlog[idx:])
+	return out
+}

@@ -1,0 +1,218 @@
+package relstore
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Replica is an asynchronous follower of a master DB, mirroring FBNet's
+// MySQL replication: "all writes to the master database server are
+// replicated asynchronously to the slave servers with a typical lag of
+// under one second" (§4.3.3).
+//
+// Replication is pull-based: CatchUp applies all pending binlog entries;
+// StartAuto runs a background puller with a polling interval (the
+// effective replication lag). Tests use CatchUp for determinism.
+type Replica struct {
+	master *DB
+
+	mu      sync.Mutex
+	db      *DB
+	applied uint64
+	stopCh  chan struct{}
+	stopped sync.WaitGroup
+	auto    bool
+}
+
+// NewReplica creates an empty replica of master named name. The replica
+// converges by replaying the master's binlog from the beginning (schema
+// changes included).
+func NewReplica(master *DB, name string) *Replica {
+	return &Replica{master: master, db: NewDB(name)}
+}
+
+// DB returns the replica's database for (read-only) queries. Callers must
+// not write to it; writes belong on the master.
+func (r *Replica) DB() *DB { return r.db }
+
+// Applied returns the last applied binlog sequence number.
+func (r *Replica) Applied() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}
+
+// Lag returns how many binlog entries the replica is behind the master.
+func (r *Replica) Lag() uint64 {
+	r.mu.Lock()
+	applied := r.applied
+	r.mu.Unlock()
+	seq := r.master.Seq()
+	if seq < applied {
+		return 0
+	}
+	return seq - applied
+}
+
+// CatchUp applies all pending binlog entries from the master.
+func (r *Replica) CatchUp() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.catchUpLocked()
+}
+
+func (r *Replica) catchUpLocked() error {
+	if !r.db.Healthy() {
+		return fmt.Errorf("relstore: replica %s is down", r.db.Name())
+	}
+	entries := r.master.entriesSince(r.applied)
+	for _, e := range entries {
+		if e.Seq <= r.applied {
+			continue
+		}
+		if err := r.db.applyEntry(e); err != nil {
+			return fmt.Errorf("relstore: replica %s: applying seq %d: %w", r.db.Name(), e.Seq, err)
+		}
+		r.applied = e.Seq
+	}
+	return nil
+}
+
+// ApplyN applies at most n pending entries, for tests that need to observe
+// intermediate replication states.
+func (r *Replica) ApplyN(n int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	entries := r.master.entriesSince(r.applied)
+	for i, e := range entries {
+		if i >= n {
+			break
+		}
+		if e.Seq <= r.applied {
+			continue
+		}
+		if err := r.db.applyEntry(e); err != nil {
+			return err
+		}
+		r.applied = e.Seq
+	}
+	return nil
+}
+
+// StartAuto begins background replication, pulling every interval.
+func (r *Replica) StartAuto(interval time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.auto {
+		return
+	}
+	r.auto = true
+	r.stopCh = make(chan struct{})
+	r.stopped.Add(1)
+	go func() {
+		defer r.stopped.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.stopCh:
+				return
+			case <-t.C:
+				r.mu.Lock()
+				if r.db.Healthy() && r.master.Healthy() {
+					// Best-effort: a failed pull retries next tick.
+					_ = r.catchUpLocked()
+				}
+				r.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// StopAuto halts background replication.
+func (r *Replica) StopAuto() {
+	r.mu.Lock()
+	if !r.auto {
+		r.mu.Unlock()
+		return
+	}
+	r.auto = false
+	close(r.stopCh)
+	r.mu.Unlock()
+	r.stopped.Wait()
+}
+
+// Promote catches the replica up as far as the master allows (a dead
+// master yields whatever has already been applied) and returns the
+// underlying DB to serve as the new master. The caller owns re-pointing
+// other replicas at it. Mirrors §4.3.3: "when the master goes down, the
+// slave in the nearest data center is promoted to master".
+func (r *Replica) Promote() *DB {
+	r.StopAuto()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.master.Healthy() {
+		_ = r.catchUpLocked()
+	}
+	return r.db
+}
+
+// applyEntry replays one binlog record. Constraints were validated on the
+// master, so this path maintains rows and indexes directly; it still
+// appends to the local binlog so the replica can itself be a replication
+// source after promotion.
+func (db *DB) applyEntry(e LogEntry) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return fmt.Errorf("relstore: %s is down", db.name)
+	}
+	switch e.Op {
+	case OpCreateTable:
+		if e.Def == nil {
+			return fmt.Errorf("CREATE TABLE entry without definition")
+		}
+		if _, dup := db.tables[e.Table]; dup {
+			return fmt.Errorf("table %q already exists", e.Table)
+		}
+		db.tables[e.Table] = newTable(*e.Def)
+	case OpInsert:
+		t, ok := db.tables[e.Table]
+		if !ok {
+			return fmt.Errorf("no such table %q", e.Table)
+		}
+		t.restoreRow(e.RowID, copyValues(e.Values))
+	case OpUpdate:
+		t, ok := db.tables[e.Table]
+		if !ok {
+			return fmt.Errorf("no such table %q", e.Table)
+		}
+		if _, ok := t.rows[e.RowID]; !ok {
+			return fmt.Errorf("%s: no row with id %d", e.Table, e.RowID)
+		}
+		t.applyUpdate(e.RowID, copyValues(e.Values))
+	case OpDelete:
+		t, ok := db.tables[e.Table]
+		if !ok {
+			return fmt.Errorf("no such table %q", e.Table)
+		}
+		t.removeRow(e.RowID)
+	case OpAlterAddColumn:
+		t, ok := db.tables[e.Table]
+		if !ok {
+			return fmt.Errorf("no such table %q", e.Table)
+		}
+		if e.Col == nil {
+			return fmt.Errorf("ALTER entry without column")
+		}
+		if err := t.addColumn(*e.Col); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown op %d", e.Op)
+	}
+	db.seq = e.Seq
+	db.binlog = append(db.binlog, e)
+	return nil
+}

@@ -1,0 +1,401 @@
+package thriftlite
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// The RPC layer: a framed request/response protocol over TCP, modeled on
+// Thrift's framed transport. Each frame is a 4-byte big-endian length
+// followed by: message type byte, uvarint sequence id, length-prefixed
+// method name, and the serialized payload. Replies carry either a payload
+// (msgReply) or an error string (msgException).
+
+const (
+	msgCall      byte = 1
+	msgReply     byte = 2
+	msgException byte = 3
+)
+
+const maxFrameSize = 64 << 20 // 64 MiB; a config for an entire DC fits well within this
+
+// ErrServerClosed is returned by Server.Serve after Shutdown.
+var ErrServerClosed = errors.New("thriftlite: server closed")
+
+// RemoteError is an application-level error returned by an RPC handler,
+// distinguishable from transport failures.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc %s: %s", e.Method, e.Msg)
+}
+
+// Handler processes one request payload and returns a response payload.
+type Handler func(req []byte) ([]byte, error)
+
+// Server dispatches framed RPC requests to registered handlers.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	// Logf, if set, receives server diagnostics; defaults to log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// NewServer returns an empty server; register handlers before Serve.
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Register installs a handler for a method name. Registering a duplicate
+// method panics: it is a programming error caught at startup.
+func (s *Server) Register(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.handlers[method]; dup {
+		panic(fmt.Sprintf("thriftlite: duplicate RPC method %q", method))
+	}
+	s.handlers[method] = h
+}
+
+// RegisterTyped installs a handler whose request and response are structs
+// (de)serialized with this package's binary format.
+func RegisterTyped[Req, Resp any](s *Server, method string, h func(*Req) (*Resp, error)) {
+	s.Register(method, func(reqBytes []byte) ([]byte, error) {
+		var req Req
+		if err := Unmarshal(reqBytes, &req); err != nil {
+			return nil, fmt.Errorf("decoding request: %w", err)
+		}
+		resp, err := h(&req)
+		if err != nil {
+			return nil, err
+		}
+		return Marshal(resp)
+	})
+}
+
+// Serve accepts connections on ln until Shutdown is called.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.RLock()
+			closed := s.closed
+			s.mu.RUnlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Shutdown stops accepting connections, closes existing ones, and waits
+// for in-flight handlers to return.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewReader(conn)
+	var wmu sync.Mutex // serializes response frames from concurrent handlers
+	for {
+		frame, err := readFrame(r)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.logf("thriftlite: read frame from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		mt, seq, method, payload, err := parseMessage(frame)
+		if err != nil {
+			s.logf("thriftlite: bad frame from %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+		if mt != msgCall {
+			s.logf("thriftlite: unexpected message type %d from %s", mt, conn.RemoteAddr())
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.mu.RLock()
+			h, ok := s.handlers[method]
+			s.mu.RUnlock()
+			var respType byte
+			var respPayload []byte
+			if !ok {
+				respType = msgException
+				respPayload = []byte(fmt.Sprintf("unknown method %q", method))
+			} else if out, err := h(payload); err != nil {
+				respType = msgException
+				respPayload = []byte(err.Error())
+			} else {
+				respType = msgReply
+				respPayload = out
+			}
+			wmu.Lock()
+			defer wmu.Unlock()
+			if err := writeMessage(conn, respType, seq, method, respPayload); err != nil {
+				s.logf("thriftlite: write reply to %s: %v", conn.RemoteAddr(), err)
+				conn.Close()
+			}
+		}()
+	}
+}
+
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > maxFrameSize {
+		return nil, fmt.Errorf("frame size %d exceeds limit %d", n, maxFrameSize)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+func parseMessage(frame []byte) (mt byte, seq uint64, method string, payload []byte, err error) {
+	if len(frame) < 1 {
+		return 0, 0, "", nil, fmt.Errorf("empty frame")
+	}
+	mt = frame[0]
+	rest := frame[1:]
+	seq, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return 0, 0, "", nil, fmt.Errorf("bad sequence id")
+	}
+	rest = rest[n:]
+	mlen, n := binary.Uvarint(rest)
+	if n <= 0 || mlen > uint64(len(rest)-n) {
+		return 0, 0, "", nil, fmt.Errorf("bad method name length")
+	}
+	rest = rest[n:]
+	method = string(rest[:mlen])
+	payload = rest[mlen:]
+	return mt, seq, method, payload, nil
+}
+
+func writeMessage(w io.Writer, mt byte, seq uint64, method string, payload []byte) error {
+	var hdr []byte
+	hdr = append(hdr, mt)
+	hdr = binary.AppendUvarint(hdr, seq)
+	hdr = binary.AppendUvarint(hdr, uint64(len(method)))
+	hdr = append(hdr, method...)
+	total := len(hdr) + len(payload)
+	frame := make([]byte, 4, 4+total)
+	binary.BigEndian.PutUint32(frame, uint32(total))
+	frame = append(frame, hdr...)
+	frame = append(frame, payload...)
+	_, err := w.Write(frame)
+	return err
+}
+
+// Client is a connection to one RPC server, safe for concurrent use.
+// Responses are matched to requests by sequence id, so calls may be issued
+// concurrently over the single connection.
+type Client struct {
+	conn net.Conn
+	seq  atomic.Uint64
+
+	wmu sync.Mutex // serializes request frames
+
+	mu      sync.Mutex
+	pending map[uint64]chan callResult
+	err     error // terminal transport error, set once
+}
+
+type callResult struct {
+	payload []byte
+	err     error
+}
+
+// Dial connects to an RPC server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{conn: conn, pending: make(map[uint64]chan callResult)}
+	go c.readLoop()
+	return c
+}
+
+func (c *Client) readLoop() {
+	r := bufio.NewReader(c.conn)
+	for {
+		frame, err := readFrame(r)
+		if err != nil {
+			c.fail(fmt.Errorf("thriftlite: connection lost: %w", err))
+			return
+		}
+		mt, seq, method, payload, err := parseMessage(frame)
+		if err != nil {
+			c.fail(fmt.Errorf("thriftlite: bad reply frame: %w", err))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[seq]
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		if !ok {
+			continue // reply to a call that timed out
+		}
+		switch mt {
+		case msgReply:
+			ch <- callResult{payload: payload}
+		case msgException:
+			ch <- callResult{err: &RemoteError{Method: method, Msg: string(payload)}}
+		default:
+			ch <- callResult{err: fmt.Errorf("thriftlite: unexpected reply type %d", mt)}
+		}
+	}
+}
+
+// fail marks the client broken and unblocks all pending calls.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+	for seq, ch := range c.pending {
+		ch <- callResult{err: c.err}
+		delete(c.pending, seq)
+	}
+}
+
+// Call issues a raw RPC and waits for the reply or context cancellation.
+func (c *Client) Call(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	seq := c.seq.Add(1)
+	ch := make(chan callResult, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.pending[seq] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := writeMessage(c.conn, msgCall, seq, method, payload)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case res := <-ch:
+		return res.payload, res.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// CallTyped issues an RPC with struct request/response types.
+func CallTyped[Req, Resp any](ctx context.Context, c *Client, method string, req *Req) (*Resp, error) {
+	payload, err := Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("encoding request: %w", err)
+	}
+	out, err := c.Call(ctx, method, payload)
+	if err != nil {
+		return nil, err
+	}
+	var resp Resp
+	if err := Unmarshal(out, &resp); err != nil {
+		return nil, fmt.Errorf("decoding response: %w", err)
+	}
+	return &resp, nil
+}
+
+// Close tears down the connection; pending calls fail.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.fail(errors.New("thriftlite: client closed"))
+	return err
+}

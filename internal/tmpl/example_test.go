@@ -1,0 +1,38 @@
+package tmpl_test
+
+import (
+	"fmt"
+
+	"github.com/robotron-net/robotron/internal/tmpl"
+)
+
+// The Fig. 9 pattern: vendor-agnostic data rendered through a
+// vendor-specific template.
+func Example() {
+	t := tmpl.MustParse("iface", `{% for agg in device.aggs %}interface {{ agg.name }}
+{% if agg.v6_prefix %} ipv6 addr {{ agg.v6_prefix }}
+{% endif %}{% endfor %}`)
+	out, err := t.Render(map[string]any{
+		"device": map[string]any{
+			"aggs": []map[string]any{
+				{"name": "ae0", "v6_prefix": "2401:db00::/127"},
+				{"name": "ae1"},
+			},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(out)
+	// Output:
+	// interface ae0
+	//  ipv6 addr 2401:db00::/127
+	// interface ae1
+}
+
+func ExampleTemplate_Render_filters() {
+	t := tmpl.MustParse("f", "{{ name|upper }} has {{ ports|length }} ports")
+	out, _ := t.Render(map[string]any{"name": "psw1", "ports": []string{"et1/1", "et1/2"}})
+	fmt.Println(out)
+	// Output: PSW1 has 2 ports
+}

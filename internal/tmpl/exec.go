@@ -1,0 +1,330 @@
+package tmpl
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Template is a parsed, executable template.
+type Template struct {
+	name  string
+	nodes []node
+}
+
+// Parse compiles template source. The name is used in error messages only.
+// Templates using {% include %} need ParseWithLoader.
+func Parse(name, src string) (*Template, error) {
+	return ParseWithLoader(name, src, nil)
+}
+
+// ParseWithLoader compiles template source, resolving {% include 'path' %}
+// tags through loader at parse time (static inlining). Robotron's vendor
+// templates share common sections this way, all versioned in the config
+// repository.
+func ParseWithLoader(name, src string, loader Loader) (*Template, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	p := &parser{toks: toks, loader: loader, including: map[string]bool{name: true}}
+	nodes, _, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return &Template{name: name, nodes: nodes}, nil
+}
+
+// MustParse is Parse that panics on error, for statically known templates.
+func MustParse(name, src string) *Template {
+	t, err := Parse(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name returns the template's name.
+func (t *Template) Name() string { return t.name }
+
+// Execute renders the template against ctx (typically a map[string]any or a
+// struct) and writes the output to w.
+func (t *Template) Execute(w io.Writer, ctx any) error {
+	st := &state{
+		w:     w,
+		tname: t.name,
+		scope: []map[string]value{{}},
+		root:  wrap(ctx),
+	}
+	for _, n := range t.nodes {
+		if err := n.render(st); err != nil {
+			return fmt.Errorf("%s: %w", t.name, err)
+		}
+	}
+	return nil
+}
+
+// Render is Execute into a string.
+func (t *Template) Render(ctx any) (string, error) {
+	var b strings.Builder
+	if err := t.Execute(&b, ctx); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// state carries the rendering context through the node tree.
+type state struct {
+	w     io.Writer
+	tname string
+	scope []map[string]value // innermost last; holds loop vars and with-bindings
+	root  value              // the user-supplied context
+}
+
+func (st *state) push() { st.scope = append(st.scope, map[string]value{}) }
+func (st *state) pop()  { st.scope = st.scope[:len(st.scope)-1] }
+
+func (st *state) set(name string, v value) {
+	st.scope[len(st.scope)-1][name] = v
+}
+
+// lookup resolves the first path segment: innermost scopes first, then the
+// root context.
+func (st *state) lookup(name string) (value, bool) {
+	for i := len(st.scope) - 1; i >= 0; i-- {
+		if v, ok := st.scope[i][name]; ok {
+			return v, true
+		}
+	}
+	return st.root.attr(name)
+}
+
+func (n *textNode) render(st *state) error {
+	_, err := io.WriteString(st.w, n.text)
+	return err
+}
+
+func (n *varNode) render(st *state) error {
+	v, err := n.expr.eval(st)
+	if err != nil {
+		return fmt.Errorf("line %d: %w", n.line, err)
+	}
+	_, err = io.WriteString(st.w, v.str())
+	return err
+}
+
+func (n *ifNode) render(st *state) error {
+	for _, br := range n.branches {
+		v, err := br.cond.eval(st)
+		if err != nil {
+			return err
+		}
+		if v.truthy() {
+			return renderAll(st, br.body)
+		}
+	}
+	return renderAll(st, n.elseBody)
+}
+
+func (n *forNode) render(st *state) error {
+	iter, err := n.iter.eval(st)
+	if err != nil {
+		return fmt.Errorf("line %d: %w", n.line, err)
+	}
+	items, keys, err := iterate(iter)
+	if err != nil {
+		return fmt.Errorf("line %d: %w", n.line, err)
+	}
+	if len(items) == 0 {
+		return renderAll(st, n.empty)
+	}
+	st.push()
+	defer st.pop()
+	for i, item := range items {
+		if n.secondVar != "" {
+			st.set(n.loopVar, keys[i])
+			st.set(n.secondVar, item)
+		} else {
+			st.set(n.loopVar, item)
+		}
+		st.set("forloop", wrap(map[string]any{
+			"counter":    i + 1,
+			"counter0":   i,
+			"revcounter": len(items) - i,
+			"first":      i == 0,
+			"last":       i == len(items)-1,
+		}))
+		if err := renderAll(st, n.body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// iterate expands an iterable value into a slice of element values; for
+// maps it also returns the (sorted) keys so "for k, v in m" is stable.
+func iterate(v value) (items, keys []value, err error) {
+	switch v.kind {
+	case kindNil:
+		return nil, nil, nil
+	case kindList:
+		for i := 0; i < v.rv.Len(); i++ {
+			items = append(items, wrapReflect(v.rv.Index(i)))
+		}
+		return items, nil, nil
+	case kindMap:
+		mk := v.rv.MapKeys()
+		strs := make([]string, len(mk))
+		byStr := make(map[string]reflect.Value, len(mk))
+		for i, k := range mk {
+			s := wrapReflect(k).str()
+			strs[i] = s
+			byStr[s] = k
+		}
+		sort.Strings(strs)
+		for _, s := range strs {
+			k := byStr[s]
+			keys = append(keys, wrapReflect(k))
+			items = append(items, wrapReflect(v.rv.MapIndex(k)))
+		}
+		return items, keys, nil
+	case kindString:
+		for _, r := range v.s {
+			items = append(items, stringValue(string(r)))
+		}
+		return items, nil, nil
+	}
+	return nil, nil, fmt.Errorf("cannot iterate over %s", v.kindName())
+}
+
+func (n *withNode) render(st *state) error {
+	v, err := n.val.eval(st)
+	if err != nil {
+		return err
+	}
+	st.push()
+	defer st.pop()
+	st.set(n.name, v)
+	return renderAll(st, n.body)
+}
+
+// includeNode is a statically inlined sub-template.
+type includeNode struct {
+	nodes []node
+}
+
+func (n *includeNode) render(st *state) error { return renderAll(st, n.nodes) }
+
+func renderAll(st *state, nodes []node) error {
+	for _, n := range nodes {
+		if err := n.render(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- expression evaluation ---
+
+func (e *pathExpr) eval(st *state) (value, error) {
+	v, ok := st.lookup(e.parts[0])
+	if !ok {
+		// Unknown variables render as empty, matching Django's forgiving
+		// default; config templates rely on this for optional attributes.
+		return nilValue(), nil
+	}
+	for _, part := range e.parts[1:] {
+		v, ok = v.attr(part)
+		if !ok {
+			return nilValue(), nil
+		}
+	}
+	return v, nil
+}
+
+func (e *filterExpr) eval(st *state) (value, error) {
+	in, err := e.in.eval(st)
+	if err != nil {
+		return nilValue(), err
+	}
+	f, ok := filters[e.name]
+	if !ok {
+		return nilValue(), fmt.Errorf("line %d: unknown filter %q", e.line, e.name)
+	}
+	var arg value
+	hasArg := e.arg != nil
+	if hasArg {
+		if arg, err = e.arg.eval(st); err != nil {
+			return nilValue(), err
+		}
+	}
+	out, err := f(in, arg, hasArg)
+	if err != nil {
+		return nilValue(), fmt.Errorf("filter %q: %w", e.name, err)
+	}
+	return out, nil
+}
+
+func (e *binaryExpr) eval(st *state) (value, error) {
+	l, err := e.l.eval(st)
+	if err != nil {
+		return nilValue(), err
+	}
+	// Short-circuit logical operators.
+	switch e.op {
+	case "and":
+		if !l.truthy() {
+			return l, nil
+		}
+		return e.r.eval(st)
+	case "or":
+		if l.truthy() {
+			return l, nil
+		}
+		return e.r.eval(st)
+	}
+	r, err := e.r.eval(st)
+	if err != nil {
+		return nilValue(), err
+	}
+	switch e.op {
+	case "in":
+		ok, err := contains(l, r)
+		return boolValue(ok), err
+	case "==", "!=":
+		c, err := compare(l, r)
+		if err != nil {
+			// Unlike ordering, equality across mismatched types is just false.
+			return boolValue(e.op == "!="), nil
+		}
+		if e.op == "==" {
+			return boolValue(c == 0), nil
+		}
+		return boolValue(c != 0), nil
+	}
+	c, err := compare(l, r)
+	if err != nil {
+		return nilValue(), err
+	}
+	switch e.op {
+	case "<":
+		return boolValue(c < 0), nil
+	case "<=":
+		return boolValue(c <= 0), nil
+	case ">":
+		return boolValue(c > 0), nil
+	case ">=":
+		return boolValue(c >= 0), nil
+	}
+	return nilValue(), fmt.Errorf("unknown operator %q", e.op)
+}
+
+func (e *notExpr) eval(st *state) (value, error) {
+	v, err := e.in.eval(st)
+	if err != nil {
+		return nilValue(), err
+	}
+	return boolValue(!v.truthy()), nil
+}

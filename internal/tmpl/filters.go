@@ -1,0 +1,172 @@
+package tmpl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// filterFunc transforms a value; arg is the filter argument (after ':'),
+// hasArg reports whether one was supplied.
+type filterFunc func(in, arg value, hasArg bool) (value, error)
+
+// filters is the built-in filter table, a practical subset of Django's
+// filters that network configuration templates use.
+var filters = map[string]filterFunc{
+	"upper": func(in, _ value, _ bool) (value, error) {
+		return stringValue(strings.ToUpper(in.str())), nil
+	},
+	"lower": func(in, _ value, _ bool) (value, error) {
+		return stringValue(strings.ToLower(in.str())), nil
+	},
+	"title": func(in, _ value, _ bool) (value, error) {
+		return stringValue(titleCase(in.str())), nil
+	},
+	"trim": func(in, _ value, _ bool) (value, error) {
+		return stringValue(strings.TrimSpace(in.str())), nil
+	},
+	"length": func(in, _ value, _ bool) (value, error) {
+		n := in.length()
+		if n < 0 {
+			return nilValue(), fmt.Errorf("value of type %s has no length", in.kindName())
+		}
+		return intValue(int64(n)), nil
+	},
+	"default": func(in, arg value, hasArg bool) (value, error) {
+		if !hasArg {
+			return nilValue(), fmt.Errorf("default requires an argument")
+		}
+		if in.truthy() {
+			return in, nil
+		}
+		return arg, nil
+	},
+	"join": func(in, arg value, hasArg bool) (value, error) {
+		sep := ", "
+		if hasArg {
+			sep = arg.str()
+		}
+		items, _, err := iterate(in)
+		if err != nil {
+			return nilValue(), err
+		}
+		parts := make([]string, len(items))
+		for i, it := range items {
+			parts[i] = it.str()
+		}
+		return stringValue(strings.Join(parts, sep)), nil
+	},
+	"first": func(in, _ value, _ bool) (value, error) {
+		items, _, err := iterate(in)
+		if err != nil {
+			return nilValue(), err
+		}
+		if len(items) == 0 {
+			return nilValue(), nil
+		}
+		return items[0], nil
+	},
+	"last": func(in, _ value, _ bool) (value, error) {
+		items, _, err := iterate(in)
+		if err != nil {
+			return nilValue(), err
+		}
+		if len(items) == 0 {
+			return nilValue(), nil
+		}
+		return items[len(items)-1], nil
+	},
+	"add": func(in, arg value, hasArg bool) (value, error) {
+		if !hasArg {
+			return nilValue(), fmt.Errorf("add requires an argument")
+		}
+		if in.kind == kindInt && arg.kind == kindInt {
+			return intValue(in.i + arg.i), nil
+		}
+		if (in.kind == kindInt || in.kind == kindFloat) && (arg.kind == kindInt || arg.kind == kindFloat) {
+			return floatValue(in.asFloat() + arg.asFloat()), nil
+		}
+		return stringValue(in.str() + arg.str()), nil
+	},
+	"cut": func(in, arg value, hasArg bool) (value, error) {
+		if !hasArg {
+			return nilValue(), fmt.Errorf("cut requires an argument")
+		}
+		return stringValue(strings.ReplaceAll(in.str(), arg.str(), "")), nil
+	},
+	"yesno": func(in, arg value, hasArg bool) (value, error) {
+		yes, no := "yes", "no"
+		if hasArg {
+			parts := strings.Split(arg.str(), ",")
+			if len(parts) >= 2 {
+				yes, no = parts[0], parts[1]
+			}
+		}
+		if in.truthy() {
+			return stringValue(yes), nil
+		}
+		return stringValue(no), nil
+	},
+	"indent": func(in, arg value, hasArg bool) (value, error) {
+		n := int64(4)
+		if hasArg {
+			if arg.kind != kindInt {
+				return nilValue(), fmt.Errorf("indent argument must be an integer")
+			}
+			n = arg.i
+		}
+		pad := strings.Repeat(" ", int(n))
+		lines := strings.Split(in.str(), "\n")
+		for i, l := range lines {
+			if l != "" {
+				lines[i] = pad + l
+			}
+		}
+		return stringValue(strings.Join(lines, "\n")), nil
+	},
+	"replace": func(in, arg value, hasArg bool) (value, error) {
+		if !hasArg {
+			return nilValue(), fmt.Errorf("replace requires an argument of the form old,new")
+		}
+		parts := strings.SplitN(arg.str(), ",", 2)
+		if len(parts) != 2 {
+			return nilValue(), fmt.Errorf("replace argument must be old,new")
+		}
+		return stringValue(strings.ReplaceAll(in.str(), parts[0], parts[1])), nil
+	},
+}
+
+// RegisterFilter installs a custom filter available to all templates parsed
+// afterwards. It panics if the name is already taken, surfacing conflicts
+// at init time.
+func RegisterFilter(name string, f func(in string, arg string) (string, error)) {
+	if _, dup := filters[name]; dup {
+		panic(fmt.Sprintf("tmpl: filter %q already registered", name))
+	}
+	filters[name] = func(in, arg value, hasArg bool) (value, error) {
+		a := ""
+		if hasArg {
+			a = arg.str()
+		}
+		out, err := f(in.str(), a)
+		if err != nil {
+			return nilValue(), err
+		}
+		return stringValue(out), nil
+	}
+}
+
+func titleCase(s string) string {
+	var b strings.Builder
+	prevLetter := false
+	for _, r := range s {
+		isLetter := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z'
+		if isLetter && !prevLetter && r >= 'a' && r <= 'z' {
+			r -= 'a' - 'A'
+		} else if isLetter && prevLetter && r >= 'A' && r <= 'Z' {
+			r += 'a' - 'A'
+		}
+		prevLetter = isLetter
+		b.WriteRune(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package tmpl
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func mapLoader(m map[string]string) Loader {
+	return func(path string) (string, error) {
+		src, ok := m[path]
+		if !ok {
+			return "", fmt.Errorf("no such template %q", path)
+		}
+		return src, nil
+	}
+}
+
+func TestIncludeInlinesTemplate(t *testing.T) {
+	loader := mapLoader(map[string]string{
+		"common/base": "hostname {{ device.name }}\nntp server 198.51.100.123\n",
+	})
+	tm, err := ParseWithLoader("main", "{% include 'common/base' %}interface ae0\n", loader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tm.Render(map[string]any{"device": map[string]any{"name": "psw1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "hostname psw1\nntp server 198.51.100.123\ninterface ae0\n"
+	if out != want {
+		t.Errorf("render = %q, want %q", out, want)
+	}
+}
+
+func TestIncludeSharesContextAndLoops(t *testing.T) {
+	loader := mapLoader(map[string]string{
+		"iface": " member {{ pif.name }}\n",
+	})
+	tm, err := ParseWithLoader("main",
+		"{% for pif in pifs %}{% include 'iface' %}{% endfor %}", loader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tm.Render(map[string]any{"pifs": []map[string]any{{"name": "et1/1"}, {"name": "et1/2"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != " member et1/1\n member et1/2\n" {
+		t.Errorf("loop-scoped include = %q", out)
+	}
+}
+
+func TestIncludeNested(t *testing.T) {
+	loader := mapLoader(map[string]string{
+		"a": "A[{% include 'b' %}]",
+		"b": "B",
+	})
+	tm, err := ParseWithLoader("main", "{% include 'a' %}", loader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := tm.Render(nil)
+	if out != "A[B]" {
+		t.Errorf("nested include = %q", out)
+	}
+}
+
+func TestIncludeErrors(t *testing.T) {
+	loader := mapLoader(map[string]string{
+		"self":   "{% include 'self' %}",
+		"ping":   "{% include 'pong' %}",
+		"pong":   "{% include 'ping' %}",
+		"broken": "{% if x %}unterminated",
+	})
+	cases := []struct {
+		name, src string
+		errSub    string
+	}{
+		{"cycle", "{% include 'self' %}", "cycle"},
+		{"mutual cycle", "{% include 'ping' %}", "cycle"},
+		{"missing", "{% include 'ghost' %}", "no such template"},
+		{"unquoted", "{% include base %}", "quoted string"},
+		{"broken include", "{% include 'broken' %}", "unexpected EOF"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseWithLoader("main", c.src, loader)
+			if err == nil || !strings.Contains(err.Error(), c.errSub) {
+				t.Errorf("want error containing %q, got %v", c.errSub, err)
+			}
+		})
+	}
+	// Include without a loader fails cleanly.
+	if _, err := Parse("main", "{% include 'x' %}"); err == nil {
+		t.Error("include without loader should fail")
+	}
+}
+
+func TestIncludeSelfNameGuard(t *testing.T) {
+	// A template including its own name is caught by the seed entry.
+	loader := mapLoader(map[string]string{"main": "never loaded"})
+	if _, err := ParseWithLoader("main", "{% include 'main' %}", loader); err == nil {
+		t.Error("self-include by name should be rejected")
+	}
+}

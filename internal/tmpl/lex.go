@@ -1,0 +1,218 @@
+// Package tmpl implements a Django-style template language.
+//
+// Robotron stores vendor-specific configuration templates as flat files
+// using Django template syntax (SIGCOMM '16, §5.2, Fig. 9): dynamic
+// variables are surrounded by {{ }}, control flow by {% %}, comments by
+// {# #}, and static content is passed through verbatim. This package is a
+// from-scratch implementation of that language: a lexer, a parser producing
+// a node tree, and an executor that renders the tree against a context of
+// Go values (maps, structs, slices).
+//
+// Supported constructs:
+//
+//	{{ expr }}                      variable output, with |filter chains
+//	{% if expr %} ... {% elif expr %} ... {% else %} ... {% endif %}
+//	{% for x in expr %} ... {% empty %} ... {% endfor %}
+//	{% with name = expr %} ... {% endwith %}
+//	{% comment %} ... {% endcomment %}
+//	{# inline comment #}
+//
+// Expressions support dotted attribute access (agg.v4_prefix), string and
+// numeric literals, comparison operators (== != < <= > >= in), and the
+// logical operators and/or/not, mirroring the subset of the Django template
+// language the paper's config templates rely on.
+package tmpl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind identifies the lexical class of a token.
+type tokenKind int
+
+const (
+	tokText    tokenKind = iota // literal template text
+	tokVar                      // {{ ... }}
+	tokBlock                    // {% ... %}
+	tokComment                  // {# ... #}
+	tokEOF
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokText:
+		return "text"
+	case tokVar:
+		return "variable"
+	case tokBlock:
+		return "block"
+	case tokComment:
+		return "comment"
+	case tokEOF:
+		return "EOF"
+	}
+	return "unknown"
+}
+
+// token is a single lexical unit of a template.
+type token struct {
+	kind tokenKind
+	val  string // tag contents (trimmed) or raw text
+	line int    // 1-based line of the token start
+}
+
+// lexError reports a lexing failure with position information.
+type lexError struct {
+	line int
+	msg  string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("template: line %d: %s", e.line, e.msg)
+}
+
+const (
+	markVarOpen     = "{{"
+	markVarClose    = "}}"
+	markBlockOpen   = "{%"
+	markBlockClose  = "%}"
+	markCommentOpen = "{#"
+	markCommentClos = "#}"
+)
+
+// lex splits template source into tokens. Text between tags is emitted
+// verbatim; tag contents are trimmed of surrounding whitespace.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	for len(src) > 0 {
+		open := strings.IndexByte(src, '{')
+		// Find the next tag opener; everything before it is text.
+		for open != -1 && open+1 < len(src) {
+			c := src[open+1]
+			if c == '{' || c == '%' || c == '#' {
+				break
+			}
+			next := strings.IndexByte(src[open+1:], '{')
+			if next == -1 {
+				open = -1
+				break
+			}
+			open += 1 + next
+		}
+		if open == -1 || open+1 >= len(src) {
+			toks = append(toks, token{kind: tokText, val: src, line: line})
+			break
+		}
+		if open > 0 {
+			text := src[:open]
+			toks = append(toks, token{kind: tokText, val: text, line: line})
+			line += strings.Count(text, "\n")
+			src = src[open:]
+		}
+		var kind tokenKind
+		var closer string
+		switch src[1] {
+		case '{':
+			kind, closer = tokVar, markVarClose
+		case '%':
+			kind, closer = tokBlock, markBlockClose
+		case '#':
+			kind, closer = tokComment, markCommentClos
+		}
+		end := strings.Index(src[2:], closer)
+		if end == -1 {
+			return nil, &lexError{line: line, msg: fmt.Sprintf("unclosed %s tag (missing %q)", kind, closer)}
+		}
+		inner := src[2 : 2+end]
+		toks = append(toks, token{kind: kind, val: strings.TrimSpace(inner), line: line})
+		line += strings.Count(src[:2+end+2], "\n")
+		src = src[2+end+2:]
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+// exprTokenKind classifies tokens inside {{ }} and {% %} expressions.
+type exprTokenKind int
+
+const (
+	etIdent  exprTokenKind = iota // names and dotted paths
+	etString                      // 'x' or "x"
+	etNumber                      // 42, 3.14, -1
+	etOp                          // == != < <= > >= | = ( )
+	etEnd
+)
+
+type exprToken struct {
+	kind exprTokenKind
+	val  string
+}
+
+// lexExpr tokenizes the contents of a tag into expression tokens.
+func lexExpr(s string) ([]exprToken, error) {
+	var out []exprToken
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'' || c == '"':
+			j := i + 1
+			for j < len(s) && s[j] != c {
+				if s[j] == '\\' && j+1 < len(s) {
+					j++
+				}
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("unterminated string literal in %q", s)
+			}
+			raw := s[i+1 : j]
+			raw = strings.ReplaceAll(raw, `\'`, `'`)
+			raw = strings.ReplaceAll(raw, `\"`, `"`)
+			raw = strings.ReplaceAll(raw, `\\`, `\`)
+			out = append(out, exprToken{kind: etString, val: raw})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < len(s) && s[i+1] >= '0' && s[i+1] <= '9'):
+			j := i + 1
+			for j < len(s) && (s[j] >= '0' && s[j] <= '9' || s[j] == '.') {
+				j++
+			}
+			out = append(out, exprToken{kind: etNumber, val: s[i:j]})
+			i = j
+		case isIdentStart(c):
+			j := i + 1
+			for j < len(s) && isIdentPart(s[j]) {
+				j++
+			}
+			out = append(out, exprToken{kind: etIdent, val: s[i:j]})
+			i = j
+		case c == '=' || c == '!' || c == '<' || c == '>':
+			if i+1 < len(s) && s[i+1] == '=' {
+				out = append(out, exprToken{kind: etOp, val: s[i : i+2]})
+				i += 2
+			} else {
+				out = append(out, exprToken{kind: etOp, val: string(c)})
+				i++
+			}
+		case c == '|' || c == ':' || c == '(' || c == ')' || c == ',':
+			out = append(out, exprToken{kind: etOp, val: string(c)})
+			i++
+		default:
+			return nil, fmt.Errorf("unexpected character %q in expression %q", c, s)
+		}
+	}
+	out = append(out, exprToken{kind: etEnd})
+	return out, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '.'
+}

@@ -1,0 +1,528 @@
+package tmpl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// A node is one element of the parsed template tree.
+type node interface {
+	render(st *state) error
+}
+
+// textNode emits literal text.
+type textNode struct {
+	text string
+}
+
+// varNode evaluates an expression (with optional filters) and writes it.
+type varNode struct {
+	expr expr
+	line int
+}
+
+// ifNode holds one or more condition/body branches plus an optional else.
+type ifNode struct {
+	branches []ifBranch
+	elseBody []node
+}
+
+type ifBranch struct {
+	cond expr
+	body []node
+}
+
+// forNode iterates body over the elements of an iterable expression.
+type forNode struct {
+	loopVar   string
+	secondVar string // set for "for k, v in map" style loops
+	iter      expr
+	body      []node
+	empty     []node // rendered when the iterable is empty
+	line      int
+}
+
+// withNode binds a name to a value for the duration of its body.
+type withNode struct {
+	name string
+	val  expr
+	body []node
+}
+
+// expr is an evaluable template expression.
+type expr interface {
+	eval(st *state) (value, error)
+}
+
+// literalExpr is a string, number, or boolean constant.
+type literalExpr struct {
+	v value
+}
+
+func (e literalExpr) eval(*state) (value, error) { return e.v, nil }
+
+// pathExpr resolves a dotted variable path against the context.
+type pathExpr struct {
+	parts []string
+	line  int
+}
+
+// filterExpr applies a named filter (with optional argument) to its input.
+type filterExpr struct {
+	in   expr
+	name string
+	arg  expr // may be nil
+	line int
+}
+
+// binaryExpr is a comparison or logical combination of two sub-expressions.
+type binaryExpr struct {
+	op   string // == != < <= > >= in and or
+	l, r expr
+}
+
+// notExpr negates the truthiness of its operand.
+type notExpr struct {
+	in expr
+}
+
+// Loader resolves {% include %} paths to template source (e.g. from the
+// config repository).
+type Loader func(path string) (string, error)
+
+// parser consumes the token stream produced by lex.
+type parser struct {
+	toks      []token
+	pos       int
+	loader    Loader
+	including map[string]bool // include-cycle detection
+}
+
+type parseError struct {
+	line int
+	msg  string
+}
+
+func (e *parseError) Error() string {
+	return fmt.Sprintf("template: line %d: %s", e.line, e.msg)
+}
+
+func (p *parser) errf(line int, format string, args ...any) error {
+	return &parseError{line: line, msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// parse parses until one of the given terminator block tags (e.g. "endif",
+// "else") or EOF. It returns the nodes and the terminator tag seen ("" at
+// EOF). Terminators are matched against the first word of block tags.
+func (p *parser) parse(terminators ...string) ([]node, string, error) {
+	var nodes []node
+	for {
+		t := p.next()
+		switch t.kind {
+		case tokEOF:
+			if len(terminators) > 0 {
+				return nil, "", p.errf(t.line, "unexpected EOF, expected {%% %s %%}", strings.Join(terminators, " / "))
+			}
+			return nodes, "", nil
+		case tokText:
+			nodes = append(nodes, &textNode{text: t.val})
+		case tokComment:
+			// dropped
+		case tokVar:
+			e, err := parseExprString(t.val)
+			if err != nil {
+				return nil, "", p.errf(t.line, "bad variable tag {{ %s }}: %v", t.val, err)
+			}
+			nodes = append(nodes, &varNode{expr: e, line: t.line})
+		case tokBlock:
+			name, rest := splitTag(t.val)
+			for _, term := range terminators {
+				if name == term {
+					return nodes, name, nil
+				}
+			}
+			n, err := p.parseBlock(name, rest, t)
+			if err != nil {
+				return nil, "", err
+			}
+			if n != nil {
+				nodes = append(nodes, n)
+			}
+		}
+	}
+}
+
+func splitTag(s string) (name, rest string) {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		return s[:i], strings.TrimSpace(s[i+1:])
+	}
+	return s, ""
+}
+
+func (p *parser) parseBlock(name, rest string, t token) (node, error) {
+	switch name {
+	case "if":
+		return p.parseIf(rest, t)
+	case "for":
+		return p.parseFor(rest, t)
+	case "with":
+		return p.parseWith(rest, t)
+	case "include":
+		return p.parseInclude(rest, t)
+	case "comment":
+		// Skip everything until endcomment without interpreting it.
+		for {
+			tt := p.next()
+			if tt.kind == tokEOF {
+				return nil, p.errf(t.line, "unterminated {%% comment %%}")
+			}
+			if tt.kind == tokBlock {
+				if n, _ := splitTag(tt.val); n == "endcomment" {
+					return nil, nil
+				}
+			}
+		}
+	default:
+		return nil, p.errf(t.line, "unknown block tag %q", name)
+	}
+}
+
+// parseInclude statically inlines another template's nodes; includes are
+// resolved at parse time so rendering cost is identical to a flat
+// template.
+func (p *parser) parseInclude(arg string, t token) (node, error) {
+	if p.loader == nil {
+		return nil, p.errf(t.line, "{%% include %%} requires a template loader")
+	}
+	arg = strings.TrimSpace(arg)
+	if len(arg) < 2 || (arg[0] != '\'' && arg[0] != '"') || arg[len(arg)-1] != arg[0] {
+		return nil, p.errf(t.line, "include path must be a quoted string, got %q", arg)
+	}
+	path := arg[1 : len(arg)-1]
+	if p.including[path] {
+		return nil, p.errf(t.line, "include cycle through %q", path)
+	}
+	src, err := p.loader(path)
+	if err != nil {
+		return nil, p.errf(t.line, "include %q: %v", path, err)
+	}
+	toks, err := lex(src)
+	if err != nil {
+		return nil, p.errf(t.line, "include %q: %v", path, err)
+	}
+	sub := &parser{toks: toks, loader: p.loader, including: p.including}
+	p.including[path] = true
+	nodes, term, err := sub.parse()
+	delete(p.including, path)
+	if err != nil {
+		return nil, fmt.Errorf("include %q: %w", path, err)
+	}
+	if term != "" {
+		return nil, p.errf(t.line, "include %q: unexpected {%% %s %%}", path, term)
+	}
+	return &includeNode{nodes: nodes}, nil
+}
+
+func (p *parser) parseIf(cond string, t token) (node, error) {
+	n := &ifNode{}
+	c, err := parseExprString(cond)
+	if err != nil {
+		return nil, p.errf(t.line, "bad if condition %q: %v", cond, err)
+	}
+	cur := ifBranch{cond: c}
+	for {
+		body, term, err := p.parse("elif", "else", "endif")
+		if err != nil {
+			return nil, err
+		}
+		cur.body = body
+		n.branches = append(n.branches, cur)
+		switch term {
+		case "endif":
+			return n, nil
+		case "else":
+			elseBody, term2, err := p.parse("endif")
+			if err != nil {
+				return nil, err
+			}
+			if term2 != "endif" {
+				return nil, p.errf(t.line, "expected {%% endif %%} after else")
+			}
+			n.elseBody = elseBody
+			return n, nil
+		case "elif":
+			// The elif condition was consumed as part of the terminator
+			// block tag; re-read it from the token just matched.
+			prev := p.toks[p.pos-1]
+			_, rest := splitTag(prev.val)
+			c, err := parseExprString(rest)
+			if err != nil {
+				return nil, p.errf(prev.line, "bad elif condition %q: %v", rest, err)
+			}
+			cur = ifBranch{cond: c}
+		}
+	}
+}
+
+func (p *parser) parseFor(spec string, t token) (node, error) {
+	// Forms: "x in expr" and "k, v in expr".
+	inIdx := -1
+	fields := strings.Fields(spec)
+	for i, f := range fields {
+		if f == "in" {
+			inIdx = i
+			break
+		}
+	}
+	if inIdx <= 0 || inIdx == len(fields)-1 {
+		return nil, p.errf(t.line, "malformed for tag %q, want {%% for x in seq %%}", spec)
+	}
+	vars := strings.Split(strings.Join(fields[:inIdx], ""), ",")
+	n := &forNode{line: t.line}
+	switch len(vars) {
+	case 1:
+		n.loopVar = vars[0]
+	case 2:
+		n.loopVar, n.secondVar = vars[0], vars[1]
+	default:
+		return nil, p.errf(t.line, "too many loop variables in for tag %q", spec)
+	}
+	iter, err := parseExprString(strings.Join(fields[inIdx+1:], " "))
+	if err != nil {
+		return nil, p.errf(t.line, "bad for iterable: %v", err)
+	}
+	n.iter = iter
+	body, term, err := p.parse("empty", "endfor")
+	if err != nil {
+		return nil, err
+	}
+	n.body = body
+	if term == "empty" {
+		emptyBody, term2, err := p.parse("endfor")
+		if err != nil {
+			return nil, err
+		}
+		if term2 != "endfor" {
+			return nil, p.errf(t.line, "expected {%% endfor %%} after empty")
+		}
+		n.empty = emptyBody
+	}
+	return n, nil
+}
+
+func (p *parser) parseWith(spec string, t token) (node, error) {
+	eq := strings.Index(spec, "=")
+	if eq <= 0 {
+		return nil, p.errf(t.line, "malformed with tag %q, want {%% with name = expr %%}", spec)
+	}
+	name := strings.TrimSpace(spec[:eq])
+	val, err := parseExprString(strings.TrimSpace(spec[eq+1:]))
+	if err != nil {
+		return nil, p.errf(t.line, "bad with value: %v", err)
+	}
+	body, term, err := p.parse("endwith")
+	if err != nil {
+		return nil, err
+	}
+	if term != "endwith" {
+		return nil, p.errf(t.line, "expected {%% endwith %%}")
+	}
+	return &withNode{name: name, val: val, body: body}, nil
+}
+
+// --- expression parsing (precedence climbing) ---
+
+type exprParser struct {
+	toks []exprToken
+	pos  int
+}
+
+func parseExprString(s string) (expr, error) {
+	toks, err := lexExpr(s)
+	if err != nil {
+		return nil, err
+	}
+	ep := &exprParser{toks: toks}
+	e, err := ep.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if ep.peek().kind != etEnd {
+		return nil, fmt.Errorf("trailing tokens after expression in %q", s)
+	}
+	return e, nil
+}
+
+func (ep *exprParser) peek() exprToken { return ep.toks[ep.pos] }
+
+func (ep *exprParser) next() exprToken {
+	t := ep.toks[ep.pos]
+	if t.kind != etEnd {
+		ep.pos++
+	}
+	return t
+}
+
+func (ep *exprParser) parseOr() (expr, error) {
+	l, err := ep.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for ep.peek().kind == etIdent && ep.peek().val == "or" {
+		ep.next()
+		r, err := ep.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &binaryExpr{op: "or", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (ep *exprParser) parseAnd() (expr, error) {
+	l, err := ep.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for ep.peek().kind == etIdent && ep.peek().val == "and" {
+		ep.next()
+		r, err := ep.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &binaryExpr{op: "and", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (ep *exprParser) parseNot() (expr, error) {
+	if ep.peek().kind == etIdent && ep.peek().val == "not" {
+		ep.next()
+		in, err := ep.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &notExpr{in: in}, nil
+	}
+	return ep.parseCompare()
+}
+
+var compareOps = map[string]bool{
+	"==": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true,
+}
+
+func (ep *exprParser) parseCompare() (expr, error) {
+	l, err := ep.parseFiltered()
+	if err != nil {
+		return nil, err
+	}
+	t := ep.peek()
+	switch {
+	case t.kind == etOp && compareOps[t.val]:
+		ep.next()
+		r, err := ep.parseFiltered()
+		if err != nil {
+			return nil, err
+		}
+		return &binaryExpr{op: t.val, l: l, r: r}, nil
+	case t.kind == etIdent && t.val == "in":
+		ep.next()
+		r, err := ep.parseFiltered()
+		if err != nil {
+			return nil, err
+		}
+		return &binaryExpr{op: "in", l: l, r: r}, nil
+	case t.kind == etIdent && t.val == "not":
+		// "x not in y"
+		ep.next()
+		if tt := ep.next(); !(tt.kind == etIdent && tt.val == "in") {
+			return nil, fmt.Errorf(`expected "in" after "not"`)
+		}
+		r, err := ep.parseFiltered()
+		if err != nil {
+			return nil, err
+		}
+		return &notExpr{in: &binaryExpr{op: "in", l: l, r: r}}, nil
+	}
+	return l, nil
+}
+
+func (ep *exprParser) parseFiltered() (expr, error) {
+	e, err := ep.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for ep.peek().kind == etOp && ep.peek().val == "|" {
+		ep.next()
+		name := ep.next()
+		if name.kind != etIdent {
+			return nil, fmt.Errorf("expected filter name after |, got %q", name.val)
+		}
+		f := &filterExpr{in: e, name: name.val}
+		if ep.peek().kind == etOp && ep.peek().val == ":" {
+			ep.next()
+			arg, err := ep.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			f.arg = arg
+		}
+		e = f
+	}
+	return e, nil
+}
+
+func (ep *exprParser) parsePrimary() (expr, error) {
+	t := ep.next()
+	switch t.kind {
+	case etString:
+		return literalExpr{v: stringValue(t.val)}, nil
+	case etNumber:
+		if strings.Contains(t.val, ".") {
+			f, err := strconv.ParseFloat(t.val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad number %q: %v", t.val, err)
+			}
+			return literalExpr{v: floatValue(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.val, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q: %v", t.val, err)
+		}
+		return literalExpr{v: intValue(n)}, nil
+	case etIdent:
+		switch t.val {
+		case "True", "true":
+			return literalExpr{v: boolValue(true)}, nil
+		case "False", "false":
+			return literalExpr{v: boolValue(false)}, nil
+		case "None", "none", "nil":
+			return literalExpr{v: nilValue()}, nil
+		}
+		return &pathExpr{parts: strings.Split(t.val, ".")}, nil
+	case etOp:
+		if t.val == "(" {
+			e, err := ep.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if c := ep.next(); !(c.kind == etOp && c.val == ")") {
+				return nil, fmt.Errorf("missing closing parenthesis")
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("unexpected token %q in expression", t.val)
+}

@@ -1,0 +1,443 @@
+package tmpl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func render(t *testing.T, src string, ctx any) string {
+	t.Helper()
+	tm, err := Parse("test", src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	out, err := tm.Render(ctx)
+	if err != nil {
+		t.Fatalf("Render(%q): %v", src, err)
+	}
+	return out
+}
+
+func TestPlainText(t *testing.T) {
+	src := "interface et1/1\n mtu 9192\n no shutdown\n"
+	if got := render(t, src, nil); got != src {
+		t.Errorf("plain text not passed through: %q", got)
+	}
+}
+
+func TestTextWithLoneBraces(t *testing.T) {
+	src := "family inet { addr 10.0.0.1/31 }"
+	if got := render(t, src, nil); got != src {
+		t.Errorf("lone braces mangled: %q", got)
+	}
+}
+
+func TestVariableSubstitution(t *testing.T) {
+	tests := []struct {
+		src  string
+		ctx  any
+		want string
+	}{
+		{"{{ name }}", map[string]any{"name": "psw1"}, "psw1"},
+		{"{{name}}", map[string]any{"name": "psw1"}, "psw1"},
+		{"{{ n }}", map[string]any{"n": 42}, "42"},
+		{"{{ f }}", map[string]any{"f": 2.5}, "2.5"},
+		{"{{ ok }}", map[string]any{"ok": true}, "True"},
+		{"{{ missing }}", map[string]any{}, ""},
+		{"{{ 'lit' }}", nil, "lit"},
+		{"{{ 10 }}", nil, "10"},
+	}
+	for _, tt := range tests {
+		if got := render(t, tt.src, tt.ctx); got != tt.want {
+			t.Errorf("render(%q) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestDottedPaths(t *testing.T) {
+	ctx := map[string]any{
+		"device": map[string]any{
+			"name": "pr1.pop1",
+			"loopback": map[string]any{
+				"v6": "2401:db00::1",
+			},
+		},
+	}
+	if got := render(t, "{{ device.loopback.v6 }}", ctx); got != "2401:db00::1" {
+		t.Errorf("nested map path = %q", got)
+	}
+	if got := render(t, "{{ device.loopback.missing }}", ctx); got != "" {
+		t.Errorf("missing leaf should render empty, got %q", got)
+	}
+}
+
+type aggCtx struct {
+	Name     string
+	Number   int
+	V4Prefix string
+	V6Prefix string
+	Pifs     []pifCtx
+}
+
+type pifCtx struct {
+	Name string
+}
+
+func TestStructFieldSnakeCase(t *testing.T) {
+	ctx := map[string]any{"agg": aggCtx{Name: "ae0", V4Prefix: "10.1.1.0/31"}}
+	if got := render(t, "{{ agg.name }}/{{ agg.v4_prefix }}", ctx); got != "ae0/10.1.1.0/31" {
+		t.Errorf("snake_case struct access = %q", got)
+	}
+}
+
+func TestIfElifElse(t *testing.T) {
+	src := "{% if x > 10 %}big{% elif x > 5 %}mid{% else %}small{% endif %}"
+	for _, tt := range []struct {
+		x    int
+		want string
+	}{{20, "big"}, {7, "mid"}, {1, "small"}} {
+		if got := render(t, src, map[string]any{"x": tt.x}); got != tt.want {
+			t.Errorf("x=%d: got %q, want %q", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestIfTruthiness(t *testing.T) {
+	src := "{% if v %}T{% else %}F{% endif %}"
+	tests := []struct {
+		v    any
+		want string
+	}{
+		{"", "F"}, {"x", "T"},
+		{0, "F"}, {1, "T"},
+		{nil, "F"},
+		{[]string{}, "F"}, {[]string{"a"}, "T"},
+		{map[string]int{}, "F"}, {map[string]int{"a": 1}, "T"},
+		{false, "F"}, {true, "T"},
+	}
+	for _, tt := range tests {
+		if got := render(t, src, map[string]any{"v": tt.v}); got != tt.want {
+			t.Errorf("truthy(%#v) rendered %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	ctx := map[string]any{"xs": []string{"a", "b", "c"}}
+	if got := render(t, "{% for x in xs %}{{ x }},{% endfor %}", ctx); got != "a,b,c," {
+		t.Errorf("for loop = %q", got)
+	}
+}
+
+func TestForLoopMetadata(t *testing.T) {
+	ctx := map[string]any{"xs": []string{"a", "b"}}
+	src := "{% for x in xs %}{{ forloop.counter }}:{{ x }}{% if not forloop.last %} {% endif %}{% endfor %}"
+	if got := render(t, src, ctx); got != "1:a 2:b" {
+		t.Errorf("forloop metadata = %q", got)
+	}
+}
+
+func TestForEmpty(t *testing.T) {
+	src := "{% for x in xs %}{{ x }}{% empty %}none{% endfor %}"
+	if got := render(t, src, map[string]any{"xs": []int{}}); got != "none" {
+		t.Errorf("empty branch = %q", got)
+	}
+	if got := render(t, src, map[string]any{"xs": []int{7}}); got != "7" {
+		t.Errorf("non-empty = %q", got)
+	}
+}
+
+func TestForOverMapSorted(t *testing.T) {
+	ctx := map[string]any{"m": map[string]int{"b": 2, "a": 1, "c": 3}}
+	if got := render(t, "{% for k, v in m %}{{ k }}={{ v }};{% endfor %}", ctx); got != "a=1;b=2;c=3;" {
+		t.Errorf("map iteration = %q", got)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	ctx := map[string]any{
+		"aggs": []aggCtx{
+			{Name: "ae0", Pifs: []pifCtx{{Name: "et1/1"}, {Name: "et1/2"}}},
+			{Name: "ae1", Pifs: []pifCtx{{Name: "et2/1"}}},
+		},
+	}
+	src := "{% for a in aggs %}{{ a.name }}[{% for p in a.pifs %}{{ p.name }} {% endfor %}]{% endfor %}"
+	want := "ae0[et1/1 et1/2 ]ae1[et2/1 ]"
+	if got := render(t, src, ctx); got != want {
+		t.Errorf("nested loops = %q, want %q", got, want)
+	}
+}
+
+func TestWith(t *testing.T) {
+	src := "{% with n = device.name %}{{ n }}-{{ n }}{% endwith %}"
+	ctx := map[string]any{"device": map[string]any{"name": "bb1"}}
+	if got := render(t, src, ctx); got != "bb1-bb1" {
+		t.Errorf("with = %q", got)
+	}
+}
+
+func TestCommentTag(t *testing.T) {
+	src := "a{% comment %} anything {{ bad }} {% weird %} {% endcomment %}b"
+	if got := render(t, src, nil); got != "ab" {
+		t.Errorf("comment block = %q", got)
+	}
+	if got := render(t, "a{# inline #}b", nil); got != "ab" {
+		t.Errorf("inline comment = %q", got)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{"{% if 1 < 2 %}y{% endif %}", "y"},
+		{"{% if 'abc' == 'abc' %}y{% endif %}", "y"},
+		{"{% if 'a' != 'b' %}y{% endif %}", "y"},
+		{"{% if 2 >= 2 %}y{% endif %}", "y"},
+		{"{% if 'et1' in name %}y{% endif %}", "y"},
+		{"{% if 'xyz' not in name %}y{% endif %}", "y"},
+		{"{% if x and y %}y{% else %}n{% endif %}", "n"},
+		{"{% if x or y %}y{% else %}n{% endif %}", "y"},
+		{"{% if not x %}y{% endif %}", ""},
+		{"{% if (1 > 2) or (3 > 2) %}y{% endif %}", "y"},
+	}
+	ctx := map[string]any{"name": "et1/1", "x": true, "y": false}
+	for _, tt := range tests {
+		if got := render(t, tt.src, ctx); got != tt.want {
+			t.Errorf("render(%q) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestEqualityAcrossTypesIsFalse(t *testing.T) {
+	ctx := map[string]any{"s": "1", "n": 1}
+	if got := render(t, "{% if s == n %}eq{% else %}ne{% endif %}", ctx); got != "ne" {
+		t.Errorf("cross-type equality = %q, want ne", got)
+	}
+}
+
+func TestFilters(t *testing.T) {
+	tests := []struct {
+		src  string
+		ctx  any
+		want string
+	}{
+		{"{{ s|upper }}", map[string]any{"s": "psw"}, "PSW"},
+		{"{{ s|lower }}", map[string]any{"s": "PSW"}, "psw"},
+		{"{{ s|default:'none' }}", map[string]any{"s": ""}, "none"},
+		{"{{ s|default:'none' }}", map[string]any{"s": "x"}, "x"},
+		{"{{ xs|join:',' }}", map[string]any{"xs": []string{"a", "b"}}, "a,b"},
+		{"{{ xs|length }}", map[string]any{"xs": []int{1, 2, 3}}, "3"},
+		{"{{ xs|first }}", map[string]any{"xs": []string{"a", "b"}}, "a"},
+		{"{{ xs|last }}", map[string]any{"xs": []string{"a", "b"}}, "b"},
+		{"{{ n|add:5 }}", map[string]any{"n": 10}, "15"},
+		{"{{ s|cut:'/' }}", map[string]any{"s": "et1/1"}, "et11"},
+		{"{{ up|yesno:'up,down' }}", map[string]any{"up": true}, "up"},
+		{"{{ up|yesno:'up,down' }}", map[string]any{"up": false}, "down"},
+		{"{{ s|replace:'et,xe' }}", map[string]any{"s": "et1/1"}, "xe1/1"},
+		{"{{ s|upper|lower }}", map[string]any{"s": "MiXeD"}, "mixed"},
+	}
+	for _, tt := range tests {
+		if got := render(t, tt.src, tt.ctx); got != tt.want {
+			t.Errorf("render(%q) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestUnknownFilterErrors(t *testing.T) {
+	tm, err := Parse("t", "{{ x|nosuchfilter }}")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := tm.Render(map[string]any{"x": 1}); err == nil {
+		t.Error("expected error for unknown filter")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"{% if x %}unclosed",
+		"{% endif %}",
+		"{% for x %}{% endfor %}",
+		"{% for in xs %}{% endfor %}",
+		"{{ x ",
+		"{% unknowntag %}",
+		"{% with x %}{% endwith %}",
+		"{{ 'unterminated }}",
+		"{% if x ==  %}{% endif %}",
+	}
+	for _, src := range bad {
+		if _, err := Parse("bad", src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestErrorsIncludeLineNumbers(t *testing.T) {
+	_, err := Parse("t", "line1\nline2\n{% if x %}oops")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error should mention line 3: %v", err)
+	}
+}
+
+// TestFig9Vendor1 exercises the paper's Figure 9 left-hand (IOS-like)
+// interface template verbatim.
+func TestFig9Vendor1(t *testing.T) {
+	src := `{% for agg in device.aggs %}
+interface {{agg.name}}
+ mtu 9192
+ no switchport
+ load-interval 30
+{% if agg.v4_prefix %} ip addr {{agg.v4_prefix}}
+{% endif %}{% if agg.v6_prefix %} ipv6 addr {{agg.v6_prefix}}
+{% endif %} no shutdown
+!
+{% for pif in agg.pifs %}interface {{pif.name}}
+ mtu 9192
+ load-interval 30
+ channel-group {{agg.name}}
+ lacp rate fast
+ no shutdown
+!
+{% endfor %}{% endfor %}`
+	ctx := map[string]any{
+		"device": map[string]any{
+			"aggs": []aggCtx{{
+				Name:     "ae0",
+				V4Prefix: "10.128.0.0/31",
+				V6Prefix: "2401:db00::/127",
+				Pifs:     []pifCtx{{Name: "et1/1"}, {Name: "et2/1"}},
+			}},
+		},
+	}
+	got := render(t, src, ctx)
+	for _, want := range []string{
+		"interface ae0",
+		"ip addr 10.128.0.0/31",
+		"ipv6 addr 2401:db00::/127",
+		"interface et1/1",
+		"interface et2/1",
+		"channel-group ae0",
+		"lacp rate fast",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("vendor1 output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestFig9Vendor2 exercises the right-hand (JunOS-like) template, which
+// mixes literal braces with template tags.
+func TestFig9Vendor2(t *testing.T) {
+	src := `{% for agg in device.aggs %}
+{{agg.name}} {
+ unit 0 {
+{% if agg.v4_prefix %}  family inet {
+   addr {{agg.v4_prefix}}
+  }
+{% endif %}{% if agg.v6_prefix %}  family inet6 {
+   addr {{agg.v6_prefix}}
+  }
+{% endif %} }
+}
+{% for pif in agg.pifs %}replace: {{pif.name}} {
+ gigether-options {
+  802.3ad {{agg.name}};
+ }
+}
+{% endfor %}{% endfor %}`
+	ctx := map[string]any{
+		"device": map[string]any{
+			"aggs": []aggCtx{{
+				Name:     "ae0",
+				V6Prefix: "2401:db00::1/127",
+				Pifs:     []pifCtx{{Name: "et-0/0/1"}},
+			}},
+		},
+	}
+	got := render(t, src, ctx)
+	for _, want := range []string{
+		"ae0 {",
+		"family inet6 {",
+		"addr 2401:db00::1/127",
+		"replace: et-0/0/1 {",
+		"802.3ad ae0;",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("vendor2 output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "family inet {") {
+		t.Errorf("v4 block rendered despite empty v4_prefix:\n%s", got)
+	}
+}
+
+// Property: any source without tag markers renders to itself.
+func TestQuickPlainTextIdentity(t *testing.T) {
+	f := func(s string) bool {
+		if strings.Contains(s, "{{") || strings.Contains(s, "{%") || strings.Contains(s, "{#") {
+			return true // skip inputs that contain tag markers
+		}
+		tm, err := Parse("q", s)
+		if err != nil {
+			return false
+		}
+		out, err := tm.Render(nil)
+		return err == nil && out == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: {{ s }} echoes any string value exactly.
+func TestQuickVariableEcho(t *testing.T) {
+	tm := MustParse("q", "{{ s }}")
+	f := func(s string) bool {
+		out, err := tm.Render(map[string]any{"s": s})
+		return err == nil && out == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegisterFilter(t *testing.T) {
+	RegisterFilter("testrev", func(in, _ string) (string, error) {
+		rs := []rune(in)
+		for i, j := 0, len(rs)-1; i < j; i, j = i+1, j-1 {
+			rs[i], rs[j] = rs[j], rs[i]
+		}
+		return string(rs), nil
+	})
+	if got := render(t, "{{ s|testrev }}", map[string]any{"s": "abc"}); got != "cba" {
+		t.Errorf("custom filter = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate RegisterFilter should panic")
+		}
+	}()
+	RegisterFilter("testrev", func(in, _ string) (string, error) { return in, nil })
+}
+
+func BenchmarkRenderFig9(b *testing.B) {
+	tm := MustParse("bench", `{% for agg in device.aggs %}interface {{agg.name}}
+{% if agg.v4_prefix %} ip addr {{agg.v4_prefix}}
+{% endif %}{% for pif in agg.pifs %}interface {{pif.name}}
+ channel-group {{agg.name}}
+{% endfor %}{% endfor %}`)
+	aggs := make([]aggCtx, 16)
+	for i := range aggs {
+		aggs[i] = aggCtx{Name: "ae0", V4Prefix: "10.0.0.0/31", Pifs: []pifCtx{{Name: "et1/1"}, {Name: "et1/2"}}}
+	}
+	ctx := map[string]any{"device": map[string]any{"aggs": aggs}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tm.Render(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

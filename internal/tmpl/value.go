@@ -1,0 +1,284 @@
+package tmpl
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+)
+
+// valueKind enumerates the dynamic types template expressions operate on.
+type valueKind int
+
+const (
+	kindNil valueKind = iota
+	kindBool
+	kindInt
+	kindFloat
+	kindString
+	kindList // slice or array, wrapped reflect.Value
+	kindMap  // map with string-ish keys, wrapped reflect.Value
+	kindAny  // struct or other opaque Go value
+)
+
+// value is a template-level dynamic value. It wraps Go values so the
+// executor can do truthiness, comparison, attribute lookup, and iteration
+// uniformly over maps, structs, slices, and scalars.
+type value struct {
+	kind valueKind
+	b    bool
+	i    int64
+	f    float64
+	s    string
+	rv   reflect.Value // valid for kindList, kindMap, kindAny
+}
+
+func nilValue() value            { return value{kind: kindNil} }
+func boolValue(b bool) value     { return value{kind: kindBool, b: b} }
+func intValue(i int64) value     { return value{kind: kindInt, i: i} }
+func floatValue(f float64) value { return value{kind: kindFloat, f: f} }
+func stringValue(s string) value { return value{kind: kindString, s: s} }
+
+// wrap converts an arbitrary Go value into a template value.
+func wrap(v any) value {
+	if v == nil {
+		return nilValue()
+	}
+	if tv, ok := v.(value); ok {
+		return tv
+	}
+	rv := reflect.ValueOf(v)
+	return wrapReflect(rv)
+}
+
+func wrapReflect(rv reflect.Value) value {
+	for rv.Kind() == reflect.Interface || rv.Kind() == reflect.Pointer {
+		if rv.IsNil() {
+			return nilValue()
+		}
+		rv = rv.Elem()
+	}
+	switch rv.Kind() {
+	case reflect.Bool:
+		return boolValue(rv.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return intValue(rv.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return intValue(int64(rv.Uint()))
+	case reflect.Float32, reflect.Float64:
+		return floatValue(rv.Float())
+	case reflect.String:
+		return stringValue(rv.String())
+	case reflect.Slice, reflect.Array:
+		return value{kind: kindList, rv: rv}
+	case reflect.Map:
+		return value{kind: kindMap, rv: rv}
+	default:
+		return value{kind: kindAny, rv: rv}
+	}
+}
+
+// truthy implements Django truthiness: nil, false, zero, "", and empty
+// collections are false; everything else is true.
+func (v value) truthy() bool {
+	switch v.kind {
+	case kindNil:
+		return false
+	case kindBool:
+		return v.b
+	case kindInt:
+		return v.i != 0
+	case kindFloat:
+		return v.f != 0
+	case kindString:
+		return v.s != ""
+	case kindList, kindMap:
+		return v.rv.Len() > 0
+	default:
+		return true
+	}
+}
+
+// str renders the value the way {{ }} output does.
+func (v value) str() string {
+	switch v.kind {
+	case kindNil:
+		return ""
+	case kindBool:
+		if v.b {
+			return "True"
+		}
+		return "False"
+	case kindInt:
+		return fmt.Sprintf("%d", v.i)
+	case kindFloat:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v.f), "0"), ".")
+	case kindString:
+		return v.s
+	default:
+		if v.rv.CanInterface() {
+			if s, ok := v.rv.Interface().(fmt.Stringer); ok {
+				return s.String()
+			}
+			return fmt.Sprintf("%v", v.rv.Interface())
+		}
+		return fmt.Sprintf("%v", v.rv)
+	}
+}
+
+// length returns the element count for lists/maps/strings, or -1.
+func (v value) length() int {
+	switch v.kind {
+	case kindString:
+		return len(v.s)
+	case kindList, kindMap:
+		return v.rv.Len()
+	}
+	return -1
+}
+
+// attr resolves an attribute lookup v.name: map key, struct field (exact,
+// exported-case, or snake_case-insensitive match), or list index.
+func (v value) attr(name string) (value, bool) {
+	switch v.kind {
+	case kindMap:
+		if v.rv.Type().Key().Kind() != reflect.String {
+			return nilValue(), false
+		}
+		mv := v.rv.MapIndex(reflect.ValueOf(name).Convert(v.rv.Type().Key()))
+		if !mv.IsValid() {
+			return nilValue(), false
+		}
+		return wrapReflect(mv), true
+	case kindAny:
+		if v.rv.Kind() == reflect.Struct {
+			t := v.rv.Type()
+			for i := 0; i < t.NumField(); i++ {
+				f := t.Field(i)
+				if !f.IsExported() {
+					continue
+				}
+				if f.Name == name || fieldNameMatches(f.Name, name) {
+					return wrapReflect(v.rv.Field(i)), true
+				}
+			}
+		}
+		return nilValue(), false
+	case kindList:
+		var idx int
+		if _, err := fmt.Sscanf(name, "%d", &idx); err == nil && idx >= 0 && idx < v.rv.Len() {
+			return wrapReflect(v.rv.Index(idx)), true
+		}
+		return nilValue(), false
+	}
+	return nilValue(), false
+}
+
+// fieldNameMatches reports whether a Go field name (e.g. V4Prefix) matches
+// a template attribute name (e.g. v4_prefix): comparison is done after
+// lowering and stripping underscores.
+func fieldNameMatches(goName, attr string) bool {
+	return normalizeName(goName) == normalizeName(attr)
+}
+
+func normalizeName(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '_' {
+			continue
+		}
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// compare returns -1, 0, 1 for ordered values, or an error when the two
+// values are not comparable.
+func compare(a, b value) (int, error) {
+	// Numeric comparison when both sides are numeric.
+	if (a.kind == kindInt || a.kind == kindFloat) && (b.kind == kindInt || b.kind == kindFloat) {
+		af, bf := a.asFloat(), b.asFloat()
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if a.kind == kindString && b.kind == kindString {
+		return strings.Compare(a.s, b.s), nil
+	}
+	if a.kind == kindBool && b.kind == kindBool {
+		switch {
+		case a.b == b.b:
+			return 0, nil
+		case b.b:
+			return -1, nil
+		}
+		return 1, nil
+	}
+	if a.kind == kindNil || b.kind == kindNil {
+		if a.kind == b.kind {
+			return 0, nil
+		}
+		return -1, fmt.Errorf("cannot compare %s with nil", a.kindName())
+	}
+	return 0, fmt.Errorf("cannot compare %s with %s", a.kindName(), b.kindName())
+}
+
+func (v value) asFloat() float64 {
+	if v.kind == kindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+func (v value) kindName() string {
+	switch v.kind {
+	case kindNil:
+		return "nil"
+	case kindBool:
+		return "bool"
+	case kindInt:
+		return "int"
+	case kindFloat:
+		return "float"
+	case kindString:
+		return "string"
+	case kindList:
+		return "list"
+	case kindMap:
+		return "map"
+	}
+	return "value"
+}
+
+// contains implements the "in" operator: substring for strings, element
+// membership for lists, key membership for maps.
+func contains(needle, hay value) (bool, error) {
+	switch hay.kind {
+	case kindString:
+		return strings.Contains(hay.s, needle.str()), nil
+	case kindList:
+		for i := 0; i < hay.rv.Len(); i++ {
+			el := wrapReflect(hay.rv.Index(i))
+			if c, err := compare(needle, el); err == nil && c == 0 {
+				return true, nil
+			}
+		}
+		return false, nil
+	case kindMap:
+		if hay.rv.Type().Key().Kind() == reflect.String {
+			mv := hay.rv.MapIndex(reflect.ValueOf(needle.str()).Convert(hay.rv.Type().Key()))
+			return mv.IsValid(), nil
+		}
+		return false, nil
+	case kindNil:
+		return false, nil
+	}
+	return false, fmt.Errorf(`right side of "in" must be a string, list, or map, got %s`, hay.kindName())
+}
