@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: tier1 build vet test race bench
+
+# Tier-1 gate: what CI and reviewers run before merging.
+tier1:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Paper-evaluation and system benchmarks (Figures 12-16, Tables 2-3,
+# materialization, provisioning, parallel deployment).
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -10,10 +10,13 @@ package robotron_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"github.com/robotron-net/robotron/internal/core"
+	"github.com/robotron-net/robotron/internal/deploy"
 	"github.com/robotron-net/robotron/internal/design"
 	"github.com/robotron-net/robotron/internal/experiments"
+	"github.com/robotron-net/robotron/internal/netsim"
 )
 
 // BenchmarkFig12ArchEvolution replays a quarter of architecture evolution
@@ -132,6 +135,71 @@ func BenchmarkMaterializeLargeCluster(b *testing.B) {
 		if n := len(res.Stats.Created); n < 2000 {
 			b.Fatalf("only %d objects", n)
 		}
+	}
+}
+
+// slowFleet builds a deployable n-device fleet whose commits each take
+// delay to apply, the workload behind the §5.3.2 "agile, scalable"
+// claim: rollout latency must be bounded by the slowest wave of the
+// worker pool, not the sum of per-device commit delays.
+func slowFleet(b *testing.B, n int, delay time.Duration) (*netsim.Fleet, *deploy.Deployer) {
+	b.Helper()
+	fleet := netsim.NewFleet()
+	for i := 0; i < n; i++ {
+		vendor := netsim.Vendor1
+		if i%2 == 1 {
+			vendor = netsim.Vendor2
+		}
+		d, err := fleet.AddDevice(fmt.Sprintf("dev%02d", i), vendor, "psw", "pop1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.LoadConfig(slowFleetConfig(vendor, d.Name(), 1)); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		d.SetCommitDelay(delay)
+	}
+	return fleet, deploy.NewDeployer(deploy.FleetResolver(fleet))
+}
+
+func slowFleetConfig(v netsim.Vendor, name string, rev int) string {
+	if v == netsim.Vendor2 {
+		return fmt.Sprintf("system {\n host-name %s;\n}\nae0 {\n mtu %d;\n}\n", name, 9000+rev)
+	}
+	return fmt.Sprintf("hostname %s\ninterface ae0\n mtu %d\n", name, 9000+rev)
+}
+
+// BenchmarkPhasedDeployParallel measures one 16-device phase with a
+// uniform 10ms commit delay, serially (Parallelism=1) and through the
+// bounded worker pool: serial pays 16×10ms per deployment, the pool pays
+// one wave per ceil(16/workers) — near-linear speedup (≥4x at 8 workers).
+func BenchmarkPhasedDeployParallel(b *testing.B) {
+	const devices, delay = 16, 10 * time.Millisecond
+	for _, bc := range []struct {
+		name string
+		par  int
+	}{
+		{"serial", 1},
+		{"pool8", 8},
+		{"pool16", 16},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			fleet, dep := slowFleet(b, devices, delay)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfgs := map[string]string{}
+				for _, d := range fleet.Devices() {
+					cfgs[d.Name()] = slowFleetConfig(d.Vendor(), d.Name(), i+2)
+				}
+				if _, err := dep.Deploy(cfgs, deploy.Options{Parallelism: bc.par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -28,11 +28,14 @@ func main() {
 	scenario := flag.String("scenario", "lifecycle", "scenario: lifecycle, backbone, drift, outage, distributed, firewall")
 	employee := flag.String("employee", "e-cli", "employee id recorded on design changes")
 	ticket := flag.String("ticket", "T-cli", "ticket id recorded on design changes")
+	parallel := flag.Int("parallel", 0, "max concurrent device commits per deployment phase (0 = auto, min(8, phase size))")
 	flag.Parse()
 
-	r, err := core.New(core.Options{Logf: func(format string, args ...any) {
-		fmt.Printf("  | "+format+"\n", args...)
-	}})
+	r, err := core.New(core.Options{
+		DeployParallelism: *parallel,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("  | "+format+"\n", args...)
+		}})
 	if err != nil {
 		fatal(err)
 	}

@@ -37,6 +37,10 @@ type Robotron struct {
 	ConfigMon  *monitor.ConfigMonitor
 	Timeseries *monitor.TimeseriesBackend
 
+	// DeployParallelism bounds concurrent per-phase device commits in
+	// the deployment engine; 0 uses the engine default (min(8, phase)).
+	DeployParallelism int
+
 	// Logf receives progress output; nil silences it.
 	Logf func(format string, args ...any)
 }
@@ -52,6 +56,10 @@ type Options struct {
 	// Store attaches to an existing FBNet store (e.g. a service
 	// deployment's master) instead of creating a fresh one.
 	Store *fbnet.Store
+	// DeployParallelism bounds concurrent per-phase device commits for
+	// deployments driven through this instance; 0 uses the engine
+	// default (min(8, phase size)).
+	DeployParallelism int
 }
 
 // New builds a complete Robotron instance over fresh state.
@@ -129,7 +137,10 @@ func New(opts Options) (*Robotron, error) {
 		Classifier: cls,
 		ConfigMon:  cm,
 		Timeseries: ts,
-		Logf:       opts.Logf,
+
+		DeployParallelism: opts.DeployParallelism,
+
+		Logf: opts.Logf,
 	}
 	return r, nil
 }
@@ -319,7 +330,7 @@ func (r *Robotron) ProvisionCluster(ctx design.ChangeContext, siteName, clusterN
 	}
 	r.logf("configgen: %d device configs generated", len(configs))
 
-	rep, err := r.Deployer.InitialProvision(configs, deploy.Options{Notify: r.Logf})
+	rep, err := r.Deployer.InitialProvision(configs, deploy.Options{Notify: r.Logf, Parallelism: r.DeployParallelism})
 	out.Report = rep
 	if err != nil {
 		return out, fmt.Errorf("core: initial provisioning failed: %w", err)
@@ -395,6 +406,9 @@ func (r *Robotron) GenerateAndDeploy(devices []string, opts deploy.Options, auth
 	}
 	if opts.Notify == nil {
 		opts.Notify = r.Logf
+	}
+	if opts.Parallelism == 0 {
+		opts.Parallelism = r.DeployParallelism
 	}
 	return r.Deployer.Deploy(configs, opts)
 }

@@ -18,6 +18,15 @@
 //   - Human confirmation: commits are provisional for a grace period and
 //     roll back automatically unless confirmed (device-native where
 //     available, emulated by the deployer elsewhere).
+//
+// Concurrency model: devices *within* a phase commit concurrently through
+// a bounded worker pool (Options.Parallelism), while phases themselves
+// remain strictly ordered behind the health gate. A commit that outlives
+// Options.CommitTimeout is reported as failed by its worker, but the
+// in-flight commit keeps running; the pool drains every such straggler
+// before any rollback or return, so a late-landing commit is always either
+// rolled back (atomic) or reported in the Report (non-atomic) — never
+// silently left on the device.
 package deploy
 
 import (
@@ -43,6 +52,7 @@ type Target interface {
 	TrafficLoad() float64
 	RunningConfig() (string, error)
 	LoadConfig(string) error
+	DiscardCandidate() error
 	DryrunDiff() (string, error)
 	Commit() error
 	CommitConfirmed(grace time.Duration) error
@@ -85,6 +95,10 @@ type Options struct {
 	// Phases splits the rollout; empty means a single phase of everything.
 	// Devices matched by no phase form a final implicit phase.
 	Phases []Phase
+	// Parallelism bounds how many devices of one phase commit
+	// concurrently. 0 picks the default min(8, phase size); 1 restores
+	// the serial engine. Phases always run strictly in order regardless.
+	Parallelism int
 	// ConfirmGrace > 0 makes commits provisional: the returned Pending
 	// must be confirmed within the grace period or every device rolls
 	// back.
@@ -102,20 +116,47 @@ type Options struct {
 	// (device reachable, running config matches intent).
 	HealthCheck func(t Target, intended string) error
 	// Notify receives progress and failure notifications ("engineers will
-	// get a notification from Robotron upon failures").
+	// get a notification from Robotron upon failures"). Notifications may
+	// originate from worker goroutines mid-phase, but calls are
+	// serialized: Notify is never invoked concurrently with itself.
 	Notify func(format string, args ...any)
 }
 
-func (o *Options) notify(format string, args ...any) {
-	if o.Notify != nil {
-		o.Notify(format, args...)
+// workers resolves the pool size for a work list of n devices.
+func (o *Options) workers(n int) int {
+	p := o.Parallelism
+	if p <= 0 {
+		p = 8
 	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// notifier wraps Options.Notify behind a mutex so callbacks from
+// concurrent workers never overlap.
+type notifier struct {
+	mu sync.Mutex
+	fn func(format string, args ...any)
+}
+
+func (n *notifier) notify(format string, args ...any) {
+	if n.fn == nil {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.fn(format, args...)
 }
 
 // Result reports the outcome for one device.
 type Result struct {
 	Device  string
-	Action  string // "committed", "rolled-back", "skipped", "erased+provisioned"
+	Action  string // "committed", "rolled-back", "skipped", "erased+provisioned", "late-commit"
 	Err     error
 	Added   int
 	Removed int
@@ -124,9 +165,12 @@ type Result struct {
 // Report is the outcome of one deployment.
 type Report struct {
 	Results []Result
-	// Pending is non-nil when ConfirmGrace was set: call Confirm to make
-	// the deployment permanent or Rollback to abandon it; doing neither
-	// rolls back automatically when the grace period expires.
+	// Pending is non-nil when ConfirmGrace was set and at least one
+	// device committed provisionally: call Confirm to make the deployment
+	// permanent or Rollback to abandon it; doing neither rolls back
+	// automatically when the grace period expires. On a failed non-atomic
+	// deployment Pending holds the devices that did commit, so partial
+	// progress can still be confirmed or uniformly abandoned.
 	Pending *Pending
 }
 
@@ -156,86 +200,184 @@ var ErrDrainRequired = errors.New("deploy: device must be drained before initial
 // ErrReviewRejected is returned when the human reviewer declines a diff.
 var ErrReviewRejected = errors.New("deploy: diff review rejected by operator")
 
-// InitialProvision erases and installs configs on clean (drained) devices,
-// then validates basic connectivity (§5.3.1).
-func (d *Deployer) InitialProvision(configs map[string]string, opts Options) (Report, error) {
-	var rep Report
-	names := sortedKeys(configs)
-	// Drain check first: fail before touching anything.
-	for _, name := range names {
+// resolveAll maps every config key to a management session up front, so
+// worker pools never call the resolver concurrently (resolvers may cache
+// sessions without locking).
+func (d *Deployer) resolveAll(configs map[string]string) (map[string]Target, error) {
+	targets := make(map[string]Target, len(configs))
+	for _, name := range sortedKeys(configs) {
 		t, err := d.Resolve(name)
 		if err != nil {
-			return rep, err
+			return nil, err
 		}
-		if t.TrafficLoad() > 0 {
+		targets[name] = t
+	}
+	return targets, nil
+}
+
+// runPool feeds names to a bounded worker pool running fn. Dispatch stops
+// early once abort returns true; already-dispatched work always finishes.
+func runPool(names []string, workers int, abort func() bool, fn func(name string)) {
+	work := make(chan string)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for name := range work {
+				fn(name)
+			}
+		}()
+	}
+	for _, name := range names {
+		if abort != nil && abort() {
+			break
+		}
+		work <- name
+	}
+	close(work)
+	wg.Wait()
+}
+
+// InitialProvision erases and installs configs on clean (drained) devices,
+// then validates basic connectivity (§5.3.1). Devices provision
+// concurrently through the worker pool; on the first failure no further
+// devices are started, in-flight ones finish and are reported.
+func (d *Deployer) InitialProvision(configs map[string]string, opts Options) (Report, error) {
+	var rep Report
+	nf := &notifier{fn: opts.Notify}
+	names := sortedKeys(configs)
+	targets, err := d.resolveAll(configs)
+	if err != nil {
+		return rep, err
+	}
+	// Drain check first: fail before touching anything.
+	for _, name := range names {
+		if t := targets[name]; t.TrafficLoad() > 0 {
 			return rep, fmt.Errorf("%w: %s carries traffic (load %.2f)", ErrDrainRequired, name, t.TrafficLoad())
 		}
 	}
-	for _, name := range names {
-		t, err := d.Resolve(name)
-		if err != nil {
-			return rep, err
-		}
-		res := Result{Device: name, Action: "erased+provisioned"}
-		err = func() error {
-			if err := t.EraseConfig(); err != nil {
-				return err
-			}
-			if err := t.LoadConfig(configs[name]); err != nil {
-				return err
-			}
-			if err := t.Commit(); err != nil {
-				return err
-			}
-			// Basic validation: device reachable and running the config.
-			if !t.Reachable() {
-				return fmt.Errorf("deploy: %s unreachable after provisioning", name)
-			}
-			running, err := t.RunningConfig()
+	var (
+		mu       sync.Mutex
+		byName   = make(map[string]Result, len(names))
+		provOK   = 0
+		hadError = false
+	)
+	runPool(names, opts.workers(len(names)),
+		func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return hadError
+		},
+		func(name string) {
+			err := provisionOne(targets[name], configs[name])
+			res := Result{Device: name, Action: "erased+provisioned", Err: err}
+			res.Added = confdiff.Compute("", configs[name]).Stats(true).Added
+			mu.Lock()
+			byName[name] = res
 			if err != nil {
-				return err
+				hadError = true
+			} else {
+				provOK++
 			}
-			if running != configs[name] {
-				return fmt.Errorf("deploy: %s running config does not match provisioned config", name)
+			done := provOK
+			mu.Unlock()
+			if err != nil {
+				nf.notify("initial provisioning failed on %s: %v", name, err)
+			} else {
+				nf.notify("initial provisioning: %d/%d device(s) provisioned", done, len(names))
 			}
-			return nil
-		}()
-		res.Err = err
-		stats := confdiff.Compute("", configs[name]).Stats(true)
-		res.Added = stats.Added
+		})
+	var firstErr error
+	for _, name := range names {
+		res, attempted := byName[name]
+		if !attempted {
+			continue
+		}
 		rep.Results = append(rep.Results, res)
-		if err != nil {
-			opts.notify("initial provisioning failed on %s: %v", name, err)
-			return rep, err
+		if res.Err != nil && firstErr == nil {
+			firstErr = res.Err
 		}
 	}
-	return rep, nil
+	return rep, firstErr
+}
+
+// provisionOne erases, installs, and validates one device.
+func provisionOne(t Target, cfg string) error {
+	if err := t.EraseConfig(); err != nil {
+		return err
+	}
+	if err := t.LoadConfig(cfg); err != nil {
+		return err
+	}
+	if err := t.Commit(); err != nil {
+		return err
+	}
+	// Basic validation: device reachable and running the config.
+	if !t.Reachable() {
+		return fmt.Errorf("deploy: %s unreachable after provisioning", t.Name())
+	}
+	running, err := t.RunningConfig()
+	if err != nil {
+		return err
+	}
+	if running != cfg {
+		return fmt.Errorf("deploy: %s running config does not match provisioned config", t.Name())
+	}
+	return nil
 }
 
 // Dryrun produces the per-device diff between the new configs and the
 // running configs without committing anything. Platforms with native
 // dryrun (Vendor2) are asked directly — catching "most errors from invalid
 // configurations and vendor bugs" — while the rest get an emulated diff.
-func (d *Deployer) Dryrun(configs map[string]string) (map[string]string, error) {
-	out := make(map[string]string, len(configs))
-	for _, name := range sortedKeys(configs) {
-		t, err := d.Resolve(name)
-		if err != nil {
+// Devices are diffed concurrently through the worker pool.
+func (d *Deployer) Dryrun(configs map[string]string, opts Options) (map[string]string, error) {
+	names := sortedKeys(configs)
+	targets, err := d.resolveAll(configs)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		mu       sync.Mutex
+		out      = make(map[string]string, len(names))
+		errs     = make(map[string]error)
+		hadError = false
+	)
+	runPool(names, opts.workers(len(names)),
+		func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return hadError
+		},
+		func(name string) {
+			diff, err := d.dryrunOne(targets[name], configs[name])
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs[name] = err
+				hadError = true
+				return
+			}
+			out[name] = diff
+		})
+	for _, name := range names {
+		if err := errs[name]; err != nil {
 			return nil, err
 		}
-		diff, err := d.dryrunOne(t, configs[name])
-		if err != nil {
-			return nil, err
-		}
-		out[name] = diff
 	}
 	return out, nil
 }
 
+// dryrunOne loads the candidate, renders its diff, and always discards the
+// candidate again: the staged config exists only for the diff, and leaving
+// it behind would let an unrelated later Commit() silently activate it
+// (e.g. after the reviewer rejected this very diff).
 func (d *Deployer) dryrunOne(t Target, newCfg string) (string, error) {
 	if err := t.LoadConfig(newCfg); err != nil {
 		return "", fmt.Errorf("deploy: %s rejected candidate config: %w", t.Name(), err)
 	}
+	defer func() { _ = t.DiscardCandidate() }()
 	native, err := t.DryrunDiff()
 	switch {
 	case err == nil:
@@ -252,19 +394,32 @@ func (d *Deployer) dryrunOne(t Target, newCfg string) (string, error) {
 	}
 }
 
+// straggler is a device whose commit outlived the time window; its
+// in-flight result must settle before any rollback or return is safe.
+type straggler struct {
+	name string
+	done <-chan error
+}
+
+// phaseOutcome is what one phase's worker pool produced.
+type phaseOutcome struct {
+	results    []Result    // per attempted device, in phase order
+	stragglers []straggler // commits still in flight after their window
+	failedDev  string      // first failing device in phase order
+	failedErr  error
+}
+
 // Deploy performs an incremental update of the given device configs with
 // the safety mechanisms selected in opts.
 func (d *Deployer) Deploy(configs map[string]string, opts Options) (Report, error) {
 	var rep Report
-	targets := make(map[string]Target, len(configs))
-	for _, name := range sortedKeys(configs) {
-		t, err := d.Resolve(name)
-		if err != nil {
-			return rep, err
-		}
-		targets[name] = t
+	nf := &notifier{fn: opts.Notify}
+	targets, err := d.resolveAll(configs)
+	if err != nil {
+		return rep, err
 	}
-	// Dryrun + human review before any commit.
+	// Dryrun + human review before any commit; kept serial so the
+	// reviewer sees devices in a stable order.
 	diffStats := make(map[string]confdiff.Stats, len(configs))
 	for _, name := range sortedKeys(configs) {
 		t := targets[name]
@@ -278,30 +433,24 @@ func (d *Deployer) Deploy(configs map[string]string, opts Options) (Report, erro
 		}
 		diffStats[name] = confdiff.Compute(running, configs[name]).Stats(true)
 		if opts.Review != nil && !opts.Review(name, diff) {
-			opts.notify("deployment aborted: %s diff rejected by reviewer", name)
+			nf.notify("deployment aborted: %s diff rejected by reviewer", name)
 			return rep, fmt.Errorf("%w (device %s)", ErrReviewRejected, name)
 		}
 	}
 	phases := partitionPhases(targets, opts.Phases)
-	pending := &Pending{notify: opts.notify}
-	committed := make([]string, 0, len(configs))
-	// stragglers are devices whose commit outlived the time window; their
-	// in-flight result must settle before any rollback is safe.
-	type straggler struct {
-		name string
-		done <-chan error
-	}
-	var stragglers []straggler
-	settleStragglers := func() {
-		for _, s := range stragglers {
+	pending := &Pending{notify: nf.notify}
+	committed := make([]string, 0, len(configs)) // commit-completion order
+
+	// settle drains every straggler's in-flight commit and returns the
+	// devices whose late commit landed after all.
+	settle := func(ss []straggler) []string {
+		var late []string
+		for _, s := range ss {
 			if err := <-s.done; err == nil {
-				// The late commit landed after all: it must be rolled
-				// back with the rest.
-				committed = append(committed, s.name)
-				opts.notify("straggler %s finished committing after the window; including in rollback", s.name)
+				late = append(late, s.name)
 			}
 		}
-		stragglers = nil
+		return late
 	}
 	rollbackAll := func() {
 		if opts.ConfirmGrace > 0 {
@@ -316,45 +465,48 @@ func (d *Deployer) Deploy(configs map[string]string, opts Options) (Report, erro
 		for i := len(committed) - 1; i >= 0; i-- {
 			name := committed[i]
 			if err := targets[name].Rollback(); err != nil {
-				opts.notify("rollback of %s failed: %v", name, err)
+				nf.notify("rollback of %s failed: %v", name, err)
 			} else {
 				rep.Results = append(rep.Results, Result{Device: name, Action: "rolled-back"})
 			}
 		}
 	}
+	// armPartial hands a failed non-atomic deployment's provisional
+	// commits back to the operator: confirm the partial progress or let
+	// the grace timer roll every device (native and emulated alike) back.
+	// Without this, emulated-commit devices would stay committed forever
+	// while native ones auto-revert, leaving the fleet divergent.
+	armPartial := func() {
+		if opts.ConfirmGrace <= 0 || len(pending.Devices()) == 0 {
+			return
+		}
+		pending.arm(opts.ConfirmGrace)
+		rep.Pending = pending
+		nf.notify("deployment failed with %d provisional commit(s): confirm or roll back within %v, else all roll back automatically",
+			len(pending.Devices()), opts.ConfirmGrace)
+	}
+
 	for pi, phase := range phases {
-		opts.notify("phase %d/%d (%s): %d device(s)", pi+1, len(phases), phase.name, len(phase.devices))
-		for _, name := range phase.devices {
-			t := targets[name]
-			var err error
-			if opts.CommitTimeout > 0 {
-				done := make(chan error, 1)
-				go func(t Target, cfg string) {
-					done <- commitOne(t, cfg, opts.ConfirmGrace, pending)
-				}(t, configs[name])
-				select {
-				case err = <-done:
-				case <-time.After(opts.CommitTimeout):
-					stragglers = append(stragglers, straggler{name: name, done: done})
-					err = fmt.Errorf("deploy: %s did not finish applying within %v", name, opts.CommitTimeout)
-				}
-			} else {
-				err = commitOne(t, configs[name], opts.ConfirmGrace, pending)
+		workers := opts.workers(len(phase.devices))
+		nf.notify("phase %d/%d (%s): %d device(s), parallelism %d", pi+1, len(phases), phase.name, len(phase.devices), workers)
+		out := d.runPhase(phase, targets, configs, diffStats, opts, pending, nf, &committed, workers, pi+1, len(phases))
+		rep.Results = append(rep.Results, out.results...)
+		if out.failedErr != nil {
+			// Settle stragglers on *every* failure exit — non-atomic
+			// included — so no commit can land after Deploy returns.
+			late := settle(out.stragglers)
+			if opts.Atomic {
+				committed = append(committed, late...)
+				nf.notify("atomic deployment: rolling back %d committed device(s)", len(committed))
+				rollbackAll()
+				return rep, fmt.Errorf("deploy: atomic deployment failed on %s: %w", out.failedDev, out.failedErr)
 			}
-			stats := diffStats[name]
-			res := Result{Device: name, Action: "committed", Err: err, Added: stats.Added, Removed: stats.Removed}
-			rep.Results = append(rep.Results, res)
-			if err != nil {
-				opts.notify("commit failed on %s: %v", name, err)
-				if opts.Atomic {
-					settleStragglers()
-					opts.notify("atomic deployment: rolling back %d committed device(s)", len(committed))
-					rollbackAll()
-					return rep, fmt.Errorf("deploy: atomic deployment failed on %s: %w", name, err)
-				}
-				return rep, fmt.Errorf("deploy: deployment failed on %s: %w", name, err)
+			for _, name := range late {
+				nf.notify("straggler %s finished committing after the window; device is committed", name)
+				rep.Results = append(rep.Results, Result{Device: name, Action: "late-commit"})
 			}
-			committed = append(committed, name)
+			armPartial()
+			return rep, fmt.Errorf("deploy: deployment failed on %s: %w", out.failedDev, out.failedErr)
 		}
 		// Health gate: "Robotron monitors metrics to track the progress of
 		// each phase and only continues deployment if the previous phase
@@ -365,11 +517,12 @@ func (d *Deployer) Deploy(configs map[string]string, opts Options) (Report, erro
 		}
 		for _, name := range phase.devices {
 			if err := check(targets[name], configs[name]); err != nil {
-				opts.notify("phase %d health gate failed on %s: %v — halting deployment", pi+1, name, err)
+				nf.notify("phase %d health gate failed on %s: %v — halting deployment", pi+1, name, err)
 				if opts.Atomic {
 					rollbackAll()
 					return rep, fmt.Errorf("deploy: atomic deployment health check failed on %s: %w", name, err)
 				}
+				armPartial()
 				return rep, fmt.Errorf("deploy: phase %d halted: %s unhealthy: %w", pi+1, name, err)
 			}
 		}
@@ -379,6 +532,86 @@ func (d *Deployer) Deploy(configs map[string]string, opts Options) (Report, erro
 		rep.Pending = pending
 	}
 	return rep, nil
+}
+
+// runPhase commits one phase's devices through a bounded worker pool.
+// committed gains successfully committed devices in completion order; the
+// caller owns rollback and straggler settlement.
+func (d *Deployer) runPhase(phase phaseSet, targets map[string]Target, configs map[string]string,
+	diffStats map[string]confdiff.Stats, opts Options, pending *Pending, nf *notifier,
+	committed *[]string, workers, phaseNum, phaseCount int) phaseOutcome {
+
+	var (
+		mu         sync.Mutex
+		byName     = make(map[string]Result, len(phase.devices))
+		stragglers []straggler
+		aborted    = false
+		okCount    = 0
+	)
+	// commitWithDeadline runs the commit, enforcing the per-device time
+	// window inside the worker itself: on timeout the worker reports
+	// failure while the in-flight commit keeps running on its own
+	// goroutine, handed back as a straggler to drain later.
+	commitWithDeadline := func(t Target, cfg string) (error, <-chan error) {
+		if opts.CommitTimeout <= 0 {
+			return commitOne(t, cfg, opts.ConfirmGrace, pending), nil
+		}
+		done := make(chan error, 1)
+		go func() { done <- commitOne(t, cfg, opts.ConfirmGrace, pending) }()
+		timer := time.NewTimer(opts.CommitTimeout)
+		defer timer.Stop()
+		select {
+		case err := <-done:
+			return err, nil
+		case <-timer.C:
+			return fmt.Errorf("deploy: %s did not finish applying within %v", t.Name(), opts.CommitTimeout), done
+		}
+	}
+	runPool(phase.devices, workers,
+		func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return aborted
+		},
+		func(name string) {
+			err, inflight := commitWithDeadline(targets[name], configs[name])
+			stats := diffStats[name]
+			res := Result{Device: name, Action: "committed", Err: err, Added: stats.Added, Removed: stats.Removed}
+			if err == nil {
+				mu.Lock()
+				*committed = append(*committed, name)
+				mu.Unlock()
+			}
+			mu.Lock()
+			byName[name] = res
+			if err != nil {
+				aborted = true
+				if inflight != nil {
+					stragglers = append(stragglers, straggler{name: name, done: inflight})
+				}
+			} else {
+				okCount++
+			}
+			progress := okCount
+			mu.Unlock()
+			if err != nil {
+				nf.notify("commit failed on %s: %v", name, err)
+			} else {
+				nf.notify("phase %d/%d (%s): %d/%d committed", phaseNum, phaseCount, phase.name, progress, len(phase.devices))
+			}
+		})
+	out := phaseOutcome{stragglers: stragglers}
+	for _, name := range phase.devices {
+		res, attempted := byName[name]
+		if !attempted {
+			continue
+		}
+		out.results = append(out.results, res)
+		if res.Err != nil && out.failedErr == nil {
+			out.failedDev, out.failedErr = name, res.Err
+		}
+	}
+	return out
 }
 
 // commitOne commits one device, provisionally when grace > 0. Vendor2
@@ -479,7 +712,8 @@ func partitionPhases(targets map[string]Target, phases []Phase) []phaseSet {
 
 // Pending is a deployment awaiting human confirmation (§5.3.2): "a final
 // confirmation must be provided during the grace period otherwise
-// Robotron will rollback the changes."
+// Robotron will rollback the changes." Safe for concurrent use: the
+// worker pool adds devices while Confirm/Rollback/expiry race to settle.
 type Pending struct {
 	notify func(string, ...any)
 
@@ -532,7 +766,7 @@ func (p *Pending) Confirm() error {
 	if p.timer != nil {
 		p.timer.Stop()
 	}
-	native := p.native
+	native := append([]Target(nil), p.native...)
 	p.mu.Unlock()
 	var errs []string
 	for _, t := range native {
@@ -572,14 +806,12 @@ func (p *Pending) expire() {
 		return
 	}
 	p.settled = true
+	emul := append([]Target(nil), p.emul...)
 	p.mu.Unlock()
 	if p.notify != nil {
 		p.notify("grace period expired without confirmation: rolling back")
 	}
 	// Native devices roll back on their own; the deployer reverts the rest.
-	p.mu.Lock()
-	emul := append([]Target(nil), p.emul...)
-	p.mu.Unlock()
 	for _, t := range emul {
 		if err := t.Rollback(); err != nil && p.notify != nil {
 			p.notify("emulated rollback of %s failed: %v", t.Name(), err)

@@ -95,7 +95,7 @@ func TestInitialProvisionRequiresDrain(t *testing.T) {
 
 func TestDryrunBothVendors(t *testing.T) {
 	fleet, dep, _ := newTestFleet(t, 2)
-	diffs, err := dep.Dryrun(newConfigs(fleet, 2))
+	diffs, err := dep.Dryrun(newConfigs(fleet, 2), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestDryrunCatchesInvalidConfig(t *testing.T) {
 	fleet, dep, _ := newTestFleet(t, 2)
 	cfgs := newConfigs(fleet, 2)
 	cfgs["dev01"] = "ae0 {\n unbalanced\n" // vendor2 syntax error
-	if _, err := dep.Dryrun(cfgs); err == nil {
+	if _, err := dep.Dryrun(cfgs, Options{}); err == nil {
 		t.Error("invalid vendor2 config should fail dryrun")
 	}
 	_ = fleet

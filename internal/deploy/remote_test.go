@@ -61,7 +61,7 @@ func TestRemoteDeploySimple(t *testing.T) {
 
 func TestRemoteDryrunVendorSplit(t *testing.T) {
 	fleet, dep, _ := newRemoteFleet(t, 2)
-	diffs, err := dep.Dryrun(newConfigs(fleet, 2))
+	diffs, err := dep.Dryrun(newConfigs(fleet, 2), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -244,6 +244,20 @@ func (d *Device) vendorValidate(cfg string) error {
 	return nil
 }
 
+// DiscardCandidate drops the staged candidate configuration without
+// committing it (the "abort"/"discard" of real platforms). Discarding
+// when nothing is staged is a no-op.
+func (d *Device) DiscardCandidate() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkUp(); err != nil {
+		return err
+	}
+	d.candidate = ""
+	d.hasCand = false
+	return nil
+}
+
 // DryrunDiff compares the candidate against the running config natively.
 // Vendor1 platforms return ErrNotSupported; callers fall back to comparing
 // configs before and after deployment (§5.3.2).

@@ -182,6 +182,8 @@ func (s *MgmtServer) dispatch(w io.Writer, r *bufio.Reader, dev *Device, line st
 	case line == "compare":
 		diff, err := dev.DryrunDiff()
 		reply(diff, err)
+	case line == "discard":
+		reply("discarded\n", dev.DiscardCandidate())
 	case line == "commit":
 		reply("committed\n", dev.Commit())
 	case strings.HasPrefix(line, "commit-confirmed-ms "):

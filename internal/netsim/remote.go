@@ -117,6 +117,12 @@ func (r *RemoteDevice) DryrunDiff() (string, error) {
 	return out, mapErr(err)
 }
 
+// DiscardCandidate drops the staged candidate configuration.
+func (r *RemoteDevice) DiscardCandidate() error {
+	_, err := r.c.Do("discard")
+	return mapErr(err)
+}
+
 // Commit activates the candidate configuration.
 func (r *RemoteDevice) Commit() error {
 	_, err := r.c.Do("commit")
