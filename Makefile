@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race bench
+.PHONY: tier1 build vet test race bench bench-generate
 
 # Tier-1 gate: what CI and reviewers run before merging.
 tier1:
@@ -21,6 +21,17 @@ race:
 	$(GO) test -race ./...
 
 # Paper-evaluation and system benchmarks (Figures 12-16, Tables 2-3,
-# materialization, provisioning, parallel deployment).
-bench:
+# materialization, provisioning, parallel deployment), plus the
+# generation-pipeline benchmarks captured to BENCH_generate.json.
+bench: bench-generate
 	$(GO) test -bench=. -benchmem .
+
+# Generation + deployment pipeline benchmarks (serial vs parallel vs
+# memoized site generation, planner indexed-vs-scan, deploy engine),
+# captured as a go-test JSON event stream for trend tracking.
+bench-generate:
+	$(GO) test -json -run '^$$' -benchmem \
+		-bench 'BenchmarkGenerateSite|BenchmarkGenerateDevice|BenchmarkPlanner' \
+		./internal/configgen/ ./internal/fbnet/ > BENCH_generate.json
+	$(GO) test -json -run '^$$' -benchmem -bench . ./internal/deploy/ >> BENCH_generate.json
+	@grep -h '"Output".*ns/op' BENCH_generate.json | sed 's/.*"Output":"//;s/\\n"}//;s/\\t/\t/g'

@@ -28,11 +28,12 @@ func main() {
 	scenario := flag.String("scenario", "lifecycle", "scenario: lifecycle, backbone, drift, outage, distributed, firewall")
 	employee := flag.String("employee", "e-cli", "employee id recorded on design changes")
 	ticket := flag.String("ticket", "T-cli", "ticket id recorded on design changes")
-	parallel := flag.Int("parallel", 0, "max concurrent device commits per deployment phase (0 = auto, min(8, phase size))")
+	parallel := flag.Int("parallel", 0, "max concurrent device commits per deployment phase and concurrent config generations (0 = auto, min(8, n))")
 	flag.Parse()
 
 	r, err := core.New(core.Options{
-		DeployParallelism: *parallel,
+		DeployParallelism:   *parallel,
+		GenerateParallelism: *parallel,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("  | "+format+"\n", args...)
 		}})

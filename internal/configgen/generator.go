@@ -22,6 +22,13 @@ type Generator struct {
 	mu    sync.Mutex
 	cache map[string]*tmpl.Template // template path+hash -> parsed template
 
+	// memoMu guards the memoization layer (memo.go): cached derivations,
+	// rendered configs, and the work counters.
+	memoMu   sync.Mutex
+	derived  map[string]*deriveEntry // device name -> memoized derivation
+	rendered map[string]string       // template hash + wire hash -> config
+	stats    GenStats
+
 	// SyslogTarget is stamped into generated configs as the logging host.
 	SyslogTarget string
 }
@@ -30,7 +37,12 @@ type Generator struct {
 // repository, seeding the built-in vendor templates if the repository does
 // not hold them yet.
 func NewGenerator(store *fbnet.Store, repo *revctl.Repo) (*Generator, error) {
-	g := &Generator{store: store, repo: repo, cache: make(map[string]*tmpl.Template)}
+	g := &Generator{
+		store: store, repo: repo,
+		cache:    make(map[string]*tmpl.Template),
+		derived:  make(map[string]*deriveEntry),
+		rendered: make(map[string]string),
+	}
 	for syntax, body := range map[string]string{
 		"vendor1": Vendor1FullTemplate,
 		"vendor2": Vendor2FullTemplate,
@@ -49,21 +61,28 @@ func NewGenerator(store *fbnet.Store, repo *revctl.Repo) (*Generator, error) {
 func (g *Generator) Repo() *revctl.Repo { return g.repo }
 
 // DeriveDeviceData derives the dynamic config data for one device from
-// FBNet Desired objects.
+// FBNet Desired objects. The result is always freshly computed (and safe
+// for the caller to mutate); the memoized path lives in GenerateDevice.
 func (g *Generator) DeriveDeviceData(deviceName string) (*DeviceData, error) {
-	dev, err := g.store.FindOne("Device", fbnet.Eq("name", deviceName))
+	return g.derive(g.newDeriveCtx(), deviceName)
+}
+
+// derive computes a device's data object, reading through dc so the read
+// set is recorded for memoization.
+func (g *Generator) derive(dc *deriveCtx, deviceName string) (*DeviceData, error) {
+	dev, err := dc.findDevice(deviceName)
 	if err != nil {
 		return nil, err
 	}
-	hw, err := g.store.GetByID("HardwareProfile", dev.Ref("hw_profile"))
+	hw, err := dc.getByID("HardwareProfile", dev.Ref("hw_profile"))
 	if err != nil {
 		return nil, err
 	}
-	vendor, err := g.store.GetByID("Vendor", hw.Ref("vendor"))
+	vendor, err := dc.getByID("Vendor", hw.Ref("vendor"))
 	if err != nil {
 		return nil, err
 	}
-	site, err := g.store.GetByID("Site", dev.Ref("site"))
+	site, err := dc.getByID("Site", dev.Ref("site"))
 	if err != nil {
 		return nil, err
 	}
@@ -79,12 +98,12 @@ func (g *Generator) DeriveDeviceData(deviceName string) (*DeviceData, error) {
 	}
 
 	// Aggregated interfaces with member ports and addressing.
-	aggIDs, err := g.store.DB().Referencing("AggregatedInterface", "device", dev.ID)
+	aggIDs, err := dc.referencing("AggregatedInterface", "device", dev.ID)
 	if err != nil {
 		return nil, err
 	}
 	for _, aggID := range aggIDs {
-		agg, err := g.store.GetByID("AggregatedInterface", aggID)
+		agg, err := dc.getByID("AggregatedInterface", aggID)
 		if err != nil {
 			return nil, err
 		}
@@ -93,12 +112,12 @@ func (g *Generator) DeriveDeviceData(deviceName string) (*DeviceData, error) {
 			Number: int32(agg.Int("number")),
 			MTU:    int32(agg.Int("mtu")),
 		}
-		pifIDs, err := g.store.DB().Referencing("PhysicalInterface", "agg_interface", aggID)
+		pifIDs, err := dc.referencing("PhysicalInterface", "agg_interface", aggID)
 		if err != nil {
 			return nil, err
 		}
 		for _, pifID := range pifIDs {
-			pif, err := g.store.GetByID("PhysicalInterface", pifID)
+			pif, err := dc.getByID("PhysicalInterface", pifID)
 			if err != nil {
 				return nil, err
 			}
@@ -106,12 +125,12 @@ func (g *Generator) DeriveDeviceData(deviceName string) (*DeviceData, error) {
 		}
 		sort.Slice(ad.Pifs, func(i, j int) bool { return ad.Pifs[i].Name < ad.Pifs[j].Name })
 		for _, pm := range []string{"V6Prefix", "V4Prefix"} {
-			pfxIDs, err := g.store.DB().Referencing(pm, "interface", aggID)
+			pfxIDs, err := dc.referencing(pm, "interface", aggID)
 			if err != nil {
 				return nil, err
 			}
 			for _, pid := range pfxIDs {
-				p, err := g.store.GetByID(pm, pid)
+				p, err := dc.getByID(pm, pid)
 				if err != nil {
 					return nil, err
 				}
@@ -133,26 +152,26 @@ func (g *Generator) DeriveDeviceData(deviceName string) (*DeviceData, error) {
 	for _, sm := range []struct{ model, family string }{
 		{"BgpV6Session", "v6"}, {"BgpV4Session", "v4"},
 	} {
-		if err := g.deriveBGP(dev.ID, sm.model, sm.family, data, policyIDs); err != nil {
+		if err := g.deriveBGP(dc, dev.ID, sm.model, sm.family, data, policyIDs); err != nil {
 			return nil, err
 		}
 	}
 	sort.Slice(data.BGPNeighbors, func(i, j int) bool { return data.BGPNeighbors[i].Addr < data.BGPNeighbors[j].Addr })
-	if err := g.derivePolicies(policyIDs, data); err != nil {
+	if err := g.derivePolicies(dc, policyIDs, data); err != nil {
 		return nil, err
 	}
 
 	// MPLS-TE tunnels headed at this device (§2.3).
-	tunnelIDs, err := g.store.DB().Referencing("MplsTunnel", "head_device", dev.ID)
+	tunnelIDs, err := dc.referencing("MplsTunnel", "head_device", dev.ID)
 	if err != nil {
 		return nil, err
 	}
 	for _, tid := range tunnelIDs {
-		t, err := g.store.GetByID("MplsTunnel", tid)
+		t, err := dc.getByID("MplsTunnel", tid)
 		if err != nil {
 			return nil, err
 		}
-		tail, err := g.store.GetByID("Device", t.Ref("tail_device"))
+		tail, err := dc.getByID("Device", t.Ref("tail_device"))
 		if err != nil {
 			return nil, err
 		}
@@ -165,26 +184,26 @@ func (g *Generator) DeriveDeviceData(deviceName string) (*DeviceData, error) {
 	sort.Slice(data.MplsTunnels, func(i, j int) bool { return data.MplsTunnels[i].Name < data.MplsTunnels[j].Name })
 
 	// Firewall policies attached to this device (§5.3.2).
-	attachIDs, err := g.store.DB().Referencing("DeviceFirewall", "device", dev.ID)
+	attachIDs, err := dc.referencing("DeviceFirewall", "device", dev.ID)
 	if err != nil {
 		return nil, err
 	}
 	for _, aid := range attachIDs {
-		att, err := g.store.GetByID("DeviceFirewall", aid)
+		att, err := dc.getByID("DeviceFirewall", aid)
 		if err != nil {
 			return nil, err
 		}
-		policy, err := g.store.GetByID("FirewallPolicy", att.Ref("policy"))
+		policy, err := dc.getByID("FirewallPolicy", att.Ref("policy"))
 		if err != nil {
 			return nil, err
 		}
 		fd := FirewallData{Name: policy.String("name"), Direction: policy.String("direction")}
-		ruleIDs, err := g.store.DB().Referencing("FirewallRule", "policy", policy.ID)
+		ruleIDs, err := dc.referencing("FirewallRule", "policy", policy.ID)
 		if err != nil {
 			return nil, err
 		}
 		for _, rid := range ruleIDs {
-			rule, err := g.store.GetByID("FirewallRule", rid)
+			rule, err := dc.getByID("FirewallRule", rid)
 			if err != nil {
 				return nil, err
 			}
@@ -203,18 +222,18 @@ func (g *Generator) DeriveDeviceData(deviceName string) (*DeviceData, error) {
 
 // deriveBGP adds this device's view of every session it participates in,
 // recording any routing policies the local side must render.
-func (g *Generator) deriveBGP(devID int64, model, family string, data *DeviceData, policyIDs map[int64]bool) error {
+func (g *Generator) deriveBGP(dc *deriveCtx, devID int64, model, family string, data *DeviceData, policyIDs map[int64]bool) error {
 	prefixModel := "V6Prefix"
 	if family == "v4" {
 		prefixModel = "V4Prefix"
 	}
 	// Sessions where this device is the local side: neighbor is remote_addr.
-	localIDs, err := g.store.DB().Referencing(model, "local_device", devID)
+	localIDs, err := dc.referencing(model, "local_device", devID)
 	if err != nil {
 		return err
 	}
 	for _, sid := range localIDs {
-		s, err := g.store.GetByID(model, sid)
+		s, err := dc.getByID(model, sid)
 		if err != nil {
 			return err
 		}
@@ -225,7 +244,7 @@ func (g *Generator) deriveBGP(devID int64, model, family string, data *DeviceDat
 		if addr == "" {
 			continue
 		}
-		desc, err := g.peerDescription(s.Ref("remote_device"))
+		desc, err := g.peerDescription(dc, s.Ref("remote_device"))
 		if err != nil {
 			return err
 		}
@@ -238,7 +257,7 @@ func (g *Generator) deriveBGP(devID int64, model, family string, data *DeviceDat
 			"import_policy": &n.ImportPolicy, "export_policy": &n.ExportPolicy,
 		} {
 			if pid := s.Ref(field); pid != 0 {
-				p, err := g.store.GetByID("RoutingPolicy", pid)
+				p, err := dc.getByID("RoutingPolicy", pid)
 				if err != nil {
 					return err
 				}
@@ -251,12 +270,12 @@ func (g *Generator) deriveBGP(devID int64, model, family string, data *DeviceDat
 	// Sessions where this device is the remote side: the neighbor address
 	// is the local side's prefix address (eBGP over a bundle) or its v6
 	// loopback (iBGP mesh).
-	remoteIDs, err := g.store.DB().Referencing(model, "remote_device", devID)
+	remoteIDs, err := dc.referencing(model, "remote_device", devID)
 	if err != nil {
 		return err
 	}
 	for _, sid := range remoteIDs {
-		s, err := g.store.GetByID(model, sid)
+		s, err := dc.getByID(model, sid)
 		if err != nil {
 			return err
 		}
@@ -266,13 +285,13 @@ func (g *Generator) deriveBGP(devID int64, model, family string, data *DeviceDat
 		peerDevID := s.Ref("local_device")
 		var addr string
 		if pfxID := s.Ref("local_prefix"); pfxID != 0 {
-			p, err := g.store.GetByID(prefixModel, pfxID)
+			p, err := dc.getByID(prefixModel, pfxID)
 			if err != nil {
 				return err
 			}
 			addr = addrOfPrefix(p.String("prefix"))
 		} else if peerDevID != 0 {
-			peer, err := g.store.GetByID("Device", peerDevID)
+			peer, err := dc.getByID("Device", peerDevID)
 			if err != nil {
 				return err
 			}
@@ -285,7 +304,7 @@ func (g *Generator) deriveBGP(devID int64, model, family string, data *DeviceDat
 		if addr == "" {
 			continue
 		}
-		desc, err := g.peerDescription(peerDevID)
+		desc, err := g.peerDescription(dc, peerDevID)
 		if err != nil {
 			return err
 		}
@@ -302,19 +321,19 @@ func (g *Generator) deriveBGP(devID int64, model, family string, data *DeviceDat
 // import policy is "still under development" is exactly the §8 incident
 // ("an engineer used Robotron to turn up the session, instantly saturating
 // the egress link").
-func (g *Generator) derivePolicies(policyIDs map[int64]bool, data *DeviceData) error {
+func (g *Generator) derivePolicies(dc *deriveCtx, policyIDs map[int64]bool, data *DeviceData) error {
 	for pid := range policyIDs {
-		p, err := g.store.GetByID("RoutingPolicy", pid)
+		p, err := dc.getByID("RoutingPolicy", pid)
 		if err != nil {
 			return err
 		}
 		pd := PolicyData{Name: p.String("name")}
-		termIDs, err := g.store.DB().Referencing("PolicyTerm", "policy", pid)
+		termIDs, err := dc.referencing("PolicyTerm", "policy", pid)
 		if err != nil {
 			return err
 		}
 		for _, tid := range termIDs {
-			t, err := g.store.GetByID("PolicyTerm", tid)
+			t, err := dc.getByID("PolicyTerm", tid)
 			if err != nil {
 				return err
 			}
@@ -333,11 +352,11 @@ func (g *Generator) derivePolicies(policyIDs map[int64]bool, data *DeviceData) e
 	return nil
 }
 
-func (g *Generator) peerDescription(devID int64) (string, error) {
+func (g *Generator) peerDescription(dc *deriveCtx, devID int64) (string, error) {
 	if devID == 0 {
 		return "external peer", nil
 	}
-	peer, err := g.store.GetByID("Device", devID)
+	peer, err := dc.getByID("Device", devID)
 	if err != nil {
 		return "", err
 	}
@@ -353,38 +372,48 @@ func addrOfPrefix(pfx string) string {
 }
 
 // GenerateDevice produces the full vendor-specific config for one device.
-// The derived data is round-tripped through its Thrift wire form first —
-// config generation consumes exactly what would cross the RPC boundary.
+// Derivation is memoized against the store's binlog (memo.go). On a fresh
+// result the derived data is round-tripped through its Thrift wire form —
+// config generation consumes exactly what would cross the RPC boundary —
+// and rendered; when the exact (template, wire) pair was rendered before,
+// both the round-trip and the render are skipped.
 func (g *Generator) GenerateDevice(deviceName string) (string, error) {
-	data, err := g.DeriveDeviceData(deviceName)
+	e, err := g.deriveCached(deviceName)
 	if err != nil {
 		return "", err
 	}
-	wire, err := thriftlite.Marshal(data)
-	if err != nil {
-		return "", fmt.Errorf("configgen: serializing device data for %s: %w", deviceName, err)
-	}
-	var decoded DeviceData
-	if err := thriftlite.Unmarshal(wire, &decoded); err != nil {
-		return "", fmt.Errorf("configgen: deserializing device data for %s: %w", deviceName, err)
-	}
-	return g.render(&decoded)
-}
-
-func (g *Generator) render(data *DeviceData) (string, error) {
-	path := TemplatePath(data.Vendor)
+	path := TemplatePath(e.data.Vendor)
 	body, err := g.repo.GetHead(path)
 	if err != nil {
-		return "", fmt.Errorf("configgen: no template for vendor %q: %w", data.Vendor, err)
+		return "", fmt.Errorf("configgen: no template for vendor %q: %w", e.data.Vendor, err)
+	}
+	rkey := revctl.Hash(body) + "\x00" + e.wireHash
+	g.memoMu.Lock()
+	cfg, hit := g.rendered[rkey]
+	if hit {
+		g.stats.RenderHits++
+	}
+	g.memoMu.Unlock()
+	if hit {
+		return cfg, nil
+	}
+	var decoded DeviceData
+	if err := thriftlite.Unmarshal(e.wire, &decoded); err != nil {
+		return "", fmt.Errorf("configgen: deserializing device data for %s: %w", deviceName, err)
 	}
 	t, err := g.compile(path, body)
 	if err != nil {
 		return "", err
 	}
-	out, err := t.Render(map[string]any{"device": data})
+	out, err := t.Render(map[string]any{"device": &decoded})
 	if err != nil {
-		return "", fmt.Errorf("configgen: rendering %s: %w", data.Name, err)
+		return "", fmt.Errorf("configgen: rendering %s: %w", decoded.Name, err)
 	}
+	g.memoMu.Lock()
+	g.stats.RoundTrips++
+	g.stats.Renders++
+	g.rendered[rkey] = out
+	g.memoMu.Unlock()
 	return out, nil
 }
 
@@ -409,8 +438,17 @@ func (g *Generator) compile(path, body string) (*tmpl.Template, error) {
 
 // GenerateSite generates configs for every device at a site ("for a given
 // location such as a POP or DC, Robotron fetches all related objects from
-// FBNet"), returned as device name -> config.
+// FBNet") through the parallel worker pool, returned as device name ->
+// config. One broken device does not block the rest of the site: the map
+// holds every config that generated successfully, and the error — a
+// DeviceErrors when generation failed — names each failing device.
 func (g *Generator) GenerateSite(siteName string) (map[string]string, error) {
+	return g.GenerateSiteParallel(siteName, 0)
+}
+
+// GenerateSiteParallel is GenerateSite with an explicit worker count;
+// parallelism <= 0 selects the default.
+func (g *Generator) GenerateSiteParallel(siteName string, parallelism int) (map[string]string, error) {
 	devs, err := g.store.Find("Device", fbnet.Eq("site.name", siteName))
 	if err != nil {
 		return nil, err
@@ -418,15 +456,11 @@ func (g *Generator) GenerateSite(siteName string) (map[string]string, error) {
 	if len(devs) == 0 {
 		return nil, fmt.Errorf("configgen: no devices at site %q", siteName)
 	}
-	out := make(map[string]string, len(devs))
-	for _, dev := range devs {
-		cfg, err := g.GenerateDevice(dev.String("name"))
-		if err != nil {
-			return nil, err
-		}
-		out[dev.String("name")] = cfg
+	names := make([]string, len(devs))
+	for i, dev := range devs {
+		names[i] = dev.String("name")
 	}
-	return out, nil
+	return g.GenerateMany(names, parallelism)
 }
 
 // GoldenPath is the config-repository path of a device's golden config.

@@ -41,6 +41,10 @@ type Robotron struct {
 	// the deployment engine; 0 uses the engine default (min(8, phase)).
 	DeployParallelism int
 
+	// GenerateParallelism bounds concurrent config generation in the
+	// generator's worker pool; 0 uses the generator default (min(8, n)).
+	GenerateParallelism int
+
 	// Logf receives progress output; nil silences it.
 	Logf func(format string, args ...any)
 }
@@ -60,6 +64,9 @@ type Options struct {
 	// deployments driven through this instance; 0 uses the engine
 	// default (min(8, phase size)).
 	DeployParallelism int
+	// GenerateParallelism bounds concurrent config generation; 0 uses
+	// the generator default (min(8, device count)).
+	GenerateParallelism int
 }
 
 // New builds a complete Robotron instance over fresh state.
@@ -138,7 +145,8 @@ func New(opts Options) (*Robotron, error) {
 		ConfigMon:  cm,
 		Timeseries: ts,
 
-		DeployParallelism: opts.DeployParallelism,
+		DeployParallelism:   opts.DeployParallelism,
+		GenerateParallelism: opts.GenerateParallelism,
 
 		Logf: opts.Logf,
 	}
@@ -320,13 +328,9 @@ func (r *Robotron) ProvisionCluster(ctx design.ChangeContext, siteName, clusterN
 	if err := r.SyncFleet(); err != nil {
 		return out, fmt.Errorf("core: physical build-out failed: %w", err)
 	}
-	configs := make(map[string]string, len(build.DeviceNames))
-	for _, name := range build.DeviceNames {
-		cfg, err := r.Generator.GenerateDevice(name)
-		if err != nil {
-			return out, fmt.Errorf("core: config generation failed: %w", err)
-		}
-		configs[name] = cfg
+	configs, err := r.Generator.GenerateMany(build.DeviceNames, r.GenerateParallelism)
+	if err != nil {
+		return out, fmt.Errorf("core: config generation failed: %w", err)
 	}
 	r.logf("configgen: %d device configs generated", len(configs))
 
@@ -391,13 +395,9 @@ func (r *Robotron) ProvisionCluster(ctx design.ChangeContext, siteName, clusterN
 // failed or rolled-back deployment correctly leaves the device flagged as
 // deviating until it is retried.
 func (r *Robotron) GenerateAndDeploy(devices []string, opts deploy.Options, author string) (deploy.Report, error) {
-	configs := make(map[string]string, len(devices))
-	for _, name := range devices {
-		cfg, err := r.Generator.GenerateDevice(name)
-		if err != nil {
-			return deploy.Report{}, err
-		}
-		configs[name] = cfg
+	configs, err := r.Generator.GenerateMany(devices, r.GenerateParallelism)
+	if err != nil {
+		return deploy.Report{}, err
 	}
 	for name, cfg := range configs {
 		if _, err := r.Generator.CommitGolden(name, cfg, author, "incremental update intent"); err != nil {

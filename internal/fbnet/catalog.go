@@ -48,7 +48,7 @@ func registerDesired(r *Registry) {
 		Doc: "A physical network location: an edge POP, a data center, or a backbone location.",
 		Fields: []Field{
 			{Name: "name", Type: relstore.ColString, Unique: true, Validate: ValidateNonEmpty},
-			{Name: "kind", Type: relstore.ColString, Validate: ValidateOneOf("pop", "dc", "backbone")},
+			{Name: "kind", Type: relstore.ColString, Indexed: true, Validate: ValidateOneOf("pop", "dc", "backbone")},
 			{Name: "region", Kind: RelationField, Target: "Region", OnDelete: relstore.Restrict},
 		},
 	})
@@ -59,7 +59,7 @@ func registerDesired(r *Registry) {
 			{Name: "name", Type: relstore.ColString, Unique: true, Validate: ValidateNonEmpty},
 			{Name: "site", Kind: RelationField, Target: "Site", OnDelete: relstore.Restrict},
 			{Name: "generation", Type: relstore.ColString},
-			{Name: "status", Type: relstore.ColString, Validate: ValidateOneOf("planned", "provisioning", "production", "decommissioned")},
+			{Name: "status", Type: relstore.ColString, Indexed: true, Validate: ValidateOneOf("planned", "provisioning", "production", "decommissioned")},
 		},
 	})
 	r.MustRegister(Model{
@@ -115,7 +115,7 @@ func registerDesired(r *Registry) {
 		Doc: "A network device: peering router (PR), backbone router (BB), datacenter router (DR), aggregation switch (PSW/FSW), or rack switch (TOR).",
 		Fields: []Field{
 			{Name: "name", Type: relstore.ColString, Unique: true, Validate: ValidateNonEmpty},
-			{Name: "role", Type: relstore.ColString, Validate: ValidateOneOf("pr", "bb", "dr", "psw", "fsw", "ssw", "tor")},
+			{Name: "role", Type: relstore.ColString, Indexed: true, Validate: ValidateOneOf("pr", "bb", "dr", "psw", "fsw", "ssw", "tor")},
 			{Name: "site", Kind: RelationField, Target: "Site", OnDelete: relstore.Restrict},
 			{Name: "cluster", Kind: RelationField, Target: "Cluster", OnDelete: relstore.Cascade, Nullable: true},
 			{Name: "hw_profile", Kind: RelationField, Target: "HardwareProfile", OnDelete: relstore.Restrict},
@@ -124,7 +124,7 @@ func registerDesired(r *Registry) {
 			{Name: "loopback_v4", Type: relstore.ColString, Nullable: true, Validate: ValidateV4Prefix},
 			// drain_state is the paper's example of a purely operational
 			// attribute added to Desired models over time (§6.1).
-			{Name: "drain_state", Type: relstore.ColString, Validate: ValidateOneOf("drained", "undrained")},
+			{Name: "drain_state", Type: relstore.ColString, Indexed: true, Validate: ValidateOneOf("drained", "undrained")},
 			{Name: "os_image", Kind: RelationField, Target: "OsImage", OnDelete: relstore.Restrict, Nullable: true},
 		},
 	})
@@ -185,7 +185,7 @@ func registerDesired(r *Registry) {
 			{Name: "z_interface", Kind: RelationField, Target: "PhysicalInterface", OnDelete: relstore.SetNull, Nullable: true, ReverseName: "circuits_z"},
 			{Name: "link_group", Kind: RelationField, Target: "LinkGroup", OnDelete: relstore.Cascade, Nullable: true},
 			{Name: "provider", Kind: RelationField, Target: "CircuitProvider", OnDelete: relstore.Restrict, Nullable: true},
-			{Name: "status", Type: relstore.ColString, Validate: ValidateOneOf("planned", "provisioning", "production", "decommissioned")},
+			{Name: "status", Type: relstore.ColString, Indexed: true, Validate: ValidateOneOf("planned", "provisioning", "production", "decommissioned")},
 		},
 	})
 
@@ -459,7 +459,7 @@ func registerDerived(r *Registry) {
 		Name: "DerivedInterface", Group: Derived,
 		Doc: "Operational view of an interface; carries oper_status, the §4.1.2 example of a Derived-only attribute.",
 		Fields: []Field{
-			{Name: "device_name", Type: relstore.ColString},
+			{Name: "device_name", Type: relstore.ColString, Indexed: true},
 			{Name: "name", Type: relstore.ColString},
 			{Name: "oper_status", Type: relstore.ColString, Validate: ValidateOneOf("up", "down")},
 			{Name: "speed_mbps", Type: relstore.ColInt},
@@ -470,7 +470,7 @@ func registerDerived(r *Registry) {
 		Name: "DerivedLldpNeighbor", Group: Derived,
 		Doc: "One LLDP adjacency collected from a device.",
 		Fields: []Field{
-			{Name: "device_name", Type: relstore.ColString},
+			{Name: "device_name", Type: relstore.ColString, Indexed: true},
 			{Name: "interface_name", Type: relstore.ColString},
 			{Name: "neighbor_device", Type: relstore.ColString},
 			{Name: "neighbor_interface", Type: relstore.ColString},
@@ -491,7 +491,7 @@ func registerDerived(r *Registry) {
 		Name: "DerivedBgpSession", Group: Derived,
 		Doc: "Operational state of a BGP session collected from a device.",
 		Fields: []Field{
-			{Name: "device_name", Type: relstore.ColString},
+			{Name: "device_name", Type: relstore.ColString, Indexed: true},
 			{Name: "peer_addr", Type: relstore.ColString},
 			{Name: "family", Type: relstore.ColString, Validate: ValidateOneOf("v4", "v6")},
 			{Name: "state", Type: relstore.ColString},

@@ -58,6 +58,10 @@ type Field struct {
 	Type     relstore.ColType
 	Nullable bool
 	Unique   bool
+	// Indexed declares a non-unique secondary index on the field, so the
+	// query planner answers Eq/In lookups on it from the index instead of
+	// scanning the whole table (role, drain_state, status-style fields).
+	Indexed  bool
 	Validate func(v any) error
 
 	// Relation field properties.

@@ -20,7 +20,7 @@ func bigStore(t testing.TB, n int) *Store {
 		for i := 0; i < n; i++ {
 			if _, err := m.Create("Device", map[string]any{
 				"name": fmt.Sprintf("dev%05d", i), "role": "psw", "site": site,
-				"hw_profile": hw, "drain_state": "undrained",
+				"hw_profile": hw, "drain_state": "undrained", "mgmt_ip": "10.9.9.9",
 			}); err != nil {
 				return err
 			}
@@ -42,9 +42,25 @@ func TestPlannerMatchesScan(t *testing.T) {
 		Eq("name", "missing"),
 		Eq("id", int64(5)),
 		Eq("id", int64(999999)),
+		Eq("id", "not-an-id"),
 		And(Eq("name", "dev00042"), Eq("role", "psw")),
 		And(Eq("name", "dev00042"), Eq("role", "pr")),  // name hits, role filters out
 		And(Eq("role", "psw"), Eq("name", "dev00007")), // indexable conjunct second
+		// secondary index
+		Eq("role", "psw"),
+		Eq("role", "pr"),
+		Eq("drain_state", "drained"),
+		// In over unique / secondary / id indexes
+		In("name", "dev00001", "dev00002", "missing"),
+		In("name"),
+		In("id", int64(1), 2, int64(999999)),
+		In("role", "psw", "pr"),
+		// dotted paths answered backward through ref indexes
+		Eq("site.name", "pop1"),
+		Eq("site.name", "nope"),
+		Eq("site.region.name", "r"),
+		Eq("site.kind", "pop"),
+		Eq("hw_profile.vendor.name", "v1"),
 	}
 	for _, q := range cases {
 		planned, err := s.Find("Device", q)
@@ -91,16 +107,63 @@ func TestPlannerInsideMutation(t *testing.T) {
 	}
 }
 
-// TestPlannerNonUniqueFallsBack: Eq on a non-unique field scans and finds
-// everything.
-func TestPlannerNonUniqueFallsBack(t *testing.T) {
+// TestPlannerUnindexedFallsBack: Eq on a field with no index of any kind
+// (mgmt_ip) scans and finds everything.
+func TestPlannerUnindexedFallsBack(t *testing.T) {
 	s := bigStore(t, 50)
-	objs, err := s.Find("Device", Eq("role", "psw"))
+	objs, err := s.Find("Device", Eq("mgmt_ip", "10.9.9.9"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(objs) != 50 {
-		t.Errorf("non-unique Eq found %d rows, want 50", len(objs))
+		t.Errorf("unindexed Eq found %d rows, want 50", len(objs))
+	}
+}
+
+// TestPlannerRelationEq: Eq on a relation field is answered from the fk
+// refIndex, including inside a mutation seeing uncommitted rows.
+func TestPlannerRelationEq(t *testing.T) {
+	s := bigStore(t, 20)
+	site, err := s.FindOne("Site", Eq("name", "pop1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs, err := s.Find("Device", Eq("site", site.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 20 {
+		t.Fatalf("Eq(site) found %d devices, want 20", len(objs))
+	}
+	scanned, err := s.Find("Device", Or(Eq("site", site.ID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scanned) != len(objs) {
+		t.Fatalf("planned %d != scanned %d", len(objs), len(scanned))
+	}
+	_, err = s.Mutate(func(m *Mutation) error {
+		hw, err := m.FindOne("HardwareProfile", Eq("name", "p"))
+		if err != nil {
+			return err
+		}
+		if _, err := m.Create("Device", map[string]any{
+			"name": "fresh", "role": "psw", "site": site.ID,
+			"hw_profile": hw.ID, "drain_state": "undrained",
+		}); err != nil {
+			return err
+		}
+		in, err := m.Find("Device", Eq("site", site.ID))
+		if err != nil {
+			return err
+		}
+		if len(in) != 21 {
+			return fmt.Errorf("planner missed uncommitted fk row: got %d, want 21", len(in))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -131,6 +194,109 @@ func BenchmarkFindOneScan(b *testing.B) {
 			b.Fatalf("%v %d", err, len(objs))
 		}
 		sinkObjs = objs
+	}
+}
+
+// multiSiteStore seeds many sites of fixed size so relationship lookups
+// have a constant-size answer while the tables grow: devsPerSite devices
+// per site, 2 linecards per device.
+func multiSiteStore(tb testing.TB, sites, devsPerSite int) *Store {
+	tb.Helper()
+	s := newTestStore(tb)
+	_, err := s.Mutate(func(m *Mutation) error {
+		region, _ := m.Create("Region", map[string]any{"name": "r"})
+		v, _ := m.Create("Vendor", map[string]any{"name": "v1", "syntax": "vendor1"})
+		hw, _ := m.Create("HardwareProfile", map[string]any{
+			"name": "p", "vendor": v, "num_slots": 2, "ports_per_linecard": 8, "port_speed_mbps": 10000})
+		for si := 0; si < sites; si++ {
+			site, err := m.Create("Site", map[string]any{
+				"name": fmt.Sprintf("site%05d", si), "kind": "pop", "region": region})
+			if err != nil {
+				return err
+			}
+			for di := 0; di < devsPerSite; di++ {
+				dev, err := m.Create("Device", map[string]any{
+					"name": fmt.Sprintf("dev%05d.%05d", di, si), "role": "psw",
+					"site": site, "hw_profile": hw, "drain_state": "undrained",
+				})
+				if err != nil {
+					return err
+				}
+				for slot := 0; slot < 2; slot++ {
+					if _, err := m.Create("Linecard", map[string]any{"slot": slot, "device": dev}); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkPlannerSiteDevices measures Eq("site.name", x) — a backward
+// ref-index plan returning a constant 8 devices — against the scan, at
+// growing table sizes. The indexed time should stay flat while the scan
+// grows linearly.
+func BenchmarkPlannerSiteDevices(b *testing.B) {
+	for _, sites := range []int{50, 500} {
+		s := multiSiteStore(b, sites, 8)
+		q := Eq("site.name", "site00000")
+		b.Run(fmt.Sprintf("indexed/sites=%d", sites), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				objs, err := s.Find("Device", q)
+				if err != nil || len(objs) != 8 {
+					b.Fatalf("%v %d", err, len(objs))
+				}
+				sinkObjs = objs
+			}
+		})
+		b.Run(fmt.Sprintf("scan/sites=%d", sites), func(b *testing.B) {
+			b.ReportAllocs()
+			scan := Or(q) // defeats the planner
+			for i := 0; i < b.N; i++ {
+				objs, err := s.Find("Device", scan)
+				if err != nil || len(objs) != 8 {
+					b.Fatalf("%v %d", err, len(objs))
+				}
+				sinkObjs = objs
+			}
+		})
+	}
+}
+
+// BenchmarkPlannerDeviceLinecards measures the Eq("device.name", x)
+// relationship lookup on Linecard — the paper's "linecards of device X"
+// access — indexed vs scan at growing table sizes.
+func BenchmarkPlannerDeviceLinecards(b *testing.B) {
+	for _, sites := range []int{50, 500} {
+		s := multiSiteStore(b, sites, 8)
+		q := Eq("device.name", "dev00000.00000")
+		b.Run(fmt.Sprintf("indexed/sites=%d", sites), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				objs, err := s.Find("Linecard", q)
+				if err != nil || len(objs) != 2 {
+					b.Fatalf("%v %d", err, len(objs))
+				}
+				sinkObjs = objs
+			}
+		})
+		b.Run(fmt.Sprintf("scan/sites=%d", sites), func(b *testing.B) {
+			b.ReportAllocs()
+			scan := Or(q)
+			for i := 0; i < b.N; i++ {
+				objs, err := s.Find("Linecard", scan)
+				if err != nil || len(objs) != 2 {
+					b.Fatalf("%v %d", err, len(objs))
+				}
+				sinkObjs = objs
+			}
+		})
 	}
 }
 

@@ -1,7 +1,6 @@
 package fbnet
 
 import (
-	"errors"
 	"fmt"
 	"regexp"
 	"strings"
@@ -314,6 +313,7 @@ type reader interface {
 	selectAll(table string) ([]relstore.Row, error)
 	referencing(table, col string, id int64) ([]int64, error)
 	lookupUnique(table, col string, v any) (int64, bool, error)
+	lookupIndexed(table, col string, v any) ([]int64, error)
 }
 
 type dbReader struct{ db *relstore.DB }
@@ -326,6 +326,9 @@ func (r dbReader) referencing(table, col string, id int64) ([]int64, error) {
 func (r dbReader) lookupUnique(table, col string, v any) (int64, bool, error) {
 	return r.db.LookupUnique(table, col, v)
 }
+func (r dbReader) lookupIndexed(table, col string, v any) ([]int64, error) {
+	return r.db.LookupIndexed(table, col, v)
+}
 
 type txReader struct{ tx *relstore.Tx }
 
@@ -337,69 +340,20 @@ func (r txReader) referencing(table, col string, id int64) ([]int64, error) {
 func (r txReader) lookupUnique(table, col string, v any) (int64, bool, error) {
 	return r.tx.LookupUnique(table, col, v)
 }
+func (r txReader) lookupIndexed(table, col string, v any) ([]int64, error) {
+	return r.tx.LookupIndexed(table, col, v)
+}
 
-// planRows is the query planner: for a top-level Eq on a unique local
-// value field (or on id), it answers from the unique index instead of
-// scanning the table — the common FindOne(name) access path the design
-// and generation stages issue constantly. And-composed queries plan on
-// any indexable conjunct. Everything else falls back to the full scan.
+// planRows consults the query planner (planner.go): indexable queries are
+// answered from the unique, secondary, and foreign-key indexes instead of
+// scanning the table; everything else falls back to the full scan. The
+// caller still evaluates the query against the planned rows, so a planner
+// strategy only has to return a superset-free exact candidate set.
 func planRows(reg *Registry, r reader, model string, q Query) ([]relstore.Row, error) {
 	if rows, ok, err := planIndexed(reg, r, model, q); err != nil || ok {
 		return rows, err
 	}
 	return r.selectAll(model)
-}
-
-func planIndexed(reg *Registry, r reader, model string, q Query) ([]relstore.Row, bool, error) {
-	switch e := q.(type) {
-	case *cmpExpr:
-		if e.op != opEq || len(e.rvals) != 1 || strings.Contains(e.field, ".") {
-			return nil, false, nil
-		}
-		if e.field == "id" {
-			id, isInt := normInt(e.rvals[0])
-			if !isInt {
-				return nil, false, nil
-			}
-			row, err := r.get(model, id)
-			if errors.Is(err, relstore.ErrNoRow) {
-				return nil, true, nil // absent id: empty result, not an error
-			}
-			if err != nil {
-				return nil, false, err
-			}
-			return []relstore.Row{row}, true, nil
-		}
-		m, ok := reg.Model(model)
-		if !ok {
-			return nil, false, nil
-		}
-		f, ok := m.Field(e.field)
-		if !ok || f.Kind != ValueField || !f.Unique {
-			return nil, false, nil
-		}
-		id, found, err := r.lookupUnique(model, e.field, e.rvals[0])
-		if err != nil {
-			return nil, false, nil // fall back to scan on index mismatch
-		}
-		if !found {
-			return nil, true, nil
-		}
-		row, err := r.get(model, id)
-		if err != nil {
-			return nil, false, err
-		}
-		return []relstore.Row{row}, true, nil
-	case *andExpr:
-		// Plan on the first indexable conjunct; the caller still evaluates
-		// the full query against the narrowed row set.
-		for _, sub := range e.subs {
-			if rows, ok, err := planIndexed(reg, r, model, sub); ok || err != nil {
-				return rows, ok, err
-			}
-		}
-	}
-	return nil, false, nil
 }
 
 // resolver evaluates dotted field paths against rows.

@@ -109,6 +109,123 @@ func sameIDs(a, b map[int64]bool) bool {
 	return true
 }
 
+// randPlannable builds a random query the planner can answer from an
+// index: id literals, the unique name index, the role/drain_state
+// secondary indexes, the site fk refIndex, dotted ref-index paths, and
+// And-compositions of those — every strategy planIndexed implements.
+func randPlannable(r *rand.Rand, siteIDs []int64) Query {
+	roles := []string{"pr", "psw", "tor", "dr", "bb"}
+	name := func() string { return fmt.Sprintf("dev%03d", r.Intn(90)) }
+	switch r.Intn(10) {
+	case 0:
+		return Eq("id", int64(r.Intn(90)))
+	case 1:
+		return In("id", int64(r.Intn(90)), r.Intn(90), "bogus")
+	case 2:
+		return Eq("name", name())
+	case 3:
+		return In("name", name(), name(), "missing")
+	case 4:
+		return Eq("role", roles[r.Intn(len(roles))])
+	case 5:
+		return In("role", roles[r.Intn(len(roles))], roles[r.Intn(len(roles))])
+	case 6:
+		return Eq("site", siteIDs[r.Intn(len(siteIDs))])
+	case 7:
+		return Eq("site.name", []string{"pop1", "pop2", "dc1", "nope"}[r.Intn(4)])
+	case 8:
+		return Eq("site.region.name", []string{"r1", "r2"}[r.Intn(2)])
+	default:
+		return And(randPlannable(r, siteIDs), randPredicate(r))
+	}
+}
+
+// orderedIDsOfFind returns matching ids in result order.
+func orderedIDsOfFind(t *testing.T, s *Store, q Query) []int64 {
+	t.Helper()
+	objs, err := s.Find("Device", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int64, len(objs))
+	for i, o := range objs {
+		out[i] = o.ID
+	}
+	return out
+}
+
+// TestQuickPlannerEquivalence: on randomized populations, every planned
+// query path returns exactly the rows — in the same id order — that the
+// full scan returns, before and after random mutations that exercise
+// index maintenance.
+func TestQuickPlannerEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		s := newTestStore(t)
+		seedPopulation(t, s, r, 40+r.Intn(40))
+		sites, err := s.Find("Site", All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		siteIDs := make([]int64, len(sites))
+		for i, o := range sites {
+			siteIDs[i] = o.ID
+		}
+		check := func(round string) {
+			for trial := 0; trial < 60; trial++ {
+				q := randPlannable(r, siteIDs)
+				planned := orderedIDsOfFind(t, s, q)
+				scanned := orderedIDsOfFind(t, s, Or(q)) // Or defeats the planner
+				if len(planned) != len(scanned) {
+					t.Fatalf("seed %d %s trial %d: %s: planned %v, scan %v", seed, round, trial, q, planned, scanned)
+				}
+				for i := range planned {
+					if planned[i] != scanned[i] {
+						t.Fatalf("seed %d %s trial %d: %s: planned %v, scan %v", seed, round, trial, q, planned, scanned)
+					}
+				}
+			}
+		}
+		check("fresh")
+		// Random churn: moves in the unique, secondary, and ref indexes.
+		devs, err := s.Find("Device", All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gone := map[int64]bool{}
+		_, err = s.Mutate(func(m *Mutation) error {
+			for i := 0; i < 15 && i < len(devs); i++ {
+				d := devs[r.Intn(len(devs))]
+				if gone[d.ID] {
+					continue
+				}
+				switch r.Intn(3) {
+				case 0:
+					if err := m.Update("Device", d.ID, map[string]any{
+						"role": []string{"pr", "psw", "tor", "dr"}[r.Intn(4)]}); err != nil {
+						return err
+					}
+				case 1:
+					if err := m.Update("Device", d.ID, map[string]any{
+						"site": siteIDs[r.Intn(len(siteIDs))]}); err != nil {
+						return err
+					}
+				case 2:
+					if err := m.Delete("Device", d.ID); err != nil {
+						return err
+					}
+					gone[d.ID] = true
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("churned")
+	}
+}
+
 func TestQuickQueryAlgebra(t *testing.T) {
 	s := newTestStore(t)
 	r := rand.New(rand.NewSource(42))

@@ -60,7 +60,7 @@ func Open(db *relstore.DB, reg *Registry) (*Store, error) {
 			case ValueField:
 				def.Columns = append(def.Columns, relstore.Column{
 					Name: f.Name, Type: f.Type, Nullable: f.Nullable,
-					Unique: f.Unique, Validate: f.Validate,
+					Unique: f.Unique, Indexed: f.Indexed, Validate: f.Validate,
 				})
 			case RelationField:
 				def.Columns = append(def.Columns, relstore.Column{
@@ -119,7 +119,7 @@ func (s *Store) AddField(model string, f Field) error {
 	}
 	if err := s.db.AlterAddColumn(model, relstore.Column{
 		Name: f.Name, Type: f.Type, Nullable: true,
-		Unique: f.Unique, Validate: f.Validate,
+		Unique: f.Unique, Indexed: f.Indexed, Validate: f.Validate,
 	}); err != nil {
 		return err
 	}

@@ -16,6 +16,14 @@ type Fleet struct {
 	mu      sync.Mutex
 	devices map[string]*Device
 	cables  []cable
+
+	// recomputeMu serializes whole Recompute passes. Commits from a
+	// parallel deployment trigger concurrent recomputes; without this, a
+	// pass computed from a stale snapshot (a peer's config not yet
+	// committed) can write its LLDP/link tables after a newer pass and
+	// leave a one-sided adjacency. Serialized, the last pass to run reads
+	// post-commit state and settles every table consistently.
+	recomputeMu sync.Mutex
 }
 
 type cable struct {
@@ -131,6 +139,8 @@ func (f *Fleet) Uncable(dev, iface string) bool {
 // from cabling + configs + device health. Called automatically on wiring
 // changes and config commits.
 func (f *Fleet) Recompute() {
+	f.recomputeMu.Lock()
+	defer f.recomputeMu.Unlock()
 	f.mu.Lock()
 	cables := append([]cable(nil), f.cables...)
 	devs := make(map[string]*Device, len(f.devices))

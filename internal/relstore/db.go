@@ -15,18 +15,25 @@ type table struct {
 	// refIndex maps fk column name -> referenced id -> set of referencing
 	// row ids in this table, to make referential actions O(refs).
 	refIndex map[string]map[int64]map[int64]struct{}
+	// secondary maps column name -> value -> set of row ids, for Indexed
+	// (non-unique) columns, so point lookups are O(matches).
+	secondary map[string]map[any]map[int64]struct{}
 }
 
 func newTable(def TableDef) *table {
 	t := &table{
-		def:      def,
-		rows:     make(map[int64]map[string]any),
-		unique:   make(map[string]map[any]int64),
-		refIndex: make(map[string]map[int64]map[int64]struct{}),
+		def:       def,
+		rows:      make(map[int64]map[string]any),
+		unique:    make(map[string]map[any]int64),
+		refIndex:  make(map[string]map[int64]map[int64]struct{}),
+		secondary: make(map[string]map[any]map[int64]struct{}),
 	}
 	for _, c := range def.Columns {
 		if c.Unique {
 			t.unique[c.Name] = make(map[any]int64)
+		}
+		if c.Indexed {
+			t.secondary[c.Name] = make(map[any]map[int64]struct{})
 		}
 	}
 	for _, fk := range def.ForeignKeys {
@@ -50,6 +57,25 @@ func (t *table) unindexRef(col string, refID, rowID int64) {
 		delete(s, rowID)
 		if len(s) == 0 {
 			delete(t.refIndex[col], refID)
+		}
+	}
+}
+
+func (t *table) indexSecondary(col string, v any, rowID int64) {
+	m := t.secondary[col]
+	s, ok := m[v]
+	if !ok {
+		s = make(map[int64]struct{})
+		m[v] = s
+	}
+	s[rowID] = struct{}{}
+}
+
+func (t *table) unindexSecondary(col string, v any, rowID int64) {
+	if s, ok := t.secondary[col][v]; ok {
+		delete(s, rowID)
+		if len(s) == 0 {
+			delete(t.secondary[col], v)
 		}
 	}
 }
@@ -131,6 +157,11 @@ func (t *table) addColumn(col Column) error {
 	t.def.Columns = append(t.def.Columns, col)
 	if col.Unique {
 		t.unique[col.Name] = make(map[any]int64)
+	}
+	if col.Indexed {
+		// Existing rows read the new column as NULL, which is never
+		// indexed, so the fresh empty index is already consistent.
+		t.secondary[col.Name] = make(map[any]map[int64]struct{})
 	}
 	return nil
 }
@@ -221,11 +252,47 @@ func (db *DB) LookupUnique(tableName, col string, v any) (int64, bool, error) {
 	if !ok {
 		return 0, false, fmt.Errorf("relstore: %s.%s is not a unique column", tableName, col)
 	}
-	if n, isInt := v.(int); isInt {
-		v = int64(n)
-	}
-	id, found := idx[v]
+	id, found := idx[normIndexValue(v)]
 	return id, found, nil
+}
+
+// normIndexValue widens integer index keys to int64, matching how
+// checkValue normalizes stored values. Other types are looked up as-is so
+// index lookups agree exactly with scan-and-compare semantics.
+func normIndexValue(v any) any {
+	switch n := v.(type) {
+	case int:
+		return int64(n)
+	case int32:
+		return int64(n)
+	}
+	return v
+}
+
+// LookupIndexed returns the ids of rows whose Indexed (non-unique) column
+// equals v, in ascending id order.
+func (db *DB) LookupIndexed(tableName, col string, v any) ([]int64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("relstore: no such table %q", tableName)
+	}
+	return t.lookupIndexed(tableName, col, v)
+}
+
+func (t *table) lookupIndexed(tableName, col string, v any) ([]int64, error) {
+	idx, ok := t.secondary[col]
+	if !ok {
+		return nil, fmt.Errorf("relstore: %s.%s is not an indexed column", tableName, col)
+	}
+	set := idx[normIndexValue(v)]
+	ids := make([]int64, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sortInt64s(ids)
+	return ids, nil
 }
 
 // Referencing returns the ids of rows in tableName whose fkCol references
@@ -278,6 +345,14 @@ func (db *DB) Seq() uint64 {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.seq
+}
+
+// EntriesSince returns the binlog entries with Seq > after. Consumers such
+// as the config generator's memoization layer use it to decide whether
+// anything relevant changed since a cached derivation; the returned slice
+// shares value maps with the binlog and must be treated as read-only.
+func (db *DB) EntriesSince(after uint64) []LogEntry {
+	return db.entriesSince(after)
 }
 
 // entriesSince returns binlog entries with Seq > after.

@@ -71,6 +71,11 @@ type Column struct {
 	Type     ColType
 	Nullable bool
 	Unique   bool
+	// Indexed declares a non-unique secondary index on the column: a
+	// value → id-set map maintained under transactional insert, update,
+	// delete, rollback, and binlog replication. Point lookups on indexed
+	// columns (LookupIndexed) are O(matches) instead of O(table).
+	Indexed bool
 	// Validate, if set, is called with each non-nil candidate value before
 	// insert/update (FBNet uses this for per-field validation such as
 	// V6PrefixField, Fig. 6).

@@ -185,11 +185,18 @@ func (tx *Tx) LookupUnique(tableName, col string, v any) (int64, bool, error) {
 	if !ok {
 		return 0, false, fmt.Errorf("relstore: %s.%s is not a unique column", tableName, col)
 	}
-	if n, isInt := v.(int); isInt {
-		v = int64(n)
-	}
-	id, found := idx[v]
+	id, found := idx[normIndexValue(v)]
 	return id, found, nil
+}
+
+// LookupIndexed finds row ids by an Indexed (non-unique) column value
+// within the transaction, in ascending id order.
+func (tx *Tx) LookupIndexed(tableName, col string, v any) ([]int64, error) {
+	t, err := tx.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	return t.lookupIndexed(tableName, col, v)
 }
 
 // Referencing lists rows whose fkCol references refID, within the transaction.
@@ -380,6 +387,11 @@ func (t *table) indexRow(id int64, vals map[string]any) {
 			idx[v] = id
 		}
 	}
+	for col := range t.secondary {
+		if v := vals[col]; v != nil {
+			t.indexSecondary(col, v, id)
+		}
+	}
 	for _, fk := range t.def.ForeignKeys {
 		if v := vals[fk.Column]; v != nil {
 			t.indexRef(fk.Column, v.(int64), id)
@@ -396,6 +408,11 @@ func (t *table) unindexRow(id int64, vals map[string]any, changed map[string]any
 				delete(idx, v)
 			}
 		}
+		if _, ok := t.secondary[col]; ok {
+			if v := vals[col]; v != nil {
+				t.unindexSecondary(col, v, id)
+			}
+		}
 		if _, ok := t.refIndex[col]; ok {
 			if v := vals[col]; v != nil {
 				t.unindexRef(col, v.(int64), id)
@@ -410,6 +427,11 @@ func (t *table) reindexRow(id int64, vals map[string]any, changed map[string]any
 		if idx, ok := t.unique[col]; ok {
 			if v := vals[col]; v != nil {
 				idx[v] = id
+			}
+		}
+		if _, ok := t.secondary[col]; ok {
+			if v := vals[col]; v != nil {
+				t.indexSecondary(col, v, id)
 			}
 		}
 		if _, ok := t.refIndex[col]; ok {
