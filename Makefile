@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race bench bench-generate
+.PHONY: tier1 build vet test race bench bench-generate bench-reconcile
 
 # Tier-1 gate: what CI and reviewers run before merging.
 tier1:
@@ -23,7 +23,7 @@ race:
 # Paper-evaluation and system benchmarks (Figures 12-16, Tables 2-3,
 # materialization, provisioning, parallel deployment), plus the
 # generation-pipeline benchmarks captured to BENCH_generate.json.
-bench: bench-generate
+bench: bench-generate bench-reconcile
 	$(GO) test -bench=. -benchmem .
 
 # Generation + deployment pipeline benchmarks (serial vs parallel vs
@@ -35,3 +35,12 @@ bench-generate:
 		./internal/configgen/ ./internal/fbnet/ > BENCH_generate.json
 	$(GO) test -json -run '^$$' -benchmem -bench . ./internal/deploy/ >> BENCH_generate.json
 	@grep -h '"Output".*ns/op' BENCH_generate.json | sed 's/.*"Output":"//;s/\\n"}//;s/\\t/\t/g'
+
+# Reconciliation-loop benchmark: time-to-convergence when the whole
+# fleet drifts at once, vs fleet size (8/64/256), captured as a go-test
+# JSON event stream for trend tracking.
+bench-reconcile:
+	$(GO) test -json -run '^$$' -benchmem \
+		-bench 'BenchmarkReconcileConverge' \
+		./internal/reconcile/ > BENCH_reconcile.json
+	@grep -h '"Output".*ns/op' BENCH_reconcile.json | sed 's/.*"Output":"//;s/\\n"}//;s/\\t/\t/g'

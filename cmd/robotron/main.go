@@ -10,6 +10,7 @@
 //	robotron -scenario outage      # fiber cut detected by audit
 //	robotron -scenario distributed # every stage boundary over a real socket
 //	robotron -scenario firewall    # phased ACL rollout across a cluster
+//	robotron -reconcile            # closed-loop drift reconciliation demo
 package main
 
 import (
@@ -17,23 +18,37 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/robotron-net/robotron/internal/core"
 	"github.com/robotron-net/robotron/internal/deploy"
 	"github.com/robotron-net/robotron/internal/design"
 	"github.com/robotron-net/robotron/internal/fbnet"
+	"github.com/robotron-net/robotron/internal/reconcile"
 )
 
 func main() {
-	scenario := flag.String("scenario", "lifecycle", "scenario: lifecycle, backbone, drift, outage, distributed, firewall")
+	scenario := flag.String("scenario", "lifecycle", "scenario: lifecycle, backbone, drift, outage, distributed, firewall, reconcile")
+	reconcileMode := flag.Bool("reconcile", false, "shorthand for -scenario reconcile")
 	employee := flag.String("employee", "e-cli", "employee id recorded on design changes")
 	ticket := flag.String("ticket", "T-cli", "ticket id recorded on design changes")
 	parallel := flag.Int("parallel", 0, "max concurrent device commits per deployment phase and concurrent config generations (0 = auto, min(8, n))")
 	flag.Parse()
+	if *reconcileMode {
+		*scenario = "reconcile"
+	}
 
 	r, err := core.New(core.Options{
 		DeployParallelism:   *parallel,
 		GenerateParallelism: *parallel,
+		EnableReconciler:    *scenario == "reconcile",
+		Reconcile: reconcile.Config{
+			BackoffBase: 20 * time.Millisecond, BackoffMax: 200 * time.Millisecond,
+			DampingWindow: time.Hour, DampingThreshold: 3,
+			// The demo drifts two devices at once; the default budget of
+			// min(4, 25% of a 6-device fleet) = 1 would trip the breaker.
+			BudgetMaxDevices: 3, BudgetMaxFraction: 0.5,
+		},
 		Logf: func(format string, args ...any) {
 			fmt.Printf("  | "+format+"\n", args...)
 		}})
@@ -59,6 +74,8 @@ func main() {
 		scenarioDistributed(*employee, *ticket)
 	case "firewall":
 		scenarioFirewall(r, ctx)
+	case "reconcile":
+		scenarioReconcile(r, ctx)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
 		os.Exit(2)
@@ -251,6 +268,76 @@ func scenarioFirewall(r *core.Robotron, ctx func(string) design.ChangeContext) {
 	}
 	for _, r := range rep.Results {
 		fmt.Printf("%s: %s (+%d/-%d lines)\n", r.Device, r.Action, r.Added, r.Removed)
+	}
+}
+
+func scenarioReconcile(r *core.Robotron, ctx func(string) design.ChangeContext) {
+	header("provision a POP with the closed-loop reconciler enabled")
+	if _, err := r.Designer.EnsureSite("pop1", "pop", "apac"); err != nil {
+		fatal(err)
+	}
+	res, err := r.ProvisionCluster(ctx("pop"), "pop1", "pop1-c1", design.POPGen1())
+	if err != nil {
+		fatal(err)
+	}
+	if err := r.InstallStandardMonitoring(); err != nil {
+		fatal(err)
+	}
+	rec := r.Reconciler
+	defer rec.Stop()
+
+	header("engineers bypass Robotron on two devices")
+	for i, name := range res.Devices[:2] {
+		dev, _ := r.Fleet.Device(name)
+		fmt.Printf("manual change on %s...\n", name)
+		if err := dev.ApplyManualChange(fmt.Sprintf("snmp-server community leaked%d RW", i)); err != nil {
+			fatal(err)
+		}
+	}
+	waitConverged(r, res.Devices[:2])
+	fmt.Println("both devices remediated automatically (regenerate + redeploy + confirm)")
+
+	header("one device keeps flapping: damped into quarantine")
+	flapper := res.Devices[2]
+	dev, _ := r.Fleet.Device(flapper)
+	for round := 0; ; round++ {
+		if err := dev.ApplyManualChange(fmt.Sprintf("username flapper%d secret", round)); err != nil {
+			fatal(err)
+		}
+		if rec.States()[flapper] == reconcile.StateQuarantined {
+			fmt.Printf("%s quarantined after %d drifts inside the damping window\n", flapper, round+1)
+			break
+		}
+		waitConverged(r, []string{flapper})
+	}
+
+	header("per-device state table")
+	fmt.Print(rec.DeviceTable())
+	header("reconciliation journal")
+	fmt.Print(rec.Journal().Format())
+	header("counters")
+	fmt.Println(rec.Stats())
+}
+
+// waitConverged polls until every named device is back in converged
+// state (the reconciler runs on the real clock in CLI mode).
+func waitConverged(r *core.Robotron, devices []string) {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		done := true
+		states := r.Reconciler.States()
+		for _, name := range devices {
+			if states[name] != reconcile.StateConverged {
+				done = false
+			}
+		}
+		if done {
+			return
+		}
+		if time.Now().After(deadline) {
+			fatal(fmt.Errorf("devices %v did not converge; table:\n%s", devices, r.Reconciler.DeviceTable()))
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"github.com/robotron-net/robotron/internal/fbnet"
 	"github.com/robotron-net/robotron/internal/monitor"
 	"github.com/robotron-net/robotron/internal/netsim"
+	"github.com/robotron-net/robotron/internal/reconcile"
 	"github.com/robotron-net/robotron/internal/relstore"
 	"github.com/robotron-net/robotron/internal/revctl"
 )
@@ -36,6 +37,10 @@ type Robotron struct {
 	Classifier *monitor.Classifier
 	ConfigMon  *monitor.ConfigMonitor
 	Timeseries *monitor.TimeseriesBackend
+
+	// Reconciler is the closed-loop drift controller; nil unless
+	// Options.EnableReconciler was set.
+	Reconciler *reconcile.Reconciler
 
 	// DeployParallelism bounds concurrent per-phase device commits in
 	// the deployment engine; 0 uses the engine default (min(8, phase)).
@@ -67,6 +72,15 @@ type Options struct {
 	// GenerateParallelism bounds concurrent config generation; 0 uses
 	// the generator default (min(8, device count)).
 	GenerateParallelism int
+	// EnableReconciler turns on the closed-loop drift reconciler: every
+	// deviation config monitoring detects is remediated automatically
+	// (regenerate golden, redeploy with commit-confirm) under the safety
+	// machinery configured by Reconcile.
+	EnableReconciler bool
+	// Reconcile tunes the reconciler (safety budget, flap damping,
+	// backoff, rate limit); the zero value selects the package defaults.
+	// Alert defaults to Logf when unset.
+	Reconcile reconcile.Config
 }
 
 // New builds a complete Robotron instance over fresh state.
@@ -133,13 +147,14 @@ func New(opts Options) (*Robotron, error) {
 			Devices: []string{a.Message.Host}, Backends: []string{"fbnet-derived"},
 		})
 	})
+	deployer := deploy.NewDeployer(deploy.FleetResolver(fleet))
 	r := &Robotron{
 		Store:      store,
 		Designer:   designer,
 		Generator:  gen,
 		Repo:       repo,
 		Fleet:      fleet,
-		Deployer:   deploy.NewDeployer(deploy.FleetResolver(fleet)),
+		Deployer:   deployer,
 		JobManager: jm,
 		Classifier: cls,
 		ConfigMon:  cm,
@@ -149,6 +164,23 @@ func New(opts Options) (*Robotron, error) {
 		GenerateParallelism: opts.GenerateParallelism,
 
 		Logf: opts.Logf,
+	}
+	if opts.EnableReconciler {
+		rc := opts.Reconcile
+		if rc.Alert == nil {
+			rc.Alert = opts.Logf
+		}
+		rec := reconcile.New(reconcile.Deps{
+			Golden:    gen,
+			Deployer:  deployer,
+			Checker:   cm,
+			FleetSize: func() int { return len(fleet.Devices()) },
+			SweepList: func() []string { return monitor.SortedDeviceNames(fleet) },
+		}, rc)
+		cm.OnDeviation(rec.HandleDeviation)
+		cm.OnCheckError(rec.HandleCheckError)
+		rec.Start()
+		r.Reconciler = rec
 	}
 	return r, nil
 }

@@ -21,9 +21,11 @@ type ConfigMonitor struct {
 	store  *fbnet.Store // Derived conformance records; may be nil
 	golden func(device string) (string, error)
 
-	mu         sync.Mutex
-	deviations []Deviation
-	handlers   []func(Deviation)
+	mu          sync.Mutex
+	deviations  []Deviation
+	handlers    []func(Deviation)
+	checkErrs   int64
+	errHandlers []func(device string, err error)
 }
 
 // Deviation is one detected divergence between running and golden config.
@@ -42,15 +44,19 @@ func NewConfigMonitor(jm *JobManager, repo *revctl.Repo, store *fbnet.Store, gol
 }
 
 // Attach subscribes the monitor to the classifier: every CONFIG_CHANGED
-// alert triggers a check of the originating device.
+// alert triggers a check of the originating device. A check that errors —
+// typically a device unreachable mid-collection — is not silently
+// dropped: the error counter advances and every OnCheckError subscriber
+// is told, so a reconciler (or operator tooling) can queue a retry
+// rather than waiting for the next change event that may never come.
 func (cm *ConfigMonitor) Attach(cls *Classifier) {
 	cls.OnAlert(func(a Alert) {
 		if a.Rule != "config-changed" {
 			return
 		}
-		// Errors here surface as recorded deviations or are device-
-		// unreachable transients retried on the next change event.
-		_, _ = cm.CheckDevice(a.Message.Host)
+		if _, err := cm.CheckDevice(a.Message.Host); err != nil {
+			cm.noteCheckError(a.Message.Host, err)
+		}
 	})
 }
 
@@ -59,6 +65,31 @@ func (cm *ConfigMonitor) OnDeviation(h func(Deviation)) {
 	cm.mu.Lock()
 	defer cm.mu.Unlock()
 	cm.handlers = append(cm.handlers, h)
+}
+
+// OnCheckError registers a handler for event-triggered checks that
+// errored (the device was unreachable, golden was missing, ...).
+func (cm *ConfigMonitor) OnCheckError(h func(device string, err error)) {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	cm.errHandlers = append(cm.errHandlers, h)
+}
+
+// CheckErrors reports how many event-triggered checks have errored.
+func (cm *ConfigMonitor) CheckErrors() int64 {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	return cm.checkErrs
+}
+
+func (cm *ConfigMonitor) noteCheckError(device string, err error) {
+	cm.mu.Lock()
+	cm.checkErrs++
+	handlers := cm.errHandlers
+	cm.mu.Unlock()
+	for _, h := range handlers {
+		h(device, err)
+	}
 }
 
 // CheckDevice collects the device's running config now, archives it, and

@@ -508,3 +508,46 @@ func SortedDeviceNamesN(n int) []string {
 	}
 	return out
 }
+
+// TestConfigMonitorReportsCheckErrors: an event-triggered check that
+// errors (device unreachable) must not vanish — the counter advances and
+// OnCheckError subscribers hear about it.
+func TestConfigMonitorReportsCheckErrors(t *testing.T) {
+	fleet, jm, store, repo := newMonitoredFleet(t, 1)
+	dev, _ := fleet.Device("dev00")
+	cfg, _ := dev.RunningConfig()
+	repo.Commit("golden/dev00", cfg, "robotron", "provisioned")
+
+	cls := NewClassifier()
+	StandardRules(cls)
+	cm := NewConfigMonitor(jm, repo, store, func(d string) (string, error) {
+		return repo.GetHead("golden/" + d)
+	})
+	cm.Attach(cls)
+	var mu sync.Mutex
+	type checkErr struct {
+		device string
+		err    error
+	}
+	var heard []checkErr
+	cm.OnCheckError(func(device string, err error) {
+		mu.Lock()
+		heard = append(heard, checkErr{device, err})
+		mu.Unlock()
+	})
+
+	dev.SetDown(true)
+	cls.Process(msg("dev00", "CONFIG_CHANGED: configuration changed out-of-band"))
+
+	if n := cm.CheckErrors(); n != 1 {
+		t.Errorf("CheckErrors = %d, want 1", n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(heard) != 1 || heard[0].device != "dev00" || heard[0].err == nil {
+		t.Fatalf("OnCheckError heard = %+v", heard)
+	}
+	if len(cm.Deviations()) != 0 {
+		t.Error("failed check must not record a deviation")
+	}
+}

@@ -496,6 +496,34 @@ func (d *Device) ApplyManualChange(line string) error {
 	return nil
 }
 
+// InjectRunningConfig replaces the running configuration out-of-band,
+// bypassing the candidate/commit pipeline entirely — the simulation of
+// drift arriving from outside Robotron's control (a rogue script, a
+// vendor tool, an engineer on the console). The previous config lands in
+// history, derived operational state reparses, and the CONFIG_CHANGED
+// syslog fires, which is exactly what config monitoring keys on. Tests
+// use this to create drift scenarios without hand-rolling mgmt-channel
+// writes.
+func (d *Device) InjectRunningConfig(cfg string) error {
+	d.mu.Lock()
+	if err := d.checkUp(); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	if d.running != "" {
+		d.history = append(d.history, d.running)
+	}
+	d.running = cfg
+	d.reparseLocked()
+	cb := d.onCommit
+	d.mu.Unlock()
+	d.emit(5, "config", "CONFIG_CHANGED: configuration changed out-of-band")
+	if cb != nil {
+		cb(d)
+	}
+	return nil
+}
+
 // --- operational state ---
 
 var (

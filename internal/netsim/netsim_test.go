@@ -534,3 +534,55 @@ func TestMgmtNoDeviceSelected(t *testing.T) {
 		t.Error("command without device selection should fail")
 	}
 }
+
+// TestInjectRunningConfig: the out-of-band mutation replaces the running
+// config directly (no candidate/commit), reparses it, and emits a
+// CONFIG_CHANGED syslog so monitoring can notice.
+func TestInjectRunningConfig(t *testing.T) {
+	f := NewFleet()
+	d, _ := f.AddDevice("psw1.pop1", Vendor1, "psw", "pop1")
+	if err := d.LoadConfig("hostname psw1.pop1\ninterface et1/1\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var msgs []SyslogMessage
+	d.SetSyslogSink(func(m SyslogMessage) { mu.Lock(); msgs = append(msgs, m); mu.Unlock() })
+
+	injected := "hostname psw1.pop1\ninterface et1/1\ninterface et9/9\n"
+	if err := d.InjectRunningConfig(injected); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := d.RunningConfig(); got != injected {
+		t.Errorf("running = %q, want injected config", got)
+	}
+	// The injected config was reparsed into device state.
+	if !d.HasInterface("et9/9") {
+		t.Error("injected interface not parsed")
+	}
+	mu.Lock()
+	found := false
+	for _, m := range msgs {
+		if strings.Contains(m.Text, "CONFIG_CHANGED") && strings.Contains(m.Text, "out-of-band") {
+			found = true
+		}
+	}
+	mu.Unlock()
+	if !found {
+		t.Errorf("no out-of-band CONFIG_CHANGED syslog: %v", msgs)
+	}
+	// The previous running config is in history: rollback restores it.
+	if err := d.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := d.RunningConfig(); got != "hostname psw1.pop1\ninterface et1/1\n" {
+		t.Errorf("rollback after injection = %q", got)
+	}
+	// Unreachable devices cannot be mutated.
+	d.SetDown(true)
+	if err := d.InjectRunningConfig("x\n"); err == nil {
+		t.Error("InjectRunningConfig on a down device must error")
+	}
+}

@@ -1,0 +1,45 @@
+package reconcile
+
+import "time"
+
+// tokenBucket rate-limits deploys: one token regenerates every interval,
+// up to capacity. It is deterministic — no background goroutine, no
+// fractional accrual — so a virtual-clock run reproduces exactly.
+type tokenBucket struct {
+	capacity int
+	interval time.Duration
+	tokens   int
+	last     time.Time // last refill boundary
+}
+
+func newTokenBucket(capacity int, interval time.Duration, now time.Time) *tokenBucket {
+	if interval <= 0 {
+		return nil
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &tokenBucket{capacity: capacity, interval: interval, tokens: capacity, last: now}
+}
+
+func (b *tokenBucket) refill(now time.Time) {
+	if elapsed := now.Sub(b.last); elapsed >= b.interval {
+		n := int(elapsed / b.interval)
+		b.tokens += n
+		if b.tokens > b.capacity {
+			b.tokens = b.capacity
+		}
+		b.last = b.last.Add(b.interval * time.Duration(n))
+	}
+}
+
+// take consumes a token if one is available, returning 0. Otherwise it
+// returns how long until the next token accrues.
+func (b *tokenBucket) take(now time.Time) time.Duration {
+	b.refill(now)
+	if b.tokens > 0 {
+		b.tokens--
+		return 0
+	}
+	return b.last.Add(b.interval).Sub(now)
+}

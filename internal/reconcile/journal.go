@@ -1,0 +1,138 @@
+package reconcile
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// EventType labels one journal entry.
+type EventType string
+
+const (
+	EvDetected     EventType = "detected"      // drift observed, device entered the loop
+	EvScheduled    EventType = "scheduled"     // remediation queued behind a backoff delay
+	EvRemediate    EventType = "remediate"     // remediation started (budget slot acquired)
+	EvConfirming   EventType = "confirming"    // deployed provisionally, health check running
+	EvConverged    EventType = "converged"     // running config matches golden again
+	EvRetry        EventType = "retry"         // remediation failed, rescheduled with backoff
+	EvQuarantined  EventType = "quarantined"   // device parked for operator review
+	EvReleased     EventType = "released"      // operator released a quarantined device
+	EvSuppressed   EventType = "suppressed"    // drift ignored (quarantined device)
+	EvRateLimited  EventType = "rate-limited"  // deploy token bucket empty, deferred
+	EvBudgetTrip   EventType = "budget-trip"   // safety budget exceeded, breaker opened
+	EvBreakerReset EventType = "breaker-reset" // operator re-armed the loop
+	EvCheckError   EventType = "check-error"   // conformance check failed (device unreachable...)
+	EvSweep        EventType = "sweep"         // periodic full-fleet conformance sweep ran
+	EvHalted       EventType = "halted"        // drift seen while the breaker is open
+)
+
+// Event is one journal entry. Active snapshots the number of in-flight
+// remediations at append time, so budget compliance is auditable from the
+// journal alone.
+type Event struct {
+	Seq    int64
+	At     time.Time
+	Device string // empty for loop-wide events (sweep, breaker-reset)
+	Type   EventType
+	Detail string
+	Active int
+}
+
+// Journal is the reconciler's append-only event log. Every state
+// transition lands here before any side effect is visible to callers, and
+// an optional sink receives each entry as one line as it is appended —
+// pointed at a file, the journal is durable across the process.
+type Journal struct {
+	mu     sync.Mutex
+	events []Event
+	seq    int64
+	sink   io.Writer
+}
+
+// NewJournal returns a journal; sink may be nil.
+func NewJournal(sink io.Writer) *Journal {
+	return &Journal{sink: sink}
+}
+
+func (j *Journal) add(at time.Time, device string, typ EventType, detail string, active int) Event {
+	j.mu.Lock()
+	j.seq++
+	e := Event{Seq: j.seq, At: at, Device: device, Type: typ, Detail: detail, Active: active}
+	j.events = append(j.events, e)
+	sink := j.sink
+	j.mu.Unlock()
+	if sink != nil {
+		fmt.Fprintf(sink, "%s\n", e.String())
+	}
+	return e
+}
+
+// String renders one entry as a single journal line.
+func (e Event) String() string {
+	dev := e.Device
+	if dev == "" {
+		dev = "-"
+	}
+	return fmt.Sprintf("%06d %s %-14s %-12s active=%d %s",
+		e.Seq, e.At.UTC().Format(time.RFC3339), e.Type, dev, e.Active, e.Detail)
+}
+
+// Events returns a copy of every entry, oldest first.
+func (j *Journal) Events() []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Event(nil), j.events...)
+}
+
+// Len returns the number of entries.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.events)
+}
+
+// MaxActive returns the highest in-flight remediation count ever recorded,
+// the journal-side witness for the safety-budget invariant.
+func (j *Journal) MaxActive() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	max := 0
+	for _, e := range j.events {
+		if e.Active > max {
+			max = e.Active
+		}
+	}
+	return max
+}
+
+// Format renders the whole journal for operators.
+func (j *Journal) Format() string {
+	var b strings.Builder
+	for _, e := range j.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ReconcileStats counts reconciler outcomes since construction.
+type ReconcileStats struct {
+	Detected    int64 // deviations that entered the loop
+	Remediated  int64 // successful remediation deployments
+	Converged   int64 // devices driven back to running == golden
+	Quarantined int64 // devices parked for operator review
+	BudgetTrips int64 // circuit-breaker openings
+	Retries     int64 // failed remediation attempts rescheduled
+	RateLimited int64 // remediations deferred by the deploy token bucket
+	CheckErrors int64 // conformance checks that errored (retried)
+	Suppressed  int64 // deviations ignored on quarantined devices
+}
+
+// String renders the counters in one line.
+func (s ReconcileStats) String() string {
+	return fmt.Sprintf("detected=%d remediated=%d converged=%d quarantined=%d budget-trips=%d retries=%d rate-limited=%d check-errors=%d suppressed=%d",
+		s.Detected, s.Remediated, s.Converged, s.Quarantined, s.BudgetTrips, s.Retries, s.RateLimited, s.CheckErrors, s.Suppressed)
+}

@@ -1,0 +1,620 @@
+// Package reconcile closes Robotron's monitoring loop (SIGCOMM '16, §3,
+// §5.4.3): config monitoring *detects* running-config drift; this package
+// *drives it back* to the golden intent, automatically and safely.
+//
+// Each drifting device moves through an explicit state machine —
+// detected → backoff → remediating → confirming → converged|quarantined —
+// with the robustness machinery a production control loop needs:
+//
+//   - Deterministic per-device exponential backoff (jitter-free; a
+//     virtual clock makes schedules reproducible in tests).
+//   - Flap damping: a device that keeps drifting inside the damping
+//     window is quarantined for operator review instead of being fought.
+//   - A fleet-wide safety budget: when more devices need remediation
+//     than min(K, X·fleet), the circuit breaker opens and the loop halts
+//     with an alert — mass drift usually means the *desired* state is
+//     wrong, and redeploying it everywhere would propagate the error.
+//   - A token-bucket rate limit on remediation deploys.
+//   - A durable event journal and counters, so every decision the loop
+//     made is auditable after the fact.
+//
+// Remediation itself reuses the existing pipeline: the memoized config
+// generator recomputes golden intent, and the deployment engine pushes it
+// with commit-confirm so a failed health check rolls the device back.
+package reconcile
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/robotron-net/robotron/internal/deploy"
+	"github.com/robotron-net/robotron/internal/monitor"
+	"github.com/robotron-net/robotron/internal/revctl"
+)
+
+// GoldenSource regenerates and records a device's intended config;
+// *configgen.Generator implements it (memoized, so a fleet-wide sweep
+// after a small change costs O(changed devices)).
+type GoldenSource interface {
+	GenerateDevice(name string) (string, error)
+	CommitGolden(device, config, author, message string) (revctl.Revision, error)
+}
+
+// ConfigDeployer pushes configs; *deploy.Deployer implements it.
+type ConfigDeployer interface {
+	Deploy(configs map[string]string, opts deploy.Options) (deploy.Report, error)
+}
+
+// Checker re-collects a device's running config and compares it to
+// golden; *monitor.ConfigMonitor implements it. A nil Deviation means the
+// device conforms.
+type Checker interface {
+	CheckDevice(device string) (*monitor.Deviation, error)
+}
+
+// Deps are the reconciler's collaborators.
+type Deps struct {
+	Golden   GoldenSource
+	Deployer ConfigDeployer
+	Checker  Checker
+	// FleetSize sizes the fractional safety budget; nil or 0 falls back
+	// to BudgetMaxDevices alone.
+	FleetSize func() int
+	// SweepList names the devices the periodic sweep checks; nil
+	// disables sweeping regardless of SweepInterval.
+	SweepList func() []string
+}
+
+// Reconciler is the closed-loop drift controller. Construct with New,
+// subscribe HandleDeviation to ConfigMonitor.OnDeviation (and
+// HandleCheckError to OnCheckError), then Start.
+type Reconciler struct {
+	deps    Deps
+	cfg     Config
+	clock   Clock
+	journal *Journal
+
+	mu         sync.Mutex
+	devices    map[string]*deviceState
+	active     int // devices in remediating|confirming
+	tripped    bool
+	stopped    bool
+	stats      ReconcileStats
+	bucket     *tokenBucket
+	sweepTimer Timer
+
+	wg sync.WaitGroup // in-flight remediations
+}
+
+// New builds a reconciler; call Start to arm the periodic sweep.
+func New(deps Deps, cfg Config) *Reconciler {
+	cfg = cfg.withDefaults()
+	r := &Reconciler{
+		deps:    deps,
+		cfg:     cfg,
+		clock:   cfg.Clock,
+		journal: NewJournal(cfg.JournalSink),
+		devices: make(map[string]*deviceState),
+	}
+	r.bucket = newTokenBucket(cfg.DeployBurst, cfg.DeployEvery, r.clock.Now())
+	return r
+}
+
+// Start arms the periodic full-fleet sweep (no-op when SweepInterval is 0
+// or no SweepList was provided). Event-driven reconciliation needs no
+// Start: HandleDeviation works from construction.
+func (r *Reconciler) Start() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped || r.cfg.SweepInterval <= 0 || r.deps.SweepList == nil || r.sweepTimer != nil {
+		return
+	}
+	r.armSweepLocked()
+}
+
+func (r *Reconciler) armSweepLocked() {
+	r.sweepTimer = r.clock.AfterFunc(r.cfg.SweepInterval, func() {
+		r.Sweep()
+		r.mu.Lock()
+		if !r.stopped {
+			r.armSweepLocked()
+		}
+		r.mu.Unlock()
+	})
+}
+
+// Stop halts the loop: pending timers are cancelled, new deviations are
+// ignored, and Stop blocks until in-flight remediations settle.
+func (r *Reconciler) Stop() {
+	r.mu.Lock()
+	r.stopped = true
+	if r.sweepTimer != nil {
+		r.sweepTimer.Stop()
+		r.sweepTimer = nil
+	}
+	for _, ds := range r.devices {
+		if ds.timer != nil {
+			ds.timer.Stop()
+			ds.timer = nil
+			ds.timerArmed = false
+		}
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+// HandleDeviation is the ConfigMonitor.OnDeviation subscriber: every
+// detected drift enters the state machine here.
+func (r *Reconciler) HandleDeviation(d monitor.Deviation) {
+	r.noteDrift(d.Device, fmt.Sprintf("drift +%d/-%d lines", d.Added, d.Removed))
+}
+
+// noteDrift admits one drift observation for device name.
+func (r *Reconciler) noteDrift(name, detail string) {
+	var alerts []string
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	ds := r.ensureLocked(name)
+	switch ds.state {
+	case StateDetected, StateBackoff, StateRemediating, StateConfirming:
+		// Already in the loop; the post-deploy check or the pending
+		// timer covers this observation.
+		r.mu.Unlock()
+		return
+	case StateQuarantined:
+		r.stats.Suppressed++
+		r.eventLocked(name, EvSuppressed, "drift on quarantined device ignored")
+		r.mu.Unlock()
+		return
+	}
+	now := r.clock.Now()
+	ds.detections = pruneWindow(append(ds.detections, now), now, r.cfg.DampingWindow)
+	r.stats.Detected++
+	r.setStateLocked(ds, StateDetected, EvDetected, detail)
+	// Flap damping: the device keeps drifting — stop fighting it.
+	if r.cfg.DampingThreshold > 0 && len(ds.detections) >= r.cfg.DampingThreshold {
+		r.stats.Quarantined++
+		r.setStateLocked(ds, StateQuarantined,
+			EvQuarantined, fmt.Sprintf("%d drifts within %v (flap damping)", len(ds.detections), r.cfg.DampingWindow))
+		alerts = append(alerts, fmt.Sprintf("reconcile: %s quarantined after %d drifts within %v — operator review required",
+			name, len(ds.detections), r.cfg.DampingWindow))
+		r.mu.Unlock()
+		r.fire(alerts)
+		return
+	}
+	if r.tripped {
+		r.eventLocked(name, EvHalted, "breaker open: drift recorded, remediation not scheduled")
+		r.mu.Unlock()
+		return
+	}
+	// Safety budget on *demand*: count every unconverged device the loop
+	// is committed to (this one included). Exceeding the budget means
+	// mass drift — halt instead of deploying.
+	budget := r.budgetLocked()
+	if open := r.openLocked(); open > budget {
+		r.tripped = true
+		r.stats.BudgetTrips++
+		r.eventLocked(name, EvBudgetTrip,
+			fmt.Sprintf("%d device(s) need remediation, budget %d: loop halted", open, budget))
+		alerts = append(alerts, fmt.Sprintf(
+			"reconcile: safety budget exceeded (%d drifting, budget %d) — loop halted; mass drift usually means the desired state is wrong. Inspect and ResetBreaker().",
+			open, budget))
+		r.mu.Unlock()
+		r.fire(alerts)
+		return
+	}
+	r.scheduleLocked(ds, r.cfg.backoff(ds.attempt))
+	r.mu.Unlock()
+}
+
+// HandleCheckError is the ConfigMonitor.OnCheckError subscriber: a
+// conformance check that errored (device unreachable mid-check) lands in
+// the retry queue instead of being dropped.
+func (r *Reconciler) HandleCheckError(device string, err error) {
+	var alerts []string
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stats.CheckErrors++
+	ds := r.ensureLocked(device)
+	ds.checkAttempt++
+	attempt := ds.checkAttempt
+	r.eventLocked(device, EvCheckError, fmt.Sprintf("attempt %d: %v", attempt, err))
+	if r.cfg.MaxCheckRetries > 0 && attempt > r.cfg.MaxCheckRetries {
+		alerts = append(alerts, fmt.Sprintf("reconcile: conformance check on %s failed %d times (%v) — giving up until the next sweep",
+			device, attempt, err))
+		ds.checkAttempt = 0
+		r.mu.Unlock()
+		r.fire(alerts)
+		return
+	}
+	delay := r.cfg.backoff(attempt - 1)
+	r.clock.AfterFunc(delay, func() { r.recheck(device) })
+	r.mu.Unlock()
+}
+
+// recheck re-runs the conformance check for a device whose earlier check
+// errored. A deviation found here flows through noteDrift (directly and,
+// with the real ConfigMonitor, via its OnDeviation handlers — noteDrift
+// deduplicates).
+func (r *Reconciler) recheck(device string) {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+	dev, err := r.deps.Checker.CheckDevice(device)
+	if err != nil {
+		r.HandleCheckError(device, err)
+		return
+	}
+	r.mu.Lock()
+	if ds := r.devices[device]; ds != nil {
+		ds.checkAttempt = 0
+	}
+	r.mu.Unlock()
+	if dev != nil {
+		r.noteDrift(dev.Device, fmt.Sprintf("recheck: drift +%d/-%d lines", dev.Added, dev.Removed))
+	}
+}
+
+// Sweep runs one full-fleet conformance pass now, feeding any drift (or
+// check error) into the loop. Returns the number of devices checked.
+func (r *Reconciler) Sweep() int {
+	r.mu.Lock()
+	if r.stopped || r.tripped || r.deps.SweepList == nil {
+		r.mu.Unlock()
+		return 0
+	}
+	skip := make(map[string]bool, len(r.devices))
+	for name, ds := range r.devices {
+		switch ds.state {
+		case StateDetected, StateBackoff, StateRemediating, StateConfirming, StateQuarantined:
+			skip[name] = true
+		}
+	}
+	r.mu.Unlock()
+	list := r.deps.SweepList()
+	checked := 0
+	for _, name := range list {
+		if skip[name] {
+			continue
+		}
+		checked++
+		dev, err := r.deps.Checker.CheckDevice(name)
+		if err != nil {
+			r.HandleCheckError(name, err)
+			continue
+		}
+		r.mu.Lock()
+		if ds := r.devices[name]; ds != nil {
+			ds.checkAttempt = 0
+		}
+		r.mu.Unlock()
+		if dev != nil {
+			r.noteDrift(dev.Device, fmt.Sprintf("sweep: drift +%d/-%d lines", dev.Added, dev.Removed))
+		}
+	}
+	r.mu.Lock()
+	r.eventLocked("", EvSweep, fmt.Sprintf("%d device(s) checked", checked))
+	r.mu.Unlock()
+	return checked
+}
+
+// tryRemediate fires when a device's backoff delay elapses.
+func (r *Reconciler) tryRemediate(name string) {
+	var alerts []string
+	r.mu.Lock()
+	ds := r.devices[name]
+	if r.stopped || ds == nil || ds.state != StateBackoff {
+		r.mu.Unlock()
+		return
+	}
+	ds.timerArmed = false
+	ds.timer = nil
+	if r.tripped {
+		// Breaker opened while we waited; park in backoff (no timer) for
+		// ResetBreaker to resume.
+		r.mu.Unlock()
+		return
+	}
+	// Defense in depth: the demand-side trip in noteDrift keeps open
+	// devices within budget, so in-flight remediations can never exceed
+	// it — but verify at the acquire point too.
+	budget := r.budgetLocked()
+	if r.active >= budget {
+		r.tripped = true
+		r.stats.BudgetTrips++
+		r.eventLocked(name, EvBudgetTrip,
+			fmt.Sprintf("%d remediation(s) already in flight, budget %d: loop halted", r.active, budget))
+		alerts = append(alerts, fmt.Sprintf(
+			"reconcile: safety budget exceeded at deploy time (%d in flight, budget %d) — loop halted", r.active, budget))
+		r.mu.Unlock()
+		r.fire(alerts)
+		return
+	}
+	if r.bucket != nil {
+		if wait := r.bucket.take(r.clock.Now()); wait > 0 {
+			r.stats.RateLimited++
+			r.eventLocked(name, EvRateLimited, fmt.Sprintf("deploy token in %v", wait))
+			r.rearmLocked(ds, wait)
+			r.mu.Unlock()
+			return
+		}
+	}
+	r.active++
+	r.setStateLocked(ds, StateRemediating, EvRemediate, fmt.Sprintf("attempt %d", ds.attempt+1))
+	r.wg.Add(1)
+	r.mu.Unlock()
+	r.remediate(name)
+}
+
+// remediate regenerates golden intent and redeploys it with
+// commit-confirm, then settles the device's state.
+func (r *Reconciler) remediate(name string) {
+	defer r.wg.Done()
+	err := r.remediateOnce(name)
+
+	var alerts []string
+	r.mu.Lock()
+	r.active--
+	ds := r.devices[name]
+	if ds == nil || r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	if err == nil {
+		ds.attempt = 0
+		ds.checkAttempt = 0
+		r.stats.Remediated++
+		r.stats.Converged++
+		r.setStateLocked(ds, StateConverged, EvConverged, "running config matches golden")
+		r.mu.Unlock()
+		return
+	}
+	ds.attempt++
+	if r.cfg.MaxAttempts > 0 && ds.attempt >= r.cfg.MaxAttempts {
+		r.stats.Quarantined++
+		r.setStateLocked(ds, StateQuarantined,
+			EvQuarantined, fmt.Sprintf("%d failed remediation attempts, last: %v", ds.attempt, err))
+		alerts = append(alerts, fmt.Sprintf("reconcile: %s quarantined after %d failed remediation attempts (last: %v)",
+			name, ds.attempt, err))
+		r.mu.Unlock()
+		r.fire(alerts)
+		return
+	}
+	r.stats.Retries++
+	r.eventLocked(name, EvRetry, err.Error())
+	r.scheduleLocked(ds, r.cfg.backoff(ds.attempt))
+	r.mu.Unlock()
+}
+
+// remediateOnce performs one remediation attempt end to end.
+func (r *Reconciler) remediateOnce(name string) error {
+	cfg, err := r.deps.Golden.GenerateDevice(name)
+	if err != nil {
+		return fmt.Errorf("generate: %w", err)
+	}
+	if _, err := r.deps.Golden.CommitGolden(name, cfg, r.cfg.Author, "reconcile: restore drifted device"); err != nil {
+		return fmt.Errorf("commit golden: %w", err)
+	}
+	rep, err := r.deps.Deployer.Deploy(map[string]string{name: cfg}, deploy.Options{
+		ConfirmGrace: r.cfg.ConfirmGrace,
+	})
+	if err != nil {
+		if rep.Pending != nil {
+			_ = rep.Pending.Rollback()
+		}
+		return fmt.Errorf("deploy: %w", err)
+	}
+	r.mu.Lock()
+	if ds := r.devices[name]; ds != nil && ds.state == StateRemediating {
+		r.setStateLocked(ds, StateConfirming, EvConfirming, "provisional commit, health check")
+	}
+	r.mu.Unlock()
+	// Health check while the commit is provisional: conforming confirms,
+	// anything else rolls back inside the grace window.
+	dev, cerr := r.deps.Checker.CheckDevice(name)
+	healthy := cerr == nil && dev == nil
+	if rep.Pending != nil {
+		if healthy {
+			if err := rep.Pending.Confirm(); err != nil {
+				return fmt.Errorf("confirm: %w", err)
+			}
+		} else {
+			_ = rep.Pending.Rollback()
+		}
+	}
+	if cerr != nil {
+		return fmt.Errorf("post-deploy check: %w", cerr)
+	}
+	if dev != nil {
+		return fmt.Errorf("still deviating after deploy (+%d/-%d lines)", dev.Added, dev.Removed)
+	}
+	return nil
+}
+
+// Release returns a quarantined device to the loop and schedules an
+// immediate conformance recheck.
+func (r *Reconciler) Release(name string) error {
+	r.mu.Lock()
+	ds := r.devices[name]
+	if ds == nil || ds.state != StateQuarantined {
+		r.mu.Unlock()
+		return fmt.Errorf("reconcile: %s is not quarantined", name)
+	}
+	ds.attempt = 0
+	ds.checkAttempt = 0
+	ds.detections = nil
+	r.setStateLocked(ds, StateConverged, EvReleased, "operator released from quarantine")
+	r.clock.AfterFunc(0, func() { r.recheck(name) })
+	r.mu.Unlock()
+	return nil
+}
+
+// Tripped reports whether the safety-budget circuit breaker is open.
+func (r *Reconciler) Tripped() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tripped
+}
+
+// ResetBreaker re-arms a tripped loop: the operator has inspected the
+// mass drift and wants the backlog drained (within the budget, one
+// scheduling wave at a time).
+func (r *Reconciler) ResetBreaker() {
+	r.mu.Lock()
+	if !r.tripped {
+		r.mu.Unlock()
+		return
+	}
+	r.tripped = false
+	r.eventLocked("", EvBreakerReset, "operator re-armed the loop")
+	for _, ds := range r.devices {
+		if (ds.state == StateDetected || ds.state == StateBackoff) && !ds.timerArmed {
+			r.scheduleLocked(ds, r.cfg.backoff(ds.attempt))
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Stats returns a snapshot of the counters.
+func (r *Reconciler) Stats() ReconcileStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Journal returns the event journal.
+func (r *Reconciler) Journal() *Journal { return r.journal }
+
+// States returns every tracked device's current state.
+func (r *Reconciler) States() map[string]State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]State, len(r.devices))
+	for name, ds := range r.devices {
+		out[name] = ds.state
+	}
+	return out
+}
+
+// Devices returns the exported per-device records.
+func (r *Reconciler) Devices() []DeviceStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]DeviceStatus, 0, len(r.devices))
+	for _, ds := range r.devices {
+		out = append(out, DeviceStatus{
+			Device:     ds.name,
+			State:      ds.state,
+			Attempts:   ds.attempt,
+			Detections: len(ds.detections),
+			ChangedAt:  ds.changedAt,
+			Detail:     ds.lastDetail,
+		})
+	}
+	return out
+}
+
+// DeviceTable renders the per-state device table for operators.
+func (r *Reconciler) DeviceTable() string {
+	return FormatDeviceTable(r.Devices())
+}
+
+// --- internals ---
+
+func (r *Reconciler) ensureLocked(name string) *deviceState {
+	ds := r.devices[name]
+	if ds == nil {
+		ds = &deviceState{name: name, state: StateConverged, changedAt: r.clock.Now()}
+		r.devices[name] = ds
+	}
+	return ds
+}
+
+// openLocked counts devices the loop is committed to remediating.
+func (r *Reconciler) openLocked() int {
+	n := 0
+	for _, ds := range r.devices {
+		switch ds.state {
+		case StateDetected, StateBackoff, StateRemediating, StateConfirming:
+			n++
+		}
+	}
+	return n
+}
+
+// budgetLocked resolves the effective safety budget min(K, X·fleet).
+func (r *Reconciler) budgetLocked() int {
+	b := r.cfg.BudgetMaxDevices
+	if r.deps.FleetSize != nil && r.cfg.BudgetMaxFraction > 0 {
+		if n := r.deps.FleetSize(); n > 0 {
+			f := int(r.cfg.BudgetMaxFraction * float64(n))
+			if f < 1 {
+				f = 1
+			}
+			if f < b {
+				b = f
+			}
+		}
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// scheduleLocked queues a remediation attempt after delay.
+func (r *Reconciler) scheduleLocked(ds *deviceState, delay time.Duration) {
+	r.setStateLocked(ds, StateBackoff, EvScheduled,
+		fmt.Sprintf("remediation in %v (attempt %d)", delay, ds.attempt+1))
+	r.rearmLocked(ds, delay)
+}
+
+// rearmLocked (re)starts the device's timer without logging a transition.
+func (r *Reconciler) rearmLocked(ds *deviceState, delay time.Duration) {
+	name := ds.name
+	ds.timerArmed = true
+	ds.timer = r.clock.AfterFunc(delay, func() { r.tryRemediate(name) })
+}
+
+func (r *Reconciler) setStateLocked(ds *deviceState, s State, typ EventType, detail string) {
+	ds.state = s
+	ds.changedAt = r.clock.Now()
+	ds.lastDetail = detail
+	r.eventLocked(ds.name, typ, detail)
+}
+
+func (r *Reconciler) eventLocked(device string, typ EventType, detail string) {
+	r.journal.add(r.clock.Now(), device, typ, detail, r.active)
+}
+
+// fire delivers alerts outside the reconciler lock.
+func (r *Reconciler) fire(alerts []string) {
+	if r.cfg.Alert == nil {
+		return
+	}
+	for _, a := range alerts {
+		r.cfg.Alert("%s", a)
+	}
+}
+
+// pruneWindow drops detections older than window before now.
+func pruneWindow(ts []time.Time, now time.Time, window time.Duration) []time.Time {
+	cutoff := now.Add(-window)
+	out := ts[:0]
+	for _, t := range ts {
+		if !t.Before(cutoff) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
