@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race bench bench-generate bench-reconcile
+.PHONY: tier1 build vet test race bench bench-generate bench-reconcile bench-telemetry
 
 # Tier-1 gate: what CI and reviewers run before merging.
 tier1:
@@ -23,7 +23,7 @@ race:
 # Paper-evaluation and system benchmarks (Figures 12-16, Tables 2-3,
 # materialization, provisioning, parallel deployment), plus the
 # generation-pipeline benchmarks captured to BENCH_generate.json.
-bench: bench-generate bench-reconcile
+bench: bench-generate bench-reconcile bench-telemetry
 	$(GO) test -bench=. -benchmem .
 
 # Generation + deployment pipeline benchmarks (serial vs parallel vs
@@ -44,3 +44,13 @@ bench-reconcile:
 		-bench 'BenchmarkReconcileConverge' \
 		./internal/reconcile/ > BENCH_reconcile.json
 	@grep -h '"Output".*ns/op' BENCH_reconcile.json | sed 's/.*"Output":"//;s/\\n"}//;s/\\t/\t/g'
+
+# Telemetry benchmarks: registry primitives (counter/histogram/span,
+# Prometheus export) and the end-to-end overhead of instrumented vs
+# detached generation, captured as a go-test JSON event stream.
+bench-telemetry:
+	$(GO) test -json -run '^$$' -benchmem -bench . ./internal/telemetry/ > BENCH_telemetry.json
+	$(GO) test -json -run '^$$' -benchmem \
+		-bench 'BenchmarkTelemetryOverhead' \
+		./internal/configgen/ >> BENCH_telemetry.json
+	@grep -h '"Output".*ns/op' BENCH_telemetry.json | sed 's/.*"Output":"//;s/\\n"}//;s/\\t/\t/g'

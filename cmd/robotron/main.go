@@ -33,6 +33,7 @@ func main() {
 	employee := flag.String("employee", "e-cli", "employee id recorded on design changes")
 	ticket := flag.String("ticket", "T-cli", "ticket id recorded on design changes")
 	parallel := flag.Int("parallel", 0, "max concurrent device commits per deployment phase and concurrent config generations (0 = auto, min(8, n))")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /traces (JSON) and /healthz on this address (e.g. :9090); empty disables")
 	flag.Parse()
 	if *reconcileMode {
 		*scenario = "reconcile"
@@ -54,6 +55,14 @@ func main() {
 		}})
 	if err != nil {
 		fatal(err)
+	}
+	if *metricsAddr != "" {
+		srv, err := r.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("  | telemetry: serving /metrics, /traces, /healthz on %s\n", srv.Addr)
 	}
 	ctx := func(domain string) design.ChangeContext {
 		return design.ChangeContext{

@@ -5,9 +5,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/robotron-net/robotron/internal/fbnet"
 	"github.com/robotron-net/robotron/internal/revctl"
+	"github.com/robotron-net/robotron/internal/telemetry"
 	"github.com/robotron-net/robotron/internal/thriftlite"
 	"github.com/robotron-net/robotron/internal/tmpl"
 )
@@ -22,15 +24,52 @@ type Generator struct {
 	mu    sync.Mutex
 	cache map[string]*tmpl.Template // template path+hash -> parsed template
 
-	// memoMu guards the memoization layer (memo.go): cached derivations,
-	// rendered configs, and the work counters.
+	// memoMu guards the memoization layer (memo.go): cached derivations
+	// and rendered configs. Work counters live on the telemetry registry
+	// (metrics field) and are atomic.
 	memoMu   sync.Mutex
 	derived  map[string]*deriveEntry // device name -> memoized derivation
 	rendered map[string]string       // template hash + wire hash -> config
-	stats    GenStats
+
+	// metrics is bound to a private registry until Instrument rebinds it
+	// to the shared one; a nil registry disables instrumentation.
+	metrics genMetrics
 
 	// SyslogTarget is stamped into generated configs as the logging host.
 	SyslogTarget string
+}
+
+// genMetrics holds the generator's registry-backed counters. All
+// fields may be nil (no-op) when instrumentation is disabled.
+type genMetrics struct {
+	derives    *telemetry.Counter
+	deriveHits *telemetry.Counter
+	renders    *telemetry.Counter
+	renderHits *telemetry.Counter
+	roundTrips *telemetry.Counter
+	deviceSec  *telemetry.Histogram
+}
+
+func bindGenMetrics(reg *telemetry.Registry) genMetrics {
+	reg.Help("robotron_generate_derives_total", "full derivations executed")
+	reg.Help("robotron_generate_derive_hits_total", "derivations answered from the memo cache")
+	reg.Help("robotron_generate_device_seconds", "per-device config generation latency")
+	return genMetrics{
+		derives:    reg.Counter("robotron_generate_derives_total"),
+		deriveHits: reg.Counter("robotron_generate_derive_hits_total"),
+		renders:    reg.Counter("robotron_generate_renders_total"),
+		renderHits: reg.Counter("robotron_generate_render_hits_total"),
+		roundTrips: reg.Counter("robotron_generate_roundtrips_total"),
+		deviceSec:  reg.Histogram("robotron_generate_device_seconds"),
+	}
+}
+
+// Instrument rebinds the generator's work counters onto reg, making
+// them visible to reg's exporters. Instrument(nil) disables counting
+// entirely (Stats then reads zero); call before generating — counts
+// accumulated on the previous registry are not carried over.
+func (g *Generator) Instrument(reg *telemetry.Registry) {
+	g.metrics = bindGenMetrics(reg)
 }
 
 // NewGenerator creates a generator over an FBNet store and a config
@@ -42,6 +81,7 @@ func NewGenerator(store *fbnet.Store, repo *revctl.Repo) (*Generator, error) {
 		cache:    make(map[string]*tmpl.Template),
 		derived:  make(map[string]*deriveEntry),
 		rendered: make(map[string]string),
+		metrics:  bindGenMetrics(telemetry.NewRegistry()),
 	}
 	for syntax, body := range map[string]string{
 		"vendor1": Vendor1FullTemplate,
@@ -378,9 +418,22 @@ func addrOfPrefix(pfx string) string {
 // and rendered; when the exact (template, wire) pair was rendered before,
 // both the round-trip and the render are skipped.
 func (g *Generator) GenerateDevice(deviceName string) (string, error) {
-	e, err := g.deriveCached(deviceName)
+	return g.generateDevice(deviceName, nil)
+}
+
+// generateDevice is GenerateDevice recording memo/render outcomes onto
+// an optional span (nil span = untraced).
+func (g *Generator) generateDevice(deviceName string, sp *telemetry.Span) (string, error) {
+	start := time.Now()
+	defer g.metrics.deviceSec.ObserveSince(start)
+	e, memoHit, err := g.deriveCached(deviceName)
 	if err != nil {
 		return "", err
+	}
+	if memoHit {
+		sp.SetAttr("memo", "hit")
+	} else {
+		sp.SetAttr("memo", "miss")
 	}
 	path := TemplatePath(e.data.Vendor)
 	body, err := g.repo.GetHead(path)
@@ -390,13 +443,13 @@ func (g *Generator) GenerateDevice(deviceName string) (string, error) {
 	rkey := revctl.Hash(body) + "\x00" + e.wireHash
 	g.memoMu.Lock()
 	cfg, hit := g.rendered[rkey]
-	if hit {
-		g.stats.RenderHits++
-	}
 	g.memoMu.Unlock()
 	if hit {
+		g.metrics.renderHits.Inc()
+		sp.SetAttr("render", "hit")
 		return cfg, nil
 	}
+	sp.SetAttr("render", "miss")
 	var decoded DeviceData
 	if err := thriftlite.Unmarshal(e.wire, &decoded); err != nil {
 		return "", fmt.Errorf("configgen: deserializing device data for %s: %w", deviceName, err)
@@ -409,9 +462,9 @@ func (g *Generator) GenerateDevice(deviceName string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("configgen: rendering %s: %w", decoded.Name, err)
 	}
+	g.metrics.roundTrips.Inc()
+	g.metrics.renders.Inc()
 	g.memoMu.Lock()
-	g.stats.RoundTrips++
-	g.stats.Renders++
 	g.rendered[rkey] = out
 	g.memoMu.Unlock()
 	return out, nil

@@ -9,6 +9,7 @@ import (
 	"github.com/robotron-net/robotron/internal/fbnet"
 	"github.com/robotron-net/robotron/internal/relstore"
 	"github.com/robotron-net/robotron/internal/revctl"
+	"github.com/robotron-net/robotron/internal/telemetry"
 	"github.com/robotron-net/robotron/internal/thriftlite"
 )
 
@@ -113,11 +114,18 @@ type GenStats struct {
 	RoundTrips int64 // thrift wire round-trips decoded
 }
 
-// Stats returns a snapshot of the generator's work counters.
+// Stats returns a snapshot of the generator's work counters. Since the
+// counters migrated onto the telemetry registry this is a thin view
+// over the registry-backed values; it reads all zeros after
+// Instrument(nil).
 func (g *Generator) Stats() GenStats {
-	g.memoMu.Lock()
-	defer g.memoMu.Unlock()
-	return g.stats
+	return GenStats{
+		Derives:    g.metrics.derives.Value(),
+		DeriveHits: g.metrics.deriveHits.Value(),
+		Renders:    g.metrics.renders.Value(),
+		RenderHits: g.metrics.renderHits.Value(),
+		RoundTrips: g.metrics.roundTrips.Value(),
+	}
 }
 
 // ResetMemo drops every memoized derivation and rendered config, forcing
@@ -130,8 +138,9 @@ func (g *Generator) ResetMemo() {
 }
 
 // deriveCached returns the device's derivation, reusing the memoized one
-// when the binlog proves nothing it read has changed.
-func (g *Generator) deriveCached(deviceName string) (*deriveEntry, error) {
+// when the binlog proves nothing it read has changed. hit reports
+// whether the memo answered.
+func (g *Generator) deriveCached(deviceName string) (*deriveEntry, bool, error) {
 	// Capture the sequence before reading anything: writes that land
 	// mid-derive stay in EntriesSince(seq) and force a (safe, possibly
 	// spurious) re-derive next time.
@@ -152,19 +161,19 @@ func (g *Generator) deriveCached(deviceName string) (*deriveEntry, error) {
 		if g.derived[deviceName] == e && seq > e.seq {
 			e.seq = seq // checked prefix is harmless: shorten the next scan
 		}
-		g.stats.DeriveHits++
 		g.memoMu.Unlock()
-		return e, nil
+		g.metrics.deriveHits.Inc()
+		return e, true, nil
 	}
 
 	dc := g.newDeriveCtx()
 	data, err := g.derive(dc, deviceName)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	wire, err := thriftlite.Marshal(data)
 	if err != nil {
-		return nil, fmt.Errorf("configgen: serializing device data for %s: %w", deviceName, err)
+		return nil, false, fmt.Errorf("configgen: serializing device data for %s: %w", deviceName, err)
 	}
 	e = &deriveEntry{
 		seq: seq, syslog: syslog, rows: dc.rows, vals: dc.vals,
@@ -172,9 +181,9 @@ func (g *Generator) deriveCached(deviceName string) (*deriveEntry, error) {
 	}
 	g.memoMu.Lock()
 	g.derived[deviceName] = e
-	g.stats.Derives++
 	g.memoMu.Unlock()
-	return e, nil
+	g.metrics.derives.Inc()
+	return e, false, nil
 }
 
 // DeviceErrors aggregates per-device generation failures, keyed by device
@@ -204,6 +213,13 @@ func (e DeviceErrors) Error() string {
 // successfully; if any failed, err is a DeviceErrors with one entry per
 // failed device.
 func (g *Generator) GenerateMany(names []string, parallelism int) (map[string]string, error) {
+	return g.GenerateManyTraced(names, parallelism, nil)
+}
+
+// GenerateManyTraced is GenerateMany recording one child span per
+// device under parent (memo/render hit attrs per device); a nil parent
+// is the untraced fast path.
+func (g *Generator) GenerateManyTraced(names []string, parallelism int, parent *telemetry.Span) (map[string]string, error) {
 	if parallelism <= 0 {
 		parallelism = 8
 	}
@@ -222,7 +238,16 @@ func (g *Generator) GenerateMany(names []string, parallelism int) (map[string]st
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				configs[i], errs[i] = g.GenerateDevice(names[i])
+				var sp *telemetry.Span
+				if parent != nil {
+					sp = parent.Child("generate-device")
+					sp.SetAttr("device", names[i])
+				}
+				configs[i], errs[i] = g.generateDevice(names[i], sp)
+				if errs[i] != nil {
+					sp.SetAttr("error", errs[i].Error())
+				}
+				sp.End()
 			}
 		}()
 	}

@@ -23,6 +23,7 @@ import (
 	"github.com/robotron-net/robotron/internal/reconcile"
 	"github.com/robotron-net/robotron/internal/relstore"
 	"github.com/robotron-net/robotron/internal/revctl"
+	"github.com/robotron-net/robotron/internal/telemetry"
 )
 
 // Robotron is the assembled system.
@@ -41,6 +42,12 @@ type Robotron struct {
 	// Reconciler is the closed-loop drift controller; nil unless
 	// Options.EnableReconciler was set.
 	Reconciler *reconcile.Reconciler
+
+	// Telemetry is the shared metrics registry every subsystem reports
+	// into; Tracer collects pipeline traces (one root span per
+	// GenerateAndDeploy / ProvisionCluster). Both are always non-nil.
+	Telemetry *telemetry.Registry
+	Tracer    *telemetry.Tracer
 
 	// DeployParallelism bounds concurrent per-phase device commits in
 	// the deployment engine; 0 uses the engine default (min(8, phase)).
@@ -81,6 +88,13 @@ type Options struct {
 	// backoff, rate limit); the zero value selects the package defaults.
 	// Alert defaults to Logf when unset.
 	Reconcile reconcile.Config
+	// Telemetry attaches the instance to an existing metrics registry
+	// (e.g. one shared with a service deployment); nil creates a private
+	// one. All subsystems are instrumented either way.
+	Telemetry *telemetry.Registry
+	// TraceRing caps how many completed pipeline traces the tracer
+	// retains for /traces; 0 uses telemetry.DefaultTraceRing.
+	TraceRing int
 }
 
 // New builds a complete Robotron instance over fresh state.
@@ -148,6 +162,18 @@ func New(opts Options) (*Robotron, error) {
 		})
 	})
 	deployer := deploy.NewDeployer(deploy.FleetResolver(fleet))
+	reg := opts.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	tracer := telemetry.NewTracer(opts.TraceRing)
+	reg.Help("robotron_traces_started_total", "pipeline traces started")
+	tracer.SetStartedCounter(reg.Counter("robotron_traces_started_total"))
+	store.Instrument(reg)
+	gen.Instrument(reg)
+	deployer.Instrument(reg)
+	cm.Instrument(reg)
+	jm.Instrument(reg)
 	r := &Robotron{
 		Store:      store,
 		Designer:   designer,
@@ -159,6 +185,9 @@ func New(opts Options) (*Robotron, error) {
 		Classifier: cls,
 		ConfigMon:  cm,
 		Timeseries: ts,
+
+		Telemetry: reg,
+		Tracer:    tracer,
 
 		DeployParallelism:   opts.DeployParallelism,
 		GenerateParallelism: opts.GenerateParallelism,
@@ -179,10 +208,19 @@ func New(opts Options) (*Robotron, error) {
 		}, rc)
 		cm.OnDeviation(rec.HandleDeviation)
 		cm.OnCheckError(rec.HandleCheckError)
+		rec.Instrument(reg)
 		rec.Start()
 		r.Reconciler = rec
 	}
 	return r, nil
+}
+
+// ServeMetrics starts the observability HTTP endpoint on addr
+// (":9090", "127.0.0.1:0", ...): /metrics in Prometheus text format,
+// /traces as JSON, /healthz with the registered health checks. Close
+// the returned server to stop it.
+func (r *Robotron) ServeMetrics(addr string) (*telemetry.Server, error) {
+	return telemetry.ListenAndServe(addr, r.Telemetry, r.Tracer)
 }
 
 func (r *Robotron) logf(format string, args ...any) {
@@ -349,10 +387,19 @@ type ProvisionResult struct {
 // cluster and its circuits to production.
 func (r *Robotron) ProvisionCluster(ctx design.ChangeContext, siteName, clusterName string, tpl design.TopologyTemplate) (ProvisionResult, error) {
 	var out ProvisionResult
+	tr := r.Tracer.Start("provision-cluster")
+	defer tr.End()
+	tr.SetAttr("cluster", clusterName)
+
+	dsp := tr.Child("design")
 	build, err := r.Designer.BuildCluster(ctx, siteName, clusterName, tpl)
 	if err != nil {
+		dsp.End()
+		tr.SetAttr("error", err.Error())
 		return out, fmt.Errorf("core: design stage failed: %w", err)
 	}
+	dsp.SetAttrInt("objects", int64(build.Stats.Total()))
+	dsp.End()
 	out.Build = build
 	out.Devices = build.DeviceNames
 	r.logf("design: cluster %s materialized %d objects", clusterName, build.Stats.Total())
@@ -360,15 +407,21 @@ func (r *Robotron) ProvisionCluster(ctx design.ChangeContext, siteName, clusterN
 	if err := r.SyncFleet(); err != nil {
 		return out, fmt.Errorf("core: physical build-out failed: %w", err)
 	}
-	configs, err := r.Generator.GenerateMany(build.DeviceNames, r.GenerateParallelism)
+	gsp := tr.Child("generate")
+	configs, err := r.Generator.GenerateManyTraced(build.DeviceNames, r.GenerateParallelism, gsp)
+	gsp.End()
 	if err != nil {
+		tr.SetAttr("error", err.Error())
 		return out, fmt.Errorf("core: config generation failed: %w", err)
 	}
 	r.logf("configgen: %d device configs generated", len(configs))
 
+	psp := tr.Child("provision")
 	rep, err := r.Deployer.InitialProvision(configs, deploy.Options{Notify: r.Logf, Parallelism: r.DeployParallelism})
+	psp.End()
 	out.Report = rep
 	if err != nil {
+		tr.SetAttr("error", err.Error())
 		return out, fmt.Errorf("core: initial provisioning failed: %w", err)
 	}
 	for name, cfg := range configs {
@@ -427,12 +480,20 @@ func (r *Robotron) ProvisionCluster(ctx design.ChangeContext, siteName, clusterN
 // failed or rolled-back deployment correctly leaves the device flagged as
 // deviating until it is retried.
 func (r *Robotron) GenerateAndDeploy(devices []string, opts deploy.Options, author string) (deploy.Report, error) {
-	configs, err := r.Generator.GenerateMany(devices, r.GenerateParallelism)
+	tr := r.Tracer.Start("generate-and-deploy")
+	defer tr.End()
+	tr.SetAttrInt("devices", int64(len(devices)))
+
+	gsp := tr.Child("generate")
+	configs, err := r.Generator.GenerateManyTraced(devices, r.GenerateParallelism, gsp)
+	gsp.End()
 	if err != nil {
+		tr.SetAttr("error", err.Error())
 		return deploy.Report{}, err
 	}
 	for name, cfg := range configs {
 		if _, err := r.Generator.CommitGolden(name, cfg, author, "incremental update intent"); err != nil {
+			tr.SetAttr("error", err.Error())
 			return deploy.Report{}, err
 		}
 	}
@@ -442,7 +503,23 @@ func (r *Robotron) GenerateAndDeploy(devices []string, opts deploy.Options, auth
 	if opts.Parallelism == 0 {
 		opts.Parallelism = r.DeployParallelism
 	}
-	return r.Deployer.Deploy(configs, opts)
+	dsp := tr.Child("deploy")
+	opts.Span = dsp
+	rep, err := r.Deployer.Deploy(configs, opts)
+	dsp.End()
+	if err != nil {
+		tr.SetAttr("error", err.Error())
+		return rep, err
+	}
+	// Close the loop inside the same trace: a synchronous conformance
+	// pass over the deployed devices, feeding any drift or check error
+	// into the reconciler's normal state machine.
+	if r.Reconciler != nil {
+		rsp := tr.Child("reconcile")
+		rsp.SetAttrInt("checked", int64(r.Reconciler.VerifyDevices(devices, rsp)))
+		rsp.End()
+	}
+	return rep, nil
 }
 
 // PromoteCircuits moves every fully-deployed provisioning circuit to

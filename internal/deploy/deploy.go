@@ -39,6 +39,7 @@ import (
 
 	"github.com/robotron-net/robotron/internal/confdiff"
 	"github.com/robotron-net/robotron/internal/netsim"
+	"github.com/robotron-net/robotron/internal/telemetry"
 )
 
 // Target is the management session surface the deployer needs from a
@@ -120,6 +121,11 @@ type Options struct {
 	// originate from worker goroutines mid-phase, but calls are
 	// serialized: Notify is never invoked concurrently with itself.
 	Notify func(format string, args ...any)
+	// Span, if set, is the parent trace span for this deployment: Deploy
+	// records one "phase" child per rollout phase and one "commit" child
+	// per device commit under it. Nil disables tracing (all span methods
+	// no-op on nil).
+	Span *telemetry.Span
 }
 
 // workers resolves the pool size for a work list of n devices.
@@ -188,6 +194,43 @@ func (r Report) Failed() []Result {
 // Deployer executes deployments against a device fleet.
 type Deployer struct {
 	Resolve Resolver
+
+	met deployMetrics
+}
+
+// deployMetrics are the deployer's registry bindings; the zero value
+// (all nil) records nothing, so an uninstrumented Deployer pays only
+// nil-receiver checks.
+type deployMetrics struct {
+	commitOK   *telemetry.Counter
+	commitFail *telemetry.Counter
+	rollbacks  *telemetry.Counter
+	phaseSec   *telemetry.Histogram
+	commitSec  *telemetry.Histogram
+}
+
+func bindDeployMetrics(reg *telemetry.Registry) deployMetrics {
+	reg.Help("robotron_deploy_commits_total", "device commit attempts by result")
+	reg.Help("robotron_deploy_rollbacks_total", "device rollbacks performed (atomic failure, health gate, grace expiry, explicit)")
+	reg.Help("robotron_deploy_phase_seconds", "wall time of each deployment phase")
+	reg.Help("robotron_deploy_commit_seconds", "wall time of each device commit attempt")
+	return deployMetrics{
+		commitOK:   reg.Counter("robotron_deploy_commits_total", telemetry.Label{Key: "result", Value: "ok"}),
+		commitFail: reg.Counter("robotron_deploy_commits_total", telemetry.Label{Key: "result", Value: "failed"}),
+		rollbacks:  reg.Counter("robotron_deploy_rollbacks_total"),
+		phaseSec:   reg.Histogram("robotron_deploy_phase_seconds"),
+		commitSec:  reg.Histogram("robotron_deploy_commit_seconds"),
+	}
+}
+
+// Instrument binds the deployer's commit/rollback counters and latency
+// histograms to reg. Instrument(nil) detaches them again.
+func (d *Deployer) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		d.met = deployMetrics{}
+		return
+	}
+	d.met = bindDeployMetrics(reg)
 }
 
 // NewDeployer returns a deployer using the given resolver.
@@ -438,7 +481,7 @@ func (d *Deployer) Deploy(configs map[string]string, opts Options) (Report, erro
 		}
 	}
 	phases := partitionPhases(targets, opts.Phases)
-	pending := &Pending{notify: nf.notify}
+	pending := &Pending{notify: nf.notify, rollbacks: d.met.rollbacks}
 	committed := make([]string, 0, len(configs)) // commit-completion order
 
 	// settle drains every straggler's in-flight commit and returns the
@@ -467,6 +510,7 @@ func (d *Deployer) Deploy(configs map[string]string, opts Options) (Report, erro
 			if err := targets[name].Rollback(); err != nil {
 				nf.notify("rollback of %s failed: %v", name, err)
 			} else {
+				d.met.rollbacks.Inc()
 				rep.Results = append(rep.Results, Result{Device: name, Action: "rolled-back"})
 			}
 		}
@@ -489,9 +533,16 @@ func (d *Deployer) Deploy(configs map[string]string, opts Options) (Report, erro
 	for pi, phase := range phases {
 		workers := opts.workers(len(phase.devices))
 		nf.notify("phase %d/%d (%s): %d device(s), parallelism %d", pi+1, len(phases), phase.name, len(phase.devices), workers)
-		out := d.runPhase(phase, targets, configs, diffStats, opts, pending, nf, &committed, workers, pi+1, len(phases))
+		psp := opts.Span.Child("phase")
+		psp.SetAttr("phase", phase.name)
+		psp.SetAttrInt("devices", int64(len(phase.devices)))
+		phaseStart := time.Now()
+		out := d.runPhase(phase, targets, configs, diffStats, opts, pending, nf, &committed, workers, pi+1, len(phases), psp)
+		d.met.phaseSec.ObserveSince(phaseStart)
 		rep.Results = append(rep.Results, out.results...)
 		if out.failedErr != nil {
+			psp.SetAttr("result", "failed")
+			psp.End()
 			// Settle stragglers on *every* failure exit — non-atomic
 			// included — so no commit can land after Deploy returns.
 			late := settle(out.stragglers)
@@ -518,6 +569,8 @@ func (d *Deployer) Deploy(configs map[string]string, opts Options) (Report, erro
 		for _, name := range phase.devices {
 			if err := check(targets[name], configs[name]); err != nil {
 				nf.notify("phase %d health gate failed on %s: %v — halting deployment", pi+1, name, err)
+				psp.SetAttr("result", "unhealthy")
+				psp.End()
 				if opts.Atomic {
 					rollbackAll()
 					return rep, fmt.Errorf("deploy: atomic deployment health check failed on %s: %w", name, err)
@@ -526,6 +579,8 @@ func (d *Deployer) Deploy(configs map[string]string, opts Options) (Report, erro
 				return rep, fmt.Errorf("deploy: phase %d halted: %s unhealthy: %w", pi+1, name, err)
 			}
 		}
+		psp.SetAttr("result", "ok")
+		psp.End()
 	}
 	if opts.ConfirmGrace > 0 {
 		pending.arm(opts.ConfirmGrace)
@@ -539,7 +594,7 @@ func (d *Deployer) Deploy(configs map[string]string, opts Options) (Report, erro
 // caller owns rollback and straggler settlement.
 func (d *Deployer) runPhase(phase phaseSet, targets map[string]Target, configs map[string]string,
 	diffStats map[string]confdiff.Stats, opts Options, pending *Pending, nf *notifier,
-	committed *[]string, workers, phaseNum, phaseCount int) phaseOutcome {
+	committed *[]string, workers, phaseNum, phaseCount int, phaseSpan *telemetry.Span) phaseOutcome {
 
 	var (
 		mu         sync.Mutex
@@ -574,7 +629,18 @@ func (d *Deployer) runPhase(phase phaseSet, targets map[string]Target, configs m
 			return aborted
 		},
 		func(name string) {
+			csp := phaseSpan.Child("commit")
+			csp.SetAttr("device", name)
+			commitStart := time.Now()
 			err, inflight := commitWithDeadline(targets[name], configs[name])
+			d.met.commitSec.ObserveSince(commitStart)
+			if err != nil {
+				d.met.commitFail.Inc()
+				csp.SetAttr("error", err.Error())
+			} else {
+				d.met.commitOK.Inc()
+			}
+			csp.End()
 			stats := diffStats[name]
 			res := Result{Device: name, Action: "committed", Err: err, Added: stats.Added, Removed: stats.Removed}
 			if err == nil {
@@ -715,7 +781,8 @@ func partitionPhases(targets map[string]Target, phases []Phase) []phaseSet {
 // Robotron will rollback the changes." Safe for concurrent use: the
 // worker pool adds devices while Confirm/Rollback/expiry race to settle.
 type Pending struct {
-	notify func(string, ...any)
+	notify    func(string, ...any)
+	rollbacks *telemetry.Counter // nil no-op when the deployer is uninstrumented
 
 	mu      sync.Mutex
 	native  []Target // devices with device-native commit-confirmed
@@ -813,8 +880,12 @@ func (p *Pending) expire() {
 	}
 	// Native devices roll back on their own; the deployer reverts the rest.
 	for _, t := range emul {
-		if err := t.Rollback(); err != nil && p.notify != nil {
-			p.notify("emulated rollback of %s failed: %v", t.Name(), err)
+		if err := t.Rollback(); err != nil {
+			if p.notify != nil {
+				p.notify("emulated rollback of %s failed: %v", t.Name(), err)
+			}
+		} else {
+			p.rollbacks.Inc()
 		}
 	}
 }
@@ -825,16 +896,24 @@ func (p *Pending) rollbackAll() {
 	emul := append([]Target(nil), p.emul...)
 	p.mu.Unlock()
 	for _, t := range emul {
-		if err := t.Rollback(); err != nil && p.notify != nil {
-			p.notify("rollback of %s failed: %v", t.Name(), err)
+		if err := t.Rollback(); err != nil {
+			if p.notify != nil {
+				p.notify("rollback of %s failed: %v", t.Name(), err)
+			}
+		} else {
+			p.rollbacks.Inc()
 		}
 	}
 	for _, t := range native {
 		// Force the native rollback now rather than waiting for the
 		// device timer: roll back explicitly, then confirm the (now
 		// reverted) state to disarm the device timer.
-		if err := t.Rollback(); err != nil && p.notify != nil {
-			p.notify("rollback of %s failed: %v", t.Name(), err)
+		if err := t.Rollback(); err != nil {
+			if p.notify != nil {
+				p.notify("rollback of %s failed: %v", t.Name(), err)
+			}
+		} else {
+			p.rollbacks.Inc()
 		}
 		_ = t.Confirm()
 	}

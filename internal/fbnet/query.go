@@ -351,8 +351,12 @@ func (r txReader) lookupIndexed(table, col string, v any) ([]int64, error) {
 // strategy only has to return a superset-free exact candidate set.
 func planRows(reg *Registry, r reader, model string, q Query) ([]relstore.Row, error) {
 	if rows, ok, err := planIndexed(reg, r, model, q); err != nil || ok {
+		if err == nil {
+			reg.mPlanIndexed.Inc()
+		}
 		return rows, err
 	}
+	reg.mPlanScanned.Inc()
 	return r.selectAll(model)
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"github.com/robotron-net/robotron/internal/fbnet"
 	"github.com/robotron-net/robotron/internal/relstore"
+	"github.com/robotron-net/robotron/internal/telemetry"
 )
 
 // Deployment wires the §4.3.3 topology: "We employ standard MySQL
@@ -93,6 +94,22 @@ func NewDeployment(registry *fbnet.Registry, masterRegion string, regions []stri
 		return nil, err
 	}
 	return d, nil
+}
+
+// Instrument registers the deployment's observability surface on reg:
+// the master store's planner and transaction metrics plus, per
+// non-master region, the replica's replication-lag gauge and health
+// check. Call again after FailMasterAndPromote to cover the rebuilt
+// replicas.
+func (d *Deployment) Instrument(reg *telemetry.Registry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.masterStore.Instrument(reg)
+	for _, rs := range d.regions {
+		if rs.replica != nil {
+			rs.replica.Instrument(reg)
+		}
+	}
 }
 
 // MasterStore returns the store over the master database (in-process

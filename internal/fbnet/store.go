@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/robotron-net/robotron/internal/relstore"
+	"github.com/robotron-net/robotron/internal/telemetry"
 )
 
 // Object is a snapshot of one FBNet object. Relation fields hold the id of
@@ -80,6 +81,14 @@ func Open(db *relstore.DB, reg *Registry) (*Store, error) {
 
 // Registry returns the store's model registry.
 func (s *Store) Registry() *Registry { return s.reg }
+
+// Instrument registers the store's planner counters and the backing
+// server's transaction metrics on reg. Views and mutations sharing the
+// model registry are covered automatically.
+func (s *Store) Instrument(reg *telemetry.Registry) {
+	s.reg.Instrument(reg)
+	s.db.Instrument(reg)
+}
 
 // DB returns the underlying database (used by the service layer for
 // replication wiring).

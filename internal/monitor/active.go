@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/robotron-net/robotron/internal/netsim"
+	"github.com/robotron-net/robotron/internal/telemetry"
 )
 
 // Active monitoring (§5.4.2, Fig. 11): the Job Manager schedules periodic
@@ -178,21 +179,43 @@ type EventStats struct {
 	mu     sync.Mutex
 	counts map[EngineType]int64
 	errors int64
+
+	// Registry mirrors, nil (no-op) until instrument.
+	reg     *telemetry.Registry
+	mPolls  map[EngineType]*telemetry.Counter
+	mErrors *telemetry.Counter
 }
 
 func newEventStats() *EventStats {
 	return &EventStats{counts: make(map[EngineType]int64)}
 }
 
+func (s *EventStats) instrument(reg *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg = reg
+	s.mPolls = make(map[EngineType]*telemetry.Counter)
+	s.mErrors = reg.Counter("robotron_monitor_poll_errors_total")
+}
+
 func (s *EventStats) add(e EngineType, n int64) {
 	s.mu.Lock()
 	s.counts[e] += n
+	if s.reg != nil {
+		c, ok := s.mPolls[e]
+		if !ok {
+			c = s.reg.Counter("robotron_monitor_polls_total", telemetry.Label{Key: "engine", Value: string(e)})
+			s.mPolls[e] = c
+		}
+		c.Add(n)
+	}
 	s.mu.Unlock()
 }
 
 func (s *EventStats) addError() {
 	s.mu.Lock()
 	s.errors++
+	s.mErrors.Inc()
 	s.mu.Unlock()
 }
 
@@ -315,6 +338,15 @@ func (jm *JobManager) Jobs() []JobSpec {
 
 // Stats returns the event counters.
 func (jm *JobManager) Stats() *EventStats { return jm.stats }
+
+// Instrument mirrors the job manager's poll counters onto reg
+// (robotron_monitor_polls_total{engine=...} and
+// robotron_monitor_poll_errors_total). The EventStats getters remain
+// the authoritative view.
+func (jm *JobManager) Instrument(reg *telemetry.Registry) {
+	reg.Help("robotron_monitor_polls_total", "successful active-monitoring polls per engine")
+	jm.stats.instrument(reg)
+}
 
 // RunOnce executes one job immediately (the "ad-hoc monitoring jobs
 // on-demand" path, used by config monitoring).

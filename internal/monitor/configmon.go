@@ -9,6 +9,7 @@ import (
 	"github.com/robotron-net/robotron/internal/fbnet"
 	"github.com/robotron-net/robotron/internal/netsim"
 	"github.com/robotron-net/robotron/internal/revctl"
+	"github.com/robotron-net/robotron/internal/telemetry"
 )
 
 // ConfigMonitor implements config monitoring (§5.4.3): a running-config
@@ -25,7 +26,29 @@ type ConfigMonitor struct {
 	deviations  []Deviation
 	handlers    []func(Deviation)
 	checkErrs   int64
+	checkPanics int64
 	errHandlers []func(device string, err error)
+
+	// Registry-backed mirrors of the counters above; nil (no-op) until
+	// Instrument.
+	mChecks     *telemetry.Counter
+	mCheckErrs  *telemetry.Counter
+	mPanics     *telemetry.Counter
+	mDeviations *telemetry.Counter
+}
+
+// Instrument mirrors the monitor's counters onto reg so they appear in
+// /metrics. The authoritative counts (CheckErrors, CheckPanics) remain
+// the in-struct fields, updated under cm.mu together with the hooks.
+func (cm *ConfigMonitor) Instrument(reg *telemetry.Registry) {
+	reg.Help("robotron_monitor_check_errors_total", "event-triggered config checks that errored")
+	reg.Help("robotron_monitor_check_panics_total", "panics recovered from backend config checks")
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	cm.mChecks = reg.Counter("robotron_monitor_checks_total")
+	cm.mCheckErrs = reg.Counter("robotron_monitor_check_errors_total")
+	cm.mPanics = reg.Counter("robotron_monitor_check_panics_total")
+	cm.mDeviations = reg.Counter("robotron_monitor_deviations_total")
 }
 
 // Deviation is one detected divergence between running and golden config.
@@ -82,19 +105,51 @@ func (cm *ConfigMonitor) CheckErrors() int64 {
 	return cm.checkErrs
 }
 
+// CheckPanics reports how many panics were recovered from backend
+// checks. Each recovered panic is also counted as a check error.
+func (cm *ConfigMonitor) CheckPanics() int64 {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	return cm.checkPanics
+}
+
+// noteCheckError advances the error counter and notifies every
+// OnCheckError subscriber under one critical section, so the counter
+// and the hook can never diverge: an observer that sees checkErrs == N
+// knows exactly N handler invocation rounds have been entered, and a
+// concurrent OnCheckError registration cannot land between the count
+// and the callbacks. Handlers must not call back into the monitor.
 func (cm *ConfigMonitor) noteCheckError(device string, err error) {
 	cm.mu.Lock()
+	defer cm.mu.Unlock()
 	cm.checkErrs++
-	handlers := cm.errHandlers
-	cm.mu.Unlock()
-	for _, h := range handlers {
+	cm.mCheckErrs.Inc()
+	for _, h := range cm.errHandlers {
 		h(device, err)
 	}
 }
 
+// notePanic counts a panic recovered from a backend check.
+func (cm *ConfigMonitor) notePanic() {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	cm.checkPanics++
+	cm.mPanics.Inc()
+}
+
 // CheckDevice collects the device's running config now, archives it, and
 // compares it to golden. It returns the deviation (nil if conforming).
-func (cm *ConfigMonitor) CheckDevice(device string) (*Deviation, error) {
+// A panic out of the collection backends or the golden resolver is
+// recovered and surfaced as an error (and counted via CheckPanics), so
+// one broken backend cannot kill the classifier's alert goroutine.
+func (cm *ConfigMonitor) CheckDevice(device string) (dev *Deviation, err error) {
+	cm.mChecks.Inc()
+	defer func() {
+		if p := recover(); p != nil {
+			cm.notePanic()
+			dev, err = nil, fmt.Errorf("monitor: check of %s panicked: %v", device, p)
+		}
+	}()
 	cols, err := cm.jm.RunOnce(JobSpec{
 		Name: "adhoc-config-" + device, Period: time.Second,
 		Engine: EngineCLI, Data: DataConfig,
@@ -120,18 +175,19 @@ func (cm *ConfigMonitor) CheckDevice(device string) (*Deviation, error) {
 		return nil, nil
 	}
 	stats := d.Stats(true)
-	dev := Deviation{
+	found := Deviation{
 		Device: device, Diff: d.Unified(3),
 		Added: stats.Added, Removed: stats.Removed, At: cols[0].At,
 	}
 	cm.mu.Lock()
-	cm.deviations = append(cm.deviations, dev)
+	cm.deviations = append(cm.deviations, found)
+	cm.mDeviations.Inc()
 	handlers := cm.handlers
 	cm.mu.Unlock()
 	for _, h := range handlers {
-		h(dev)
+		h(found)
 	}
-	return &dev, nil
+	return &found, nil
 }
 
 // recordConformance updates the DerivedConfig object for the device.

@@ -1,0 +1,106 @@
+package monitor
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/robotron-net/robotron/internal/telemetry"
+)
+
+// TestConfigMonitorRecoversPanickingCheck: a panic out of a backend
+// check (here the golden resolver) must not kill the classifier's
+// alert path — it is converted to a check error, counted in both
+// CheckErrors and CheckPanics, and delivered to OnCheckError.
+func TestConfigMonitorRecoversPanickingCheck(t *testing.T) {
+	_, jm, store, repo := newMonitoredFleet(t, 1)
+	cls := NewClassifier()
+	StandardRules(cls)
+	cm := NewConfigMonitor(jm, repo, store, func(d string) (string, error) {
+		panic("golden store corrupted")
+	})
+	reg := telemetry.NewRegistry()
+	cm.Instrument(reg)
+	cm.Attach(cls)
+
+	var mu sync.Mutex
+	var heard []string
+	cm.OnCheckError(func(device string, err error) {
+		mu.Lock()
+		heard = append(heard, device+": "+err.Error())
+		mu.Unlock()
+	})
+
+	// Direct call: the panic surfaces as an error, not a crash.
+	if _, err := cm.CheckDevice("dev00"); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("CheckDevice err = %v, want recovered panic", err)
+	}
+	if n := cm.CheckPanics(); n != 1 {
+		t.Errorf("CheckPanics = %d, want 1", n)
+	}
+	// Alert-triggered call: same recovery, plus the error-counter/hook
+	// pair advances together.
+	cls.Process(msg("dev00", "CONFIG_CHANGED: configuration changed out-of-band"))
+	if n := cm.CheckErrors(); n != 1 {
+		t.Errorf("CheckErrors = %d, want 1 (only the alert-triggered check routes to noteCheckError)", n)
+	}
+	if n := cm.CheckPanics(); n != 2 {
+		t.Errorf("CheckPanics = %d, want 2", n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(heard) != 1 || !strings.Contains(heard[0], "dev00") || !strings.Contains(heard[0], "panicked") {
+		t.Fatalf("OnCheckError heard = %v", heard)
+	}
+	// Registry mirrors agree with the authoritative getters.
+	if v := reg.Counter("robotron_monitor_check_panics_total").Value(); v != 2 {
+		t.Errorf("panic counter on registry = %d, want 2", v)
+	}
+	if v := reg.Counter("robotron_monitor_check_errors_total").Value(); v != 1 {
+		t.Errorf("error counter on registry = %d, want 1", v)
+	}
+}
+
+// TestNoteCheckErrorAtomicWithHook: the counter and the hook fire in
+// one critical section — a handler observing the count mid-callback
+// always sees a value that includes its own invocation, with no window
+// where the counter ran ahead of (or behind) the callbacks. Run with
+// -race.
+func TestNoteCheckErrorAtomicWithHook(t *testing.T) {
+	_, jm, store, repo := newMonitoredFleet(t, 1)
+	cm := NewConfigMonitor(jm, repo, store, func(d string) (string, error) {
+		return "", nil
+	})
+	var calls int64
+	cm.OnCheckError(func(device string, err error) {
+		calls++ // guarded by cm.mu: handlers run under the monitor's lock
+		if calls != cm.checkErrs {
+			t.Errorf("handler saw calls=%d but checkErrs=%d", calls, cm.checkErrs)
+		}
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				cm.noteCheckError("dev00", errFake)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := cm.CheckErrors(); n != 800 {
+		t.Errorf("CheckErrors = %d, want 800", n)
+	}
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	if calls != 800 {
+		t.Errorf("handler calls = %d, want 800", calls)
+	}
+}
+
+var errFake = &fakeErr{}
+
+type fakeErr struct{}
+
+func (*fakeErr) Error() string { return "synthetic check failure" }

@@ -31,6 +31,7 @@ import (
 	"github.com/robotron-net/robotron/internal/deploy"
 	"github.com/robotron-net/robotron/internal/monitor"
 	"github.com/robotron-net/robotron/internal/revctl"
+	"github.com/robotron-net/robotron/internal/telemetry"
 )
 
 // GoldenSource regenerates and records a device's intended config;
@@ -80,7 +81,7 @@ type Reconciler struct {
 	active     int // devices in remediating|confirming
 	tripped    bool
 	stopped    bool
-	stats      ReconcileStats
+	met        reconcileMetrics
 	bucket     *tokenBucket
 	sweepTimer Timer
 
@@ -96,6 +97,8 @@ func New(deps Deps, cfg Config) *Reconciler {
 		clock:   cfg.Clock,
 		journal: NewJournal(cfg.JournalSink),
 		devices: make(map[string]*deviceState),
+		// Private registry so Stats() works unwired; Instrument rebinds.
+		met: bindReconcileMetrics(telemetry.NewRegistry()),
 	}
 	r.bucket = newTokenBucket(cfg.DeployBurst, cfg.DeployEvery, r.clock.Now())
 	return r
@@ -166,18 +169,18 @@ func (r *Reconciler) noteDrift(name, detail string) {
 		r.mu.Unlock()
 		return
 	case StateQuarantined:
-		r.stats.Suppressed++
+		r.met.suppressed.Inc()
 		r.eventLocked(name, EvSuppressed, "drift on quarantined device ignored")
 		r.mu.Unlock()
 		return
 	}
 	now := r.clock.Now()
 	ds.detections = pruneWindow(append(ds.detections, now), now, r.cfg.DampingWindow)
-	r.stats.Detected++
+	r.met.detected.Inc()
 	r.setStateLocked(ds, StateDetected, EvDetected, detail)
 	// Flap damping: the device keeps drifting — stop fighting it.
 	if r.cfg.DampingThreshold > 0 && len(ds.detections) >= r.cfg.DampingThreshold {
-		r.stats.Quarantined++
+		r.met.quarantined.Inc()
 		r.setStateLocked(ds, StateQuarantined,
 			EvQuarantined, fmt.Sprintf("%d drifts within %v (flap damping)", len(ds.detections), r.cfg.DampingWindow))
 		alerts = append(alerts, fmt.Sprintf("reconcile: %s quarantined after %d drifts within %v — operator review required",
@@ -197,7 +200,7 @@ func (r *Reconciler) noteDrift(name, detail string) {
 	budget := r.budgetLocked()
 	if open := r.openLocked(); open > budget {
 		r.tripped = true
-		r.stats.BudgetTrips++
+		r.met.budgetTrips.Inc()
 		r.eventLocked(name, EvBudgetTrip,
 			fmt.Sprintf("%d device(s) need remediation, budget %d: loop halted", open, budget))
 		alerts = append(alerts, fmt.Sprintf(
@@ -221,7 +224,7 @@ func (r *Reconciler) HandleCheckError(device string, err error) {
 		r.mu.Unlock()
 		return
 	}
-	r.stats.CheckErrors++
+	r.met.checkErrors.Inc()
 	ds := r.ensureLocked(device)
 	ds.checkAttempt++
 	attempt := ds.checkAttempt
@@ -331,7 +334,7 @@ func (r *Reconciler) tryRemediate(name string) {
 	budget := r.budgetLocked()
 	if r.active >= budget {
 		r.tripped = true
-		r.stats.BudgetTrips++
+		r.met.budgetTrips.Inc()
 		r.eventLocked(name, EvBudgetTrip,
 			fmt.Sprintf("%d remediation(s) already in flight, budget %d: loop halted", r.active, budget))
 		alerts = append(alerts, fmt.Sprintf(
@@ -342,7 +345,7 @@ func (r *Reconciler) tryRemediate(name string) {
 	}
 	if r.bucket != nil {
 		if wait := r.bucket.take(r.clock.Now()); wait > 0 {
-			r.stats.RateLimited++
+			r.met.rateLimited.Inc()
 			r.eventLocked(name, EvRateLimited, fmt.Sprintf("deploy token in %v", wait))
 			r.rearmLocked(ds, wait)
 			r.mu.Unlock()
@@ -373,15 +376,15 @@ func (r *Reconciler) remediate(name string) {
 	if err == nil {
 		ds.attempt = 0
 		ds.checkAttempt = 0
-		r.stats.Remediated++
-		r.stats.Converged++
+		r.met.remediated.Inc()
+		r.met.converged.Inc()
 		r.setStateLocked(ds, StateConverged, EvConverged, "running config matches golden")
 		r.mu.Unlock()
 		return
 	}
 	ds.attempt++
 	if r.cfg.MaxAttempts > 0 && ds.attempt >= r.cfg.MaxAttempts {
-		r.stats.Quarantined++
+		r.met.quarantined.Inc()
 		r.setStateLocked(ds, StateQuarantined,
 			EvQuarantined, fmt.Sprintf("%d failed remediation attempts, last: %v", ds.attempt, err))
 		alerts = append(alerts, fmt.Sprintf("reconcile: %s quarantined after %d failed remediation attempts (last: %v)",
@@ -390,7 +393,7 @@ func (r *Reconciler) remediate(name string) {
 		r.fire(alerts)
 		return
 	}
-	r.stats.Retries++
+	r.met.retries.Inc()
 	r.eventLocked(name, EvRetry, err.Error())
 	r.scheduleLocked(ds, r.cfg.backoff(ds.attempt))
 	r.mu.Unlock()
@@ -485,11 +488,23 @@ func (r *Reconciler) ResetBreaker() {
 	r.mu.Unlock()
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters — a thin view over the
+// registry bindings (see Instrument).
 func (r *Reconciler) Stats() ReconcileStats {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
+	m := r.met
+	r.mu.Unlock()
+	return ReconcileStats{
+		Detected:    m.detected.Value(),
+		Remediated:  m.remediated.Value(),
+		Converged:   m.converged.Value(),
+		Quarantined: m.quarantined.Value(),
+		BudgetTrips: m.budgetTrips.Value(),
+		Retries:     m.retries.Value(),
+		RateLimited: m.rateLimited.Value(),
+		CheckErrors: m.checkErrors.Value(),
+		Suppressed:  m.suppressed.Value(),
+	}
 }
 
 // Journal returns the event journal.

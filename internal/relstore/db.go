@@ -3,6 +3,8 @@ package relstore
 import (
 	"fmt"
 	"sync"
+
+	"github.com/robotron-net/robotron/internal/telemetry"
 )
 
 // table is the in-memory storage for one table.
@@ -90,6 +92,10 @@ type DB struct {
 	closed bool
 	// name identifies this server in errors and logs (e.g. "master.ash1").
 	name string
+
+	// Telemetry mirrors; nil (no-op) until Instrument.
+	mCommits   *telemetry.Counter
+	mRollbacks *telemetry.Counter
 }
 
 // NewDB creates an empty database server with the given name.
@@ -99,6 +105,17 @@ func NewDB(name string) *DB {
 
 // Name returns the server name.
 func (db *DB) Name() string { return db.name }
+
+// Instrument registers this server's transaction counters and binlog
+// sequence gauge on reg, labeled with the server name.
+func (db *DB) Instrument(reg *telemetry.Registry) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	server := telemetry.Label{Key: "server", Value: db.name}
+	db.mCommits = reg.Counter("robotron_relstore_tx_commits_total", server)
+	db.mRollbacks = reg.Counter("robotron_relstore_tx_rollbacks_total", server)
+	reg.GaugeFunc("robotron_relstore_binlog_seq", func() float64 { return float64(db.Seq()) }, server)
+}
 
 // CreateTable registers a new table. Schema changes are recorded in the
 // binlog so replicas converge.

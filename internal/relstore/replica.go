@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"github.com/robotron-net/robotron/internal/telemetry"
 )
 
 // Replica is an asynchronous follower of a master DB, mirroring FBNet's
@@ -41,6 +43,23 @@ func (r *Replica) Applied() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.applied
+}
+
+// Instrument registers the replica's replication-lag gauge
+// (master binlog seq − replica applied seq) and a health check that
+// fails while the replica is down, both labeled with the replica name.
+func (r *Replica) Instrument(reg *telemetry.Registry) {
+	name := r.db.Name()
+	reg.Help("robotron_relstore_replication_lag", "binlog entries the replica is behind the master")
+	reg.GaugeFunc("robotron_relstore_replication_lag",
+		func() float64 { return float64(r.Lag()) },
+		telemetry.Label{Key: "replica", Value: name})
+	reg.RegisterHealth("relstore-replica-"+name, func() (string, error) {
+		if !r.db.Healthy() {
+			return "", fmt.Errorf("replica %s is down", name)
+		}
+		return fmt.Sprintf("lag=%d", r.Lag()), nil
+	})
 }
 
 // Lag returns how many binlog entries the replica is behind the master.

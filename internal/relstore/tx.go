@@ -108,6 +108,7 @@ func (tx *Tx) Commit() error {
 		tx.pending[i].Seq = db.seq
 	}
 	db.binlog = append(db.binlog, tx.pending...)
+	db.mCommits.Inc()
 	db.mu.Unlock()
 	return nil
 }
@@ -131,6 +132,7 @@ func (tx *Tx) Rollback() error {
 			t.restoreRow(u.rowID, u.values)
 		}
 	}
+	db.mRollbacks.Inc()
 	db.mu.Unlock()
 	return nil
 }

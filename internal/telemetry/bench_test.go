@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// BenchmarkCounterInc: the hot-path increment; must be ~0 allocs/op.
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("robotron_bench_total")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkCounterIncNil: the disabled path — a nil receiver no-op.
+func BenchmarkCounterIncNil(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("robotron_bench_total")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("robotron_bench_seconds")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.00042)
+	}
+}
+
+func BenchmarkHistogramObserveNil(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.00042)
+	}
+}
+
+func BenchmarkSpanChildEnd(b *testing.B) {
+	tr := NewTracer(8)
+	root := tr.Start("bench")
+	defer root.End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := root.Child("op")
+		s.End()
+	}
+}
+
+func BenchmarkSpanChildEndNil(b *testing.B) {
+	var root *Span
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := root.Child("op")
+		s.SetAttr("k", "v")
+		s.End()
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 32; i++ {
+		r.Counter("robotron_bench_total", Label{"i", string(rune('a' + i%26))}).Inc()
+	}
+	h := r.Histogram("robotron_bench_seconds")
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i).Seconds())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default latency buckets in seconds: 1µs to 10s,
+// roughly logarithmic, tuned for the spread between an in-memory memo
+// hit (~µs) and a commit-confirmed phased deployment (~s).
+var DefBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// Histogram counts observations into fixed buckets with atomic
+// per-bucket counters. Observe is lock-free; Snapshot is a consistent-
+// enough read for monitoring (buckets are loaded one by one, so a
+// snapshot taken mid-observation may be off by the in-flight sample —
+// fine for metrics, and race-detector clean).
+//
+// All methods are no-ops on a nil *Histogram.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, seconds; +Inf implied
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return &Histogram{
+		bounds:  bounds,
+		buckets: make([]atomic.Int64, len(bounds)+1), // last = +Inf
+	}
+}
+
+// Observe records one sample (in seconds).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records time.Since(start).
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// HistSnapshot is a point-in-time view of a histogram.
+type HistSnapshot struct {
+	Bounds  []float64 // upper bounds, excluding +Inf
+	Buckets []int64   // per-bucket counts (len = len(Bounds)+1, last = +Inf)
+	Count   int64
+	Sum     float64
+}
+
+// Snapshot returns the current bucket counts, total count, and sum.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Bounds:  h.bounds,
+		Buckets: make([]int64, len(h.buckets)),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+	return s
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Quantile estimates the q-quantile (0..1) by linear interpolation
+// within the bucket containing the target rank. Returns 0 with no
+// observations; the highest finite bound when the rank lands in +Inf.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := int64(0)
+	for i, c := range s.Buckets {
+		prev := cum
+		cum += c
+		if float64(cum) >= rank {
+			if i >= len(s.Bounds) {
+				// +Inf bucket: best effort, report the last finite bound.
+				if len(s.Bounds) == 0 {
+					return 0
+				}
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			if c == 0 {
+				return hi
+			}
+			frac := (rank - float64(prev)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+	}
+	if len(s.Bounds) == 0 {
+		return 0
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// P50, P95 and P99 are convenience quantiles.
+func (s HistSnapshot) P50() float64 { return s.Quantile(0.50) }
+
+// P95 is the 95th percentile estimate.
+func (s HistSnapshot) P95() float64 { return s.Quantile(0.95) }
+
+// P99 is the 99th percentile estimate.
+func (s HistSnapshot) P99() float64 { return s.Quantile(0.99) }

@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestHTTPEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("robotron_http_total").Add(7)
+	tr := NewTracer(4)
+	s := tr.Start("req")
+	s.Child("inner").End()
+	s.End()
+	reg.RegisterHealth("always-ok", func() (string, error) { return "yes", nil })
+
+	srv, err := ListenAndServe("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, "robotron_http_total 7") {
+		t.Errorf("/metrics = %d:\n%s", code, body)
+	}
+
+	code, body = get("/traces")
+	if code != 200 {
+		t.Fatalf("/traces = %d", code)
+	}
+	var traces []SpanSnapshot
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatalf("/traces not JSON: %v\n%s", err, body)
+	}
+	if len(traces) != 1 || traces[0].Name != "req" || len(traces[0].Children) != 1 {
+		t.Errorf("/traces = %+v", traces)
+	}
+
+	code, body = get("/healthz")
+	if code != 200 || !strings.Contains(body, `"ok": true`) {
+		t.Errorf("/healthz = %d:\n%s", code, body)
+	}
+
+	reg.RegisterHealth("broken", func() (string, error) { return "", errors.New("down") })
+	code, body = get("/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("/healthz with failing check = %d, want 503\n%s", code, body)
+	}
+}
+
+func TestHTTPNilRegistryAndTracer(t *testing.T) {
+	srv, err := ListenAndServe("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/traces", "/healthz"} {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("%s = %d, want 200 for empty telemetry", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every metric in the registry in the
+// Prometheus text exposition format (version 0.0.4): families sorted
+// by name, one # TYPE line per family, histogram expanded into
+// cumulative _bucket{le=...} series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	metrics := r.snapshot()
+
+	// Group by sanitized family name so differently-labeled instances
+	// of one family share a single TYPE header.
+	byFamily := make(map[string][]*metric)
+	var families []string
+	for _, m := range metrics {
+		fam := SanitizeMetricName(m.name)
+		if _, ok := byFamily[fam]; !ok {
+			families = append(families, fam)
+		}
+		byFamily[fam] = append(byFamily[fam], m)
+	}
+	sort.Strings(families)
+
+	r.mu.Lock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[SanitizeMetricName(k)] = v
+	}
+	r.mu.Unlock()
+
+	for _, fam := range families {
+		group := byFamily[fam]
+		typ := "untyped"
+		switch group[0].kind {
+		case kindCounter:
+			typ = "counter"
+		case kindGauge, kindGaugeFunc:
+			typ = "gauge"
+		case kindHistogram:
+			typ = "histogram"
+		}
+		if h, ok := help[fam]; ok {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, strings.ReplaceAll(h, "\n", " ")); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, typ); err != nil {
+			return err
+		}
+		for _, m := range group {
+			if err := writeMetric(w, fam, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeMetric(w io.Writer, fam string, m *metric) error {
+	switch m.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", fam, m.labels.String(), m.counter.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", fam, m.labels.String(), formatFloat(m.gauge.Value()))
+		return err
+	case kindGaugeFunc:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", fam, m.labels.String(), formatFloat(m.gfn()))
+		return err
+	case kindHistogram:
+		s := m.hist.Snapshot()
+		cum := int64(0)
+		for i, b := range s.Bounds {
+			cum += s.Buckets[i]
+			ls := append(append(Labels{}, m.labels...), Label{"le", formatFloat(b)})
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam, ls.String(), cum); err != nil {
+				return err
+			}
+		}
+		ls := append(append(Labels{}, m.labels...), Label{"le", "+Inf"})
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam, ls.String(), s.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam, m.labels.String(), formatFloat(s.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam, m.labels.String(), s.Count)
+		return err
+	}
+	return nil
+}
+
+// formatFloat renders floats the way Prometheus expects: shortest
+// round-trip representation, with special-case NaN/Inf spellings.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SanitizeMetricName maps an arbitrary string onto the Prometheus
+// metric-name alphabet [a-zA-Z_:][a-zA-Z0-9_:]*, replacing every
+// invalid rune with '_' and prefixing '_' when the first rune is a
+// digit. Empty names become "_".
+func SanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, c := range name {
+		valid := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if c >= '0' && c <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(c)
+			continue
+		}
+		if valid {
+			b.WriteRune(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, double-quote and newline per the
+// text exposition format.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"robotron_generate_total", "robotron_generate_total"},
+		{"gen.device-latency ms", "gen_device_latency_ms"},
+		{"9lives", "_9lives"},
+		{"", "_"},
+		{"a:b", "a:b"},
+		{"héllo", "h_llo"},
+	}
+	for _, c := range cases {
+		if got := SanitizeMetricName(c.in); got != c.want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("robotron_esc_total", Label{"path", `a\b"c` + "\n"}).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `robotron_esc_total{path="a\\b\"c\n"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("output missing %q:\n%s", want, b.String())
+	}
+}
+
+func TestPrometheusTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Help("robotron_gen_total", "derivations performed")
+	r.Counter("robotron_gen_total", Label{"result", "hit"}).Add(3)
+	r.Counter("robotron_gen_total", Label{"result", "miss"}).Add(2)
+	r.Gauge("robotron_breaker_open").Set(1)
+	r.GaugeFunc("robotron_lag", func() float64 { return 2.5 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP robotron_gen_total derivations performed",
+		"# TYPE robotron_gen_total counter",
+		`robotron_gen_total{result="hit"} 3`,
+		`robotron_gen_total{result="miss"} 2`,
+		"# TYPE robotron_breaker_open gauge",
+		"robotron_breaker_open 1",
+		"# TYPE robotron_lag gauge",
+		"robotron_lag 2.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly one TYPE line per family even with multiple label sets.
+	if n := strings.Count(out, "# TYPE robotron_gen_total "); n != 1 {
+		t.Errorf("TYPE lines for robotron_gen_total = %d, want 1", n)
+	}
+}
+
+// TestHistogramBucketCumulativity checks the exported _bucket series
+// are cumulative, end with +Inf == _count, and never decrease.
+func TestHistogramBucketCumulativity(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramBuckets("robotron_lat_seconds", []float64{0.01, 0.1, 1})
+	samples := []float64{0.005, 0.005, 0.05, 0.5, 5} // 2,1,1 + 1 overflow
+	for _, v := range samples {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE robotron_lat_seconds histogram") {
+		t.Fatalf("missing histogram TYPE line:\n%s", out)
+	}
+	var cum []int64
+	var count int64 = -1
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "robotron_lat_seconds_bucket{"):
+			f := strings.Fields(line)
+			n, err := strconv.ParseInt(f[len(f)-1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			cum = append(cum, n)
+		case strings.HasPrefix(line, "robotron_lat_seconds_count"):
+			f := strings.Fields(line)
+			count, _ = strconv.ParseInt(f[len(f)-1], 10, 64)
+		}
+	}
+	want := []int64{2, 3, 4, 5} // le=0.01, 0.1, 1, +Inf
+	if fmt.Sprint(cum) != fmt.Sprint(want) {
+		t.Errorf("cumulative buckets = %v, want %v\n%s", cum, want, out)
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Errorf("bucket series not monotonic: %v", cum)
+		}
+	}
+	if count != 5 {
+		t.Errorf("_count = %d, want 5", count)
+	}
+	if cum[len(cum)-1] != count {
+		t.Errorf("+Inf bucket %d != _count %d", cum[len(cum)-1], count)
+	}
+	if !strings.Contains(out, `le="+Inf"`) {
+		t.Error("missing +Inf bucket")
+	}
+}
+
+// TestConcurrentScrapeWhileWriting hammers the registry from writer
+// goroutines while scraping concurrently; run under -race.
+func TestConcurrentScrapeWhileWriting(t *testing.T) {
+	r := NewRegistry()
+	// Pre-register the families so even the first scrape sees them;
+	// the writers below hammer the same instances concurrently.
+	for i := 0; i < 4; i++ {
+		r.Counter("robotron_scrape_total", Label{"w", fmt.Sprint(i)})
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := r.Counter("robotron_scrape_total", Label{"w", fmt.Sprint(i)})
+			h := r.Histogram("robotron_scrape_seconds")
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(0.002)
+					r.Gauge("robotron_scrape_gauge").Add(1)
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(b.String(), "robotron_scrape_total") {
+			t.Fatal("scrape missing counter family")
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,334 @@
+// Package telemetry is Robotron's dependency-free observability layer:
+// a metrics registry (atomic counters, gauges, fixed-bucket latency
+// histograms) plus lightweight span tracing (trace.go) and exporters
+// (prom.go, http.go).
+//
+// Every method on every type is safe to call on a nil receiver and
+// does nothing: a nil *Registry IS the disabled/no-op registry, so
+// instrumented code never branches on "is telemetry on" and the
+// disabled overhead is a handful of predictable nil checks.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels is an ordered set of label key=value pairs attached to a
+// metric instance. Order is preserved for export; construct with the
+// same order everywhere so identical series get identical keys.
+type Labels []Label
+
+// Label is one key=value pair.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a single-label Labels.
+func L(key, value string) Labels { return Labels{{key, value}} }
+
+// String renders labels as {k1="v1",k2="v2"} or "" when empty.
+func (ls Labels) String() string {
+	if len(ls) == 0 {
+		return ""
+	}
+	s := "{"
+	for i, l := range ls {
+		if i > 0 {
+			s += ","
+		}
+		s += l.Key + `="` + escapeLabelValue(l.Value) + `"`
+	}
+	return s + "}"
+}
+
+// Counter is a monotonically increasing int64. The zero-cost
+// fast path is a single atomic add; Inc on a nil counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds delta (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(delta int64) {
+	if c == nil || delta < 0 {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down, stored as atomic bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta via CAS.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds 1. Dec subtracts 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// HealthCheck probes one subsystem. It returns a human-readable
+// detail string and a nil error when healthy.
+type HealthCheck func() (detail string, err error)
+
+// metricKind tags registry entries for export ordering and TYPE lines.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+type metric struct {
+	name   string // raw (unsanitized) family name
+	labels Labels
+	kind   metricKind
+	help   string
+
+	counter *Counter
+	gauge   *Gauge
+	gfn     func() float64
+	hist    *Histogram
+}
+
+// Registry owns a set of named metrics and health checks. All methods
+// are safe for concurrent use, and all are no-ops on a nil *Registry —
+// nil is the canonical "telemetry disabled" registry.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric // key: name + labels.String()
+	order   []string           // insertion order of keys (export sorts anyway)
+	help    map[string]string  // family name -> help text
+
+	healthMu sync.Mutex
+	health   map[string]HealthCheck
+}
+
+// NewRegistry returns an empty live registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		metrics: make(map[string]*metric),
+		help:    make(map[string]string),
+		health:  make(map[string]HealthCheck),
+	}
+}
+
+func (r *Registry) key(name string, labels Labels) string {
+	return name + labels.String()
+}
+
+// Counter returns (registering on first use) the counter for
+// name+labels. Returns nil — a valid no-op counter — on a nil registry.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := r.key(name, Labels(labels))
+	if m, ok := r.metrics[k]; ok {
+		return m.counter
+	}
+	m := &metric{name: name, labels: Labels(labels), kind: kindCounter, counter: &Counter{}}
+	r.metrics[k] = m
+	r.order = append(r.order, k)
+	return m.counter
+}
+
+// Gauge returns (registering on first use) the gauge for name+labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := r.key(name, Labels(labels))
+	if m, ok := r.metrics[k]; ok {
+		return m.gauge
+	}
+	m := &metric{name: name, labels: Labels(labels), kind: kindGauge, gauge: &Gauge{}}
+	r.metrics[k] = m
+	r.order = append(r.order, k)
+	return m.gauge
+}
+
+// GaugeFunc registers a callback gauge evaluated at scrape time.
+// Re-registering the same name+labels replaces the callback.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := r.key(name, Labels(labels))
+	if m, ok := r.metrics[k]; ok {
+		m.gfn = fn
+		m.kind = kindGaugeFunc
+		return
+	}
+	m := &metric{name: name, labels: Labels(labels), kind: kindGaugeFunc, gfn: fn}
+	r.metrics[k] = m
+	r.order = append(r.order, k)
+}
+
+// Histogram returns (registering on first use) the histogram for
+// name+labels, using DefBuckets.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	return r.HistogramBuckets(name, nil, labels...)
+}
+
+// HistogramBuckets is Histogram with explicit bucket upper bounds
+// (seconds, ascending). nil buckets means DefBuckets.
+func (r *Registry) HistogramBuckets(name string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := r.key(name, Labels(labels))
+	if m, ok := r.metrics[k]; ok {
+		return m.hist
+	}
+	m := &metric{name: name, labels: Labels(labels), kind: kindHistogram, hist: newHistogram(buckets)}
+	r.metrics[k] = m
+	r.order = append(r.order, k)
+	return m.hist
+}
+
+// Help sets the HELP text for a metric family.
+func (r *Registry) Help(name, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = text
+}
+
+// RegisterHealth adds (or replaces) a named health check surfaced by
+// the /healthz endpoint.
+func (r *Registry) RegisterHealth(name string, check HealthCheck) {
+	if r == nil || check == nil {
+		return
+	}
+	r.healthMu.Lock()
+	defer r.healthMu.Unlock()
+	r.health[name] = check
+}
+
+// HealthStatus is one health check's outcome.
+type HealthStatus struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Health runs every registered check and returns statuses sorted by
+// name plus overall health (true iff all checks passed).
+func (r *Registry) Health() ([]HealthStatus, bool) {
+	if r == nil {
+		return nil, true
+	}
+	r.healthMu.Lock()
+	checks := make(map[string]HealthCheck, len(r.health))
+	for n, c := range r.health {
+		checks[n] = c
+	}
+	r.healthMu.Unlock()
+	names := make([]string, 0, len(checks))
+	for n := range checks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]HealthStatus, 0, len(names))
+	ok := true
+	for _, n := range names {
+		st := HealthStatus{Name: n, OK: true}
+		detail, err := runHealthCheck(checks[n])
+		st.Detail = detail
+		if err != nil {
+			st.OK = false
+			st.Error = err.Error()
+			ok = false
+		}
+		out = append(out, st)
+	}
+	return out, ok
+}
+
+// runHealthCheck isolates panics in a single check so one broken probe
+// cannot take down the health endpoint.
+func runHealthCheck(c HealthCheck) (detail string, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("health check panicked: %v", p)
+		}
+	}()
+	return c()
+}
+
+// snapshot returns a stable copy of the metric table for exporters.
+func (r *Registry) snapshot() []*metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*metric, 0, len(r.order))
+	for _, k := range r.order {
+		out = append(out, r.metrics[k])
+	}
+	return out
+}

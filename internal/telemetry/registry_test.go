@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("robotron_test_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("robotron_test_total"); again != c {
+		t.Error("re-registering returned a different counter instance")
+	}
+	if other := r.Counter("robotron_test_total", Label{"site", "pop1"}); other == c {
+		t.Error("different labels must yield a different instance")
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("robotron_depth")
+	g.Set(3.5)
+	g.Add(1.5)
+	g.Dec()
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %v, want 4", got)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 7.0
+	r.GaugeFunc("robotron_lag", func() float64 { return v })
+	snap := r.snapshot()
+	if len(snap) != 1 || snap[0].gfn() != 7 {
+		t.Fatalf("gauge func not registered: %+v", snap)
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil counter should read 0")
+	}
+	g := r.Gauge("y")
+	g.Set(1)
+	g.Inc()
+	if g.Value() != 0 {
+		t.Error("nil gauge should read 0")
+	}
+	h := r.Histogram("z")
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if h.Count() != 0 {
+		t.Error("nil histogram should count 0")
+	}
+	r.GaugeFunc("f", func() float64 { return 1 })
+	r.Help("x", "help")
+	r.RegisterHealth("hc", func() (string, error) { return "", nil })
+	if st, ok := r.Health(); st != nil || !ok {
+		t.Error("nil registry health should be empty and OK")
+	}
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Error("nil registry WritePrometheus should be a no-op")
+	}
+}
+
+func TestCounterZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("robotron_hot_total")
+	allocs := testing.AllocsPerRun(1000, func() { c.Inc() })
+	if allocs != 0 {
+		t.Errorf("counter Inc allocates %v per op, want 0", allocs)
+	}
+	var nilC *Counter
+	allocs = testing.AllocsPerRun(1000, func() { nilC.Inc() })
+	if allocs != 0 {
+		t.Errorf("nil counter Inc allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram([]float64{0.01, 0.1, 1})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005) // first bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5) // third bucket
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if p50 := s.P50(); p50 <= 0 || p50 > 0.01 {
+		t.Errorf("p50 = %v, want within first bucket (0, 0.01]", p50)
+	}
+	if p99 := s.P99(); p99 <= 0.1 || p99 > 1 {
+		t.Errorf("p99 = %v, want within third bucket (0.1, 1]", p99)
+	}
+	if s.Sum < 5.4 || s.Sum > 5.6 {
+		t.Errorf("sum = %v, want ~5.45", s.Sum)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := newHistogram(nil)
+	if q := h.Snapshot().P95(); q != 0 {
+		t.Errorf("empty histogram p95 = %v, want 0", q)
+	}
+}
+
+func TestConcurrentCountersAndHistograms(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("robotron_conc_total")
+			h := r.Histogram("robotron_conc_seconds")
+			g := r.Gauge("robotron_conc_gauge")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.001)
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("robotron_conc_total").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("robotron_conc_seconds").Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+	if got := r.Gauge("robotron_conc_gauge").Value(); got != 8000 {
+		t.Errorf("gauge = %v, want 8000", got)
+	}
+}
+
+func TestHealthChecks(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterHealth("ok-check", func() (string, error) { return "fine", nil })
+	statuses, ok := r.Health()
+	if !ok || len(statuses) != 1 || !statuses[0].OK || statuses[0].Detail != "fine" {
+		t.Fatalf("health = %+v ok=%v", statuses, ok)
+	}
+	r.RegisterHealth("bad-check", func() (string, error) { return "", errors.New("boom") })
+	r.RegisterHealth("panic-check", func() (string, error) { panic("probe exploded") })
+	statuses, ok = r.Health()
+	if ok {
+		t.Error("overall health should be false with a failing check")
+	}
+	byName := map[string]HealthStatus{}
+	for _, s := range statuses {
+		byName[s.Name] = s
+	}
+	if byName["bad-check"].OK || byName["bad-check"].Error != "boom" {
+		t.Errorf("bad-check = %+v", byName["bad-check"])
+	}
+	if byName["panic-check"].OK || byName["panic-check"].Error == "" {
+		t.Errorf("panic-check = %+v, want recovered panic error", byName["panic-check"])
+	}
+	if !byName["ok-check"].OK {
+		t.Errorf("ok-check = %+v", byName["ok-check"])
+	}
+}

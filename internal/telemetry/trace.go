@@ -1,0 +1,246 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer hands out root spans (traces) identified by sequential
+// request IDs and keeps the most recent completed roots in a ring
+// buffer for the /traces endpoint. All methods are no-ops on a nil
+// *Tracer, and spans started from a nil tracer are nil spans whose
+// methods are likewise no-ops — instrumented code never checks.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []*Span // completed roots, oldest first
+	cap     int
+	seq     atomic.Int64
+	started *Counter // optional: counts roots started
+}
+
+// DefaultTraceRing is the default completed-trace ring capacity.
+const DefaultTraceRing = 64
+
+// NewTracer returns a tracer retaining the last ringSize completed
+// root spans (DefaultTraceRing if ringSize <= 0).
+func NewTracer(ringSize int) *Tracer {
+	if ringSize <= 0 {
+		ringSize = DefaultTraceRing
+	}
+	return &Tracer{cap: ringSize}
+}
+
+// SetStartedCounter wires a counter incremented per root span started.
+func (t *Tracer) SetStartedCounter(c *Counter) {
+	if t == nil {
+		return
+	}
+	t.started = c
+}
+
+// Start begins a new root span (a trace) named name with a fresh
+// request ID. End() on the returned span files it into the ring.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.started.Inc()
+	s := &Span{
+		tracer:  t,
+		Name:    name,
+		TraceID: fmt.Sprintf("req-%06d", t.seq.Add(1)),
+		start:   time.Now(),
+	}
+	return s
+}
+
+// complete files a finished root into the ring, evicting the oldest.
+func (t *Tracer) complete(root *Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring = append(t.ring, root)
+	if len(t.ring) > t.cap {
+		t.ring = t.ring[len(t.ring)-t.cap:]
+	}
+}
+
+// Recent returns snapshots of the completed root spans, oldest first.
+func (t *Tracer) Recent() []SpanSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	roots := make([]*Span, len(t.ring))
+	copy(roots, t.ring)
+	t.mu.Unlock()
+	out := make([]SpanSnapshot, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, r.snapshot())
+	}
+	return out
+}
+
+// Last returns a snapshot of the most recently completed root span and
+// whether one exists.
+func (t *Tracer) Last() (SpanSnapshot, bool) {
+	if t == nil {
+		return SpanSnapshot{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) == 0 {
+		return SpanSnapshot{}, false
+	}
+	return t.ring[len(t.ring)-1].snapshot(), true
+}
+
+// Span is one timed operation in a trace. Child spans nest; attributes
+// are free-form key=value strings. A span is owned by the goroutine
+// that created it until End; concurrent children (e.g. deploy workers)
+// are safe because the child list is mutex-guarded.
+type Span struct {
+	tracer *Tracer
+	parent *Span
+
+	Name    string
+	TraceID string
+
+	mu       sync.Mutex
+	attrs    []Label
+	children []*Span
+	start    time.Time
+	end      time.Time
+	ended    bool
+}
+
+// Child starts a nested span under s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{parent: s, Name: name, TraceID: s.TraceID, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SetAttr records a key=value attribute on the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Label{key, value})
+	s.mu.Unlock()
+}
+
+// SetAttrInt records an integer attribute.
+func (s *Span) SetAttrInt(key string, value int64) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, fmt.Sprintf("%d", value))
+}
+
+// End closes the span. Ending a root span files it into the tracer's
+// ring; End is idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.end = time.Now()
+	isRoot := s.parent == nil
+	tr := s.tracer
+	s.mu.Unlock()
+	if isRoot && tr != nil {
+		tr.complete(s)
+	}
+}
+
+// Duration returns the span's elapsed time (time-to-now if unended).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.end.Sub(s.start)
+	}
+	return time.Since(s.start)
+}
+
+// SpanSnapshot is an exportable, JSON-friendly copy of a span tree.
+type SpanSnapshot struct {
+	TraceID    string            `json:"trace_id"`
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationNS int64             `json:"duration_ns"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []SpanSnapshot    `json:"children,omitempty"`
+}
+
+func (s *Span) snapshot() SpanSnapshot {
+	if s == nil {
+		return SpanSnapshot{}
+	}
+	s.mu.Lock()
+	snap := SpanSnapshot{
+		TraceID: s.TraceID,
+		Name:    s.Name,
+		Start:   s.start,
+	}
+	if s.ended {
+		snap.DurationNS = s.end.Sub(s.start).Nanoseconds()
+	} else {
+		snap.DurationNS = time.Since(s.start).Nanoseconds()
+	}
+	if len(s.attrs) > 0 {
+		snap.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			snap.Attrs[a.Key] = a.Value
+		}
+	}
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+	for _, c := range children {
+		snap.Children = append(snap.Children, c.snapshot())
+	}
+	return snap
+}
+
+// Find returns the first descendant (including self) named name via
+// depth-first search, and whether one was found.
+func (snap SpanSnapshot) Find(name string) (SpanSnapshot, bool) {
+	if snap.Name == name {
+		return snap, true
+	}
+	for _, c := range snap.Children {
+		if got, ok := c.Find(name); ok {
+			return got, true
+		}
+	}
+	return SpanSnapshot{}, false
+}
+
+// FindAll returns every descendant (including self) named name.
+func (snap SpanSnapshot) FindAll(name string) []SpanSnapshot {
+	var out []SpanSnapshot
+	if snap.Name == name {
+		out = append(out, snap)
+	}
+	for _, c := range snap.Children {
+		out = append(out, c.FindAll(name)...)
+	}
+	return out
+}

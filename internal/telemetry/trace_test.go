@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer(8)
+	root := tr.Start("pipeline")
+	root.SetAttr("site", "pop1")
+	gen := root.Child("generate")
+	gen.SetAttrInt("devices", 6)
+	time.Sleep(time.Microsecond)
+	gen.End()
+	dep := root.Child("deploy")
+	ph := dep.Child("phase")
+	time.Sleep(time.Microsecond)
+	ph.End()
+	dep.End()
+	root.End()
+
+	snap, ok := tr.Last()
+	if !ok {
+		t.Fatal("no completed trace")
+	}
+	if snap.Name != "pipeline" || snap.TraceID == "" {
+		t.Fatalf("root = %+v", snap)
+	}
+	if snap.Attrs["site"] != "pop1" {
+		t.Errorf("attrs = %v", snap.Attrs)
+	}
+	if len(snap.Children) != 2 {
+		t.Fatalf("children = %d, want 2", len(snap.Children))
+	}
+	g, ok := snap.Find("generate")
+	if !ok || g.Attrs["devices"] != "6" {
+		t.Errorf("generate span = %+v ok=%v", g, ok)
+	}
+	p, ok := snap.Find("phase")
+	if !ok {
+		t.Fatal("phase span not nested under root")
+	}
+	if g.DurationNS <= 0 || p.DurationNS <= 0 || snap.DurationNS <= 0 {
+		t.Errorf("durations must be > 0: root=%d gen=%d phase=%d",
+			snap.DurationNS, g.DurationNS, p.DurationNS)
+	}
+	// Child trace IDs inherit the root's request ID.
+	if g.TraceID != snap.TraceID || p.TraceID != snap.TraceID {
+		t.Error("children must share the root trace ID")
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		s := tr.Start(fmt.Sprintf("t%d", i))
+		s.End()
+	}
+	recent := tr.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("ring = %d, want 3", len(recent))
+	}
+	if recent[0].Name != "t2" || recent[2].Name != "t4" {
+		t.Errorf("ring order = %v", []string{recent[0].Name, recent[1].Name, recent[2].Name})
+	}
+	// Request IDs are sequential and unique.
+	seen := map[string]bool{}
+	for _, s := range recent {
+		if seen[s.TraceID] {
+			t.Errorf("duplicate trace id %s", s.TraceID)
+		}
+		seen[s.TraceID] = true
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTracer(4)
+	s := tr.Start("once")
+	s.End()
+	s.End()
+	if got := len(tr.Recent()); got != 1 {
+		t.Fatalf("double End filed %d traces, want 1", got)
+	}
+	d := s.Duration()
+	time.Sleep(time.Millisecond)
+	if s.Duration() != d {
+		t.Error("duration moved after End")
+	}
+}
+
+func TestNilTracerAndSpan(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("x")
+	c := s.Child("y")
+	c.SetAttr("k", "v")
+	c.SetAttrInt("n", 1)
+	c.End()
+	s.End()
+	if s.Duration() != 0 {
+		t.Error("nil span duration should be 0")
+	}
+	if tr.Recent() != nil {
+		t.Error("nil tracer Recent should be nil")
+	}
+	if _, ok := tr.Last(); ok {
+		t.Error("nil tracer Last should report none")
+	}
+	tr.SetStartedCounter(nil)
+}
+
+func TestTraceJSONSnapshot(t *testing.T) {
+	tr := NewTracer(4)
+	root := tr.Start("req")
+	root.Child("step").End()
+	root.End()
+	data, err := json.Marshal(tr.Recent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []SpanSnapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Name != "req" || len(back[0].Children) != 1 {
+		t.Fatalf("round-trip = %+v", back)
+	}
+}
+
+// TestConcurrentChildren mirrors deploy workers: many goroutines
+// attach children to one parent while another thread snapshots.
+func TestConcurrentChildren(t *testing.T) {
+	tr := NewTracer(4)
+	root := tr.Start("deploy")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				c := root.Child(fmt.Sprintf("commit-%d-%d", i, j))
+				c.SetAttr("device", fmt.Sprintf("d%d", j))
+				c.End()
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			_ = root.snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	root.End()
+	snap, _ := tr.Last()
+	if len(snap.Children) != 400 {
+		t.Fatalf("children = %d, want 400", len(snap.Children))
+	}
+}
+
+func TestTracerStartedCounter(t *testing.T) {
+	tr := NewTracer(4)
+	r := NewRegistry()
+	c := r.Counter("robotron_traces_started_total")
+	tr.SetStartedCounter(c)
+	tr.Start("a").End()
+	tr.Start("b").End()
+	if c.Value() != 2 {
+		t.Errorf("started counter = %d, want 2", c.Value())
+	}
+}
+
+func TestFindAll(t *testing.T) {
+	tr := NewTracer(1)
+	root := tr.Start("root")
+	root.Child("phase").End()
+	root.Child("phase").End()
+	root.End()
+	snap, _ := tr.Last()
+	if n := len(snap.FindAll("phase")); n != 2 {
+		t.Errorf("FindAll = %d, want 2", n)
+	}
+}
