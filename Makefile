@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race bench bench-generate bench-reconcile bench-telemetry
+.PHONY: tier1 build vet test race chaos bench bench-generate bench-reconcile bench-telemetry
 
 # Tier-1 gate: what CI and reviewers run before merging.
 tier1:
@@ -19,6 +19,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Chaos suite: the fleet-scale fault-injection soak (64 devices, 4 fault
+# kinds on a fixed seed, convergence-or-quarantine acceptance) plus the
+# /metrics scrape check, under the race detector. See DESIGN.md §11.
+chaos:
+	$(GO) test -race -v -timeout 10m ./internal/chaos/
 
 # Paper-evaluation and system benchmarks (Figures 12-16, Tables 2-3,
 # materialization, provisioning, parallel deployment), plus the

@@ -24,6 +24,7 @@ import (
 	"github.com/robotron-net/robotron/internal/deploy"
 	"github.com/robotron-net/robotron/internal/design"
 	"github.com/robotron-net/robotron/internal/fbnet"
+	"github.com/robotron-net/robotron/internal/netsim"
 	"github.com/robotron-net/robotron/internal/reconcile"
 )
 
@@ -34,12 +35,28 @@ func main() {
 	ticket := flag.String("ticket", "T-cli", "ticket id recorded on design changes")
 	parallel := flag.Int("parallel", 0, "max concurrent device commits per deployment phase and concurrent config generations (0 = auto, min(8, n))")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /traces (JSON) and /healthz on this address (e.g. :9090); empty disables")
+	chaosRate := flag.Float64("chaos-rate", 0, "probability of an injected transport fault per management operation (0 disables fault injection)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the deterministic fault-injection schedule (printed so failures reproduce)")
 	flag.Parse()
 	if *reconcileMode {
 		*scenario = "reconcile"
 	}
 
+	var faults *netsim.FaultPolicy
+	var retry *deploy.RetryPolicy
+	if *chaosRate > 0 {
+		// Split the rate across the three transport fault kinds and arm
+		// the retrying transport so scenarios survive the chaos.
+		faults = netsim.NewFaultPolicy(*chaosSeed)
+		faults.Add(netsim.FaultRule{Kind: netsim.FaultTransient, Probability: *chaosRate / 2})
+		faults.Add(netsim.FaultRule{Kind: netsim.FaultDropBefore, Probability: *chaosRate / 4})
+		faults.Add(netsim.FaultRule{Kind: netsim.FaultDropAfter, Probability: *chaosRate / 4})
+		retry = &deploy.RetryPolicy{Seed: *chaosSeed}
+	}
+
 	r, err := core.New(core.Options{
+		FaultPolicy:         faults,
+		DeployRetry:         retry,
 		DeployParallelism:   *parallel,
 		GenerateParallelism: *parallel,
 		EnableReconciler:    *scenario == "reconcile",
@@ -55,6 +72,9 @@ func main() {
 		}})
 	if err != nil {
 		fatal(err)
+	}
+	if faults != nil {
+		fmt.Printf("  | chaos: %s rate=%.3f\n", faults, *chaosRate)
 	}
 	if *metricsAddr != "" {
 		srv, err := r.ServeMetrics(*metricsAddr)

@@ -1,0 +1,9 @@
+// Package chaos holds the fleet-scale fault-injection soak suite: the
+// full Robotron pipeline — design, generation, deployment, monitoring,
+// reconciliation — run against a simulated fleet whose management plane
+// fails on a deterministic, seed-reproducible schedule (ISSUE: the
+// paper's scale claims only hold if one flaky session costs a retry,
+// not a failed phase; see DESIGN.md §11 for the fault model).
+//
+// Everything here is a test; run it with `make chaos`.
+package chaos

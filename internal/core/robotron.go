@@ -57,6 +57,11 @@ type Robotron struct {
 	// generator's worker pool; 0 uses the generator default (min(8, n)).
 	GenerateParallelism int
 
+	// DeployRetry, when non-nil, is the default transport-retry policy
+	// for deployments driven through this instance (GenerateAndDeploy
+	// and reconciler remediations); explicit deploy.Options.Retry wins.
+	DeployRetry *deploy.RetryPolicy
+
 	// Logf receives progress output; nil silences it.
 	Logf func(format string, args ...any)
 }
@@ -95,6 +100,16 @@ type Options struct {
 	// TraceRing caps how many completed pipeline traces the tracer
 	// retains for /traces; 0 uses telemetry.DefaultTraceRing.
 	TraceRing int
+	// FaultPolicy, when non-nil, arms deterministic fault injection on
+	// every simulated device (present and future) and instruments the
+	// injected-fault counters on the registry. Chaos tests construct a
+	// policy, add rules, and pass it here.
+	FaultPolicy *netsim.FaultPolicy
+	// DeployRetry, when non-nil, becomes the default transport-retry
+	// policy for GenerateAndDeploy and reconciler remediations. Without
+	// it, commits are single-shot and any injected fault fails the
+	// device's deployment.
+	DeployRetry *deploy.RetryPolicy
 }
 
 // New builds a complete Robotron instance over fresh state.
@@ -128,6 +143,9 @@ func New(opts Options) (*Robotron, error) {
 		return nil, err
 	}
 	fleet := netsim.NewFleet()
+	if opts.FaultPolicy != nil {
+		fleet.SetFaultPolicy(opts.FaultPolicy)
+	}
 	jm := monitor.NewJobManager(monitor.FleetDeviceResolver(fleet))
 	jm.SetDeviceLister(func() []string { return monitor.SortedDeviceNames(fleet) })
 	ts := monitor.NewTimeseriesBackend()
@@ -171,6 +189,9 @@ func New(opts Options) (*Robotron, error) {
 	tracer.SetStartedCounter(reg.Counter("robotron_traces_started_total"))
 	store.Instrument(reg)
 	gen.Instrument(reg)
+	if opts.FaultPolicy != nil {
+		opts.FaultPolicy.Instrument(reg)
+	}
 	deployer.Instrument(reg)
 	cm.Instrument(reg)
 	jm.Instrument(reg)
@@ -191,6 +212,7 @@ func New(opts Options) (*Robotron, error) {
 
 		DeployParallelism:   opts.DeployParallelism,
 		GenerateParallelism: opts.GenerateParallelism,
+		DeployRetry:         opts.DeployRetry,
 
 		Logf: opts.Logf,
 	}
@@ -198,6 +220,9 @@ func New(opts Options) (*Robotron, error) {
 		rc := opts.Reconcile
 		if rc.Alert == nil {
 			rc.Alert = opts.Logf
+		}
+		if rc.DeployRetry == nil {
+			rc.DeployRetry = opts.DeployRetry
 		}
 		rec := reconcile.New(reconcile.Deps{
 			Golden:    gen,
@@ -417,7 +442,7 @@ func (r *Robotron) ProvisionCluster(ctx design.ChangeContext, siteName, clusterN
 	r.logf("configgen: %d device configs generated", len(configs))
 
 	psp := tr.Child("provision")
-	rep, err := r.Deployer.InitialProvision(configs, deploy.Options{Notify: r.Logf, Parallelism: r.DeployParallelism})
+	rep, err := r.Deployer.InitialProvision(configs, deploy.Options{Notify: r.Logf, Parallelism: r.DeployParallelism, Retry: r.DeployRetry})
 	psp.End()
 	out.Report = rep
 	if err != nil {
@@ -502,6 +527,9 @@ func (r *Robotron) GenerateAndDeploy(devices []string, opts deploy.Options, auth
 	}
 	if opts.Parallelism == 0 {
 		opts.Parallelism = r.DeployParallelism
+	}
+	if opts.Retry == nil {
+		opts.Retry = r.DeployRetry
 	}
 	dsp := tr.Child("deploy")
 	opts.Span = dsp

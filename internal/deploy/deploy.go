@@ -116,6 +116,11 @@ type Options struct {
 	// HealthCheck gates phased rollouts; nil uses the default check
 	// (device reachable, running config matches intent).
 	HealthCheck func(t Target, intended string) error
+	// Retry, if set, runs every device commit under a classified retry
+	// budget (see RetryPolicy): transient errors back off and retry,
+	// ambiguous commit errors resolve by running-config readback,
+	// permanent errors fail fast. Nil preserves single-shot commits.
+	Retry *RetryPolicy
 	// Notify receives progress and failure notifications ("engineers will
 	// get a notification from Robotron upon failures"). Notifications may
 	// originate from worker goroutines mid-phase, but calls are
@@ -202,11 +207,15 @@ type Deployer struct {
 // (all nil) records nothing, so an uninstrumented Deployer pays only
 // nil-receiver checks.
 type deployMetrics struct {
-	commitOK   *telemetry.Counter
-	commitFail *telemetry.Counter
-	rollbacks  *telemetry.Counter
-	phaseSec   *telemetry.Histogram
-	commitSec  *telemetry.Histogram
+	commitOK     *telemetry.Counter
+	commitFail   *telemetry.Counter
+	rollbacks    *telemetry.Counter
+	phaseSec     *telemetry.Histogram
+	commitSec    *telemetry.Histogram
+	retries      *telemetry.Counter
+	backoffSec   *telemetry.Histogram
+	ambigApplied *telemetry.Counter
+	ambigRetried *telemetry.Counter
 }
 
 func bindDeployMetrics(reg *telemetry.Registry) deployMetrics {
@@ -214,12 +223,19 @@ func bindDeployMetrics(reg *telemetry.Registry) deployMetrics {
 	reg.Help("robotron_deploy_rollbacks_total", "device rollbacks performed (atomic failure, health gate, grace expiry, explicit)")
 	reg.Help("robotron_deploy_phase_seconds", "wall time of each deployment phase")
 	reg.Help("robotron_deploy_commit_seconds", "wall time of each device commit attempt")
+	reg.Help("robotron_deploy_retries_total", "device operation retries after transient or ambiguous errors")
+	reg.Help("robotron_deploy_retry_backoff_seconds", "backoff sleeps taken before retries")
+	reg.Help("robotron_deploy_ambiguous_resolutions_total", "ambiguous commit errors resolved by running-config readback, by outcome")
 	return deployMetrics{
-		commitOK:   reg.Counter("robotron_deploy_commits_total", telemetry.Label{Key: "result", Value: "ok"}),
-		commitFail: reg.Counter("robotron_deploy_commits_total", telemetry.Label{Key: "result", Value: "failed"}),
-		rollbacks:  reg.Counter("robotron_deploy_rollbacks_total"),
-		phaseSec:   reg.Histogram("robotron_deploy_phase_seconds"),
-		commitSec:  reg.Histogram("robotron_deploy_commit_seconds"),
+		commitOK:     reg.Counter("robotron_deploy_commits_total", telemetry.Label{Key: "result", Value: "ok"}),
+		commitFail:   reg.Counter("robotron_deploy_commits_total", telemetry.Label{Key: "result", Value: "failed"}),
+		rollbacks:    reg.Counter("robotron_deploy_rollbacks_total"),
+		phaseSec:     reg.Histogram("robotron_deploy_phase_seconds"),
+		commitSec:    reg.Histogram("robotron_deploy_commit_seconds"),
+		retries:      reg.Counter("robotron_deploy_retries_total"),
+		backoffSec:   reg.Histogram("robotron_deploy_retry_backoff_seconds"),
+		ambigApplied: reg.Counter("robotron_deploy_ambiguous_resolutions_total", telemetry.Label{Key: "outcome", Value: "applied"}),
+		ambigRetried: reg.Counter("robotron_deploy_ambiguous_resolutions_total", telemetry.Label{Key: "outcome", Value: "retried"}),
 	}
 }
 
@@ -313,7 +329,16 @@ func (d *Deployer) InitialProvision(configs map[string]string, opts Options) (Re
 			return hadError
 		},
 		func(name string) {
-			err := provisionOne(targets[name], configs[name])
+			// provisionOne is idempotent end to end (erase + load +
+			// commit + verify), so transient and ambiguous transport
+			// faults alike are safe to retry blindly.
+			prov := func() error { return provisionOne(targets[name], configs[name]) }
+			var err error
+			if opts.Retry != nil {
+				err = retryIdempotent(*opts.Retry, name, d.met, prov)
+			} else {
+				err = prov()
+			}
 			res := Result{Device: name, Action: "erased+provisioned", Err: err}
 			res.Added = confdiff.Compute("", configs[name]).Stats(true).Added
 			mu.Lock()
@@ -462,16 +487,29 @@ func (d *Deployer) Deploy(configs map[string]string, opts Options) (Report, erro
 		return rep, err
 	}
 	// Dryrun + human review before any commit; kept serial so the
-	// reviewer sees devices in a stable order.
+	// reviewer sees devices in a stable order. Dryrun and readback are
+	// idempotent, so under a retry policy transient and ambiguous
+	// session errors alike just retry.
+	withRetry := func(name string, op func() error) error {
+		if opts.Retry == nil {
+			return op()
+		}
+		return retryIdempotent(*opts.Retry, name, d.met, op)
+	}
 	diffStats := make(map[string]confdiff.Stats, len(configs))
 	for _, name := range sortedKeys(configs) {
 		t := targets[name]
-		diff, err := d.dryrunOne(t, configs[name])
-		if err != nil {
+		var diff, running string
+		if err := withRetry(name, func() (err error) {
+			diff, err = d.dryrunOne(t, configs[name])
+			return err
+		}); err != nil {
 			return rep, err
 		}
-		running, err := t.RunningConfig()
-		if err != nil {
+		if err := withRetry(name, func() (err error) {
+			running, err = t.RunningConfig()
+			return err
+		}); err != nil {
 			return rep, err
 		}
 		diffStats[name] = confdiff.Compute(running, configs[name]).Stats(true)
@@ -567,7 +605,7 @@ func (d *Deployer) Deploy(configs map[string]string, opts Options) (Report, erro
 			check = defaultHealthCheck
 		}
 		for _, name := range phase.devices {
-			if err := check(targets[name], configs[name]); err != nil {
+			if err := withRetry(name, func() error { return check(targets[name], configs[name]) }); err != nil {
 				nf.notify("phase %d health gate failed on %s: %v — halting deployment", pi+1, name, err)
 				psp.SetAttr("result", "unhealthy")
 				psp.End()
@@ -607,12 +645,18 @@ func (d *Deployer) runPhase(phase phaseSet, targets map[string]Target, configs m
 	// window inside the worker itself: on timeout the worker reports
 	// failure while the in-flight commit keeps running on its own
 	// goroutine, handed back as a straggler to drain later.
+	commit := func(t Target, cfg string) error {
+		if opts.Retry != nil {
+			return commitOneRetry(t, cfg, opts.ConfirmGrace, pending, *opts.Retry, d.met, nf)
+		}
+		return commitOne(t, cfg, opts.ConfirmGrace, pending)
+	}
 	commitWithDeadline := func(t Target, cfg string) (error, <-chan error) {
 		if opts.CommitTimeout <= 0 {
-			return commitOne(t, cfg, opts.ConfirmGrace, pending), nil
+			return commit(t, cfg), nil
 		}
 		done := make(chan error, 1)
-		go func() { done <- commitOne(t, cfg, opts.ConfirmGrace, pending) }()
+		go func() { done <- commit(t, cfg) }()
 		timer := time.NewTimer(opts.CommitTimeout)
 		defer timer.Stop()
 		select {

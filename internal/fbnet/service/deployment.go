@@ -1,6 +1,7 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -25,6 +26,19 @@ type Deployment struct {
 	writeSrv     *Server
 	regions      map[string]*regionState
 	replicasPer  int
+
+	// degraded is true between a master failure and the promotion that
+	// restores writes: reads keep serving stale-but-consistent data from
+	// replicas while every write errors cleanly.
+	degraded bool
+	// reg re-instruments rebuilt stores/replicas after a promotion.
+	reg *telemetry.Registry
+	// promotions counts replica promotions (telemetry; nil-safe).
+	promotions *telemetry.Counter
+
+	watchStop chan struct{}
+	watchWG   sync.WaitGroup
+	watching  bool
 }
 
 type regionState struct {
@@ -97,19 +111,37 @@ func NewDeployment(registry *fbnet.Registry, masterRegion string, regions []stri
 }
 
 // Instrument registers the deployment's observability surface on reg:
-// the master store's planner and transaction metrics plus, per
-// non-master region, the replica's replication-lag gauge and health
-// check. Call again after FailMasterAndPromote to cover the rebuilt
-// replicas.
+// the master store's planner and transaction metrics, per non-master
+// region the replica's replication-lag gauge and health check, a
+// degraded-mode gauge (1 while writes are unavailable) and a promotions
+// counter. The registry is retained: stores and replicas rebuilt by a
+// later promotion re-instrument themselves automatically.
 func (d *Deployment) Instrument(reg *telemetry.Registry) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.reg = reg
+	reg.Help("robotron_service_degraded", "1 while the store deployment is read-only (master dead, not yet promoted)")
+	reg.GaugeFunc("robotron_service_degraded", func() float64 {
+		if d.Degraded() {
+			return 1
+		}
+		return 0
+	})
+	reg.Help("robotron_service_promotions_total", "replica-to-master promotions performed")
+	d.promotions = reg.Counter("robotron_service_promotions_total")
 	d.masterStore.Instrument(reg)
 	for _, rs := range d.regions {
 		if rs.replica != nil {
 			rs.replica.Instrument(reg)
 		}
 	}
+}
+
+// Degraded reports whether the deployment is in read-only degraded mode.
+func (d *Deployment) Degraded() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.degraded
 }
 
 // MasterStore returns the store over the master database (in-process
@@ -183,6 +215,9 @@ func (d *Deployment) Replicate() error {
 			continue // a down replica catches up after recovery
 		}
 		if err := rs.replica.CatchUp(); err != nil {
+			if errors.Is(err, relstore.ErrMasterDown) {
+				continue // degraded mode: replicas serve what they have
+			}
 			return err
 		}
 	}
@@ -213,6 +248,68 @@ func (d *Deployment) Lag() map[string]uint64 {
 	return out
 }
 
+// KillMaster simulates a master database failure and enters degraded
+// read-only mode: every region's read replicas keep serving the last
+// replicated (transaction-consistent) state, while writes keep hitting
+// the write service and error cleanly because the backing database is
+// down. The mode ends when a replica is promoted.
+func (d *Deployment) KillMaster() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.killMasterLocked()
+}
+
+func (d *Deployment) killMasterLocked() {
+	if d.degraded {
+		return
+	}
+	d.regions[d.masterRegion].store.DB().SetDown(true)
+	d.degraded = true
+}
+
+// PromoteBest promotes the most caught-up healthy replica (the paper
+// promotes "the slave in the nearest data center"; with equal distances
+// in simulation, least data loss wins). Returns the promoted region.
+func (d *Deployment) PromoteBest() (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.promoteBestLocked(); err != nil {
+		return "", err
+	}
+	return d.masterRegion, nil
+}
+
+func (d *Deployment) promoteBestLocked() error {
+	best := ""
+	var bestApplied uint64
+	var names []string
+	for name := range d.regions {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic tie-break
+	for _, name := range names {
+		rs := d.regions[name]
+		if rs.replica == nil || !rs.replica.DB().Healthy() {
+			continue
+		}
+		if a := rs.replica.Applied(); best == "" || a > bestApplied {
+			best, bestApplied = name, a
+		}
+	}
+	if best == "" {
+		return fmt.Errorf("service: no healthy replica to promote")
+	}
+	return d.promoteLocked(best)
+}
+
+// Promote promotes the replica in newMasterRegion to master, restoring
+// write availability and ending degraded mode.
+func (d *Deployment) Promote(newMasterRegion string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.promoteLocked(newMasterRegion)
+}
+
 // FailMasterAndPromote simulates a master database failure and promotes
 // the replica in newMasterRegion ("when the master goes down, the slave in
 // the nearest data center is promoted to master"). A new write service is
@@ -221,6 +318,14 @@ func (d *Deployment) Lag() map[string]uint64 {
 func (d *Deployment) FailMasterAndPromote(newMasterRegion string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if _, ok := d.regions[newMasterRegion]; !ok {
+		return fmt.Errorf("service: unknown region %q", newMasterRegion)
+	}
+	d.killMasterLocked()
+	return d.promoteLocked(newMasterRegion)
+}
+
+func (d *Deployment) promoteLocked(newMasterRegion string) error {
 	target, ok := d.regions[newMasterRegion]
 	if !ok {
 		return fmt.Errorf("service: unknown region %q", newMasterRegion)
@@ -228,9 +333,7 @@ func (d *Deployment) FailMasterAndPromote(newMasterRegion string) error {
 	if target.replica == nil {
 		return fmt.Errorf("service: %s is already the master region", newMasterRegion)
 	}
-	oldMaster := d.regions[d.masterRegion]
-	// The old master database goes down; its write service with it.
-	oldMaster.store.DB().SetDown(true)
+	// The dead master's write service goes with it.
 	d.writeSrv.Close()
 
 	newMasterDB := target.replica.Promote()
@@ -282,7 +385,68 @@ func (d *Deployment) FailMasterAndPromote(newMasterRegion string) error {
 	}
 	d.masterRegion = newMasterRegion
 	d.masterStore = newStore
+	d.degraded = false
+	d.promotions.Inc()
+	if d.reg != nil {
+		// Rebuilt store and replicas pick up the existing registry so
+		// lag gauges and health checks stay live after failover.
+		d.masterStore.Instrument(d.reg)
+		for _, rs := range d.regions {
+			if rs.replica != nil {
+				rs.replica.Instrument(d.reg)
+			}
+		}
+	}
 	return nil
+}
+
+// StartFailoverWatch begins automatic master-failure detection: every
+// interval the master database's health is probed and, when it is found
+// dead, the deployment enters degraded mode and promotes the most
+// caught-up healthy replica. Detection-to-promotion is observable via
+// the robotron_service_degraded gauge.
+func (d *Deployment) StartFailoverWatch(interval time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.watching {
+		return
+	}
+	d.watching = true
+	d.watchStop = make(chan struct{})
+	d.watchWG.Add(1)
+	go func() {
+		defer d.watchWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-d.watchStop:
+				return
+			case <-t.C:
+				d.mu.Lock()
+				if !d.regions[d.masterRegion].store.DB().Healthy() {
+					d.killMasterLocked()
+					// Best-effort: with no promotable replica the
+					// deployment stays degraded and retries next tick.
+					_ = d.promoteBestLocked()
+				}
+				d.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// StopFailoverWatch halts automatic failure detection.
+func (d *Deployment) StopFailoverWatch() {
+	d.mu.Lock()
+	if !d.watching {
+		d.mu.Unlock()
+		return
+	}
+	d.watching = false
+	close(d.watchStop)
+	d.mu.Unlock()
+	d.watchWG.Wait()
 }
 
 // FailReadReplica shuts one read service replica in a region down,
@@ -301,6 +465,7 @@ func (d *Deployment) FailReadReplica(region string, idx int) error {
 
 // Close shuts the whole deployment down.
 func (d *Deployment) Close() {
+	d.StopFailoverWatch()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for _, rs := range d.regions {

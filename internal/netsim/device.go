@@ -120,6 +120,9 @@ type Device struct {
 	// onCommit lets the fleet recompute link state when configs change.
 	onCommit func(*Device)
 	now      func() time.Time
+	// faults, when set, injects failures into management verbs (see
+	// faults.go); both the in-process API and the TCP CLI go through it.
+	faults *FaultPolicy
 }
 
 type ifaceState struct {
@@ -202,6 +205,10 @@ func (d *Device) checkUp() error {
 
 // RunningConfig returns the active configuration.
 func (d *Device) RunningConfig() (string, error) {
+	return d.runFaultStr("show running-config", d.runningConfigOp)
+}
+
+func (d *Device) runningConfigOp() (string, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.checkUp(); err != nil {
@@ -213,6 +220,10 @@ func (d *Device) RunningConfig() (string, error) {
 // LoadConfig stages a full candidate configuration. Nothing changes until
 // Commit (or CommitConfirmed).
 func (d *Device) LoadConfig(cfg string) error {
+	return d.runFault("load-config", func() error { return d.loadConfigOp(cfg) })
+}
+
+func (d *Device) loadConfigOp(cfg string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.checkUp(); err != nil {
@@ -248,6 +259,10 @@ func (d *Device) vendorValidate(cfg string) error {
 // committing it (the "abort"/"discard" of real platforms). Discarding
 // when nothing is staged is a no-op.
 func (d *Device) DiscardCandidate() error {
+	return d.runFault("discard", d.discardCandidateOp)
+}
+
+func (d *Device) discardCandidateOp() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.checkUp(); err != nil {
@@ -262,6 +277,10 @@ func (d *Device) DiscardCandidate() error {
 // Vendor1 platforms return ErrNotSupported; callers fall back to comparing
 // configs before and after deployment (§5.3.2).
 func (d *Device) DryrunDiff() (string, error) {
+	return d.runFaultStr("compare", d.dryrunDiffOp)
+}
+
+func (d *Device) dryrunDiffOp() (string, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.checkUp(); err != nil {
@@ -322,6 +341,10 @@ func (d *Device) applyDelay() {
 
 // Commit activates the candidate configuration.
 func (d *Device) Commit() error {
+	return d.runFault("commit", d.commitOp)
+}
+
+func (d *Device) commitOp() error {
 	d.applyDelay()
 	d.mu.Lock()
 	if err := d.checkUp(); err != nil {
@@ -359,6 +382,10 @@ func (d *Device) commitLocked(cfg string) {
 // Confirmation). Vendor1 emulates this in Robotron's deploy layer; the
 // device-native path exists only on Vendor2.
 func (d *Device) CommitConfirmed(grace time.Duration) error {
+	return d.runFault("commit-confirmed", func() error { return d.commitConfirmedOp(grace) })
+}
+
+func (d *Device) commitConfirmedOp(grace time.Duration) error {
 	d.applyDelay()
 	d.mu.Lock()
 	if err := d.checkUp(); err != nil {
@@ -392,6 +419,10 @@ func (d *Device) CommitConfirmed(grace time.Duration) error {
 
 // Confirm makes a pending commit-confirmed permanent.
 func (d *Device) Confirm() error {
+	return d.runFault("confirm", d.confirmOp)
+}
+
+func (d *Device) confirmOp() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.checkUp(); err != nil {
@@ -433,6 +464,10 @@ func (d *Device) ConfirmPending() bool {
 
 // Rollback restores the previously committed configuration.
 func (d *Device) Rollback() error {
+	return d.runFault("rollback", d.rollbackOp)
+}
+
+func (d *Device) rollbackOp() error {
 	d.mu.Lock()
 	if err := d.checkUp(); err != nil {
 		d.mu.Unlock()
@@ -458,6 +493,10 @@ func (d *Device) Rollback() error {
 // EraseConfig wipes the running configuration (initial provisioning starts
 // from a clean state, §5.3.1).
 func (d *Device) EraseConfig() error {
+	return d.runFault("erase", d.eraseConfigOp)
+}
+
+func (d *Device) eraseConfigOp() error {
 	d.mu.Lock()
 	if err := d.checkUp(); err != nil {
 		d.mu.Unlock()

@@ -1,0 +1,388 @@
+package netsim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/robotron-net/robotron/internal/telemetry"
+)
+
+// Fault injection: the management plane misbehaving on purpose.
+//
+// Robotron's deployment safety mechanisms (§5.3.2 — dryrun, atomic
+// sessions, commit-confirm, phased pushes) exist because real devices
+// time out, drop sessions mid-commit, and reboot under the operator's
+// feet. A FaultPolicy makes netsim produce those failures
+// deterministically: every injection decision is derived from
+// hash(seed, device, verb, n) where n is a per-device-per-verb call
+// counter, so a chaos run is reproducible from its printed seed
+// regardless of goroutine interleaving, and the same policy drives both
+// the in-process Device API and the TCP CLI in mgmt.go through one
+// shared hook.
+
+// FaultKind names one class of injected failure.
+type FaultKind string
+
+const (
+	// FaultTransient fails the operation before it applies with a
+	// retryable error (the mgmt session hiccuped; nothing changed).
+	FaultTransient FaultKind = "transient"
+	// FaultLatency delays the operation's reply (a slow control plane).
+	// Combined with client deadlines it manufactures timeouts.
+	FaultLatency FaultKind = "latency"
+	// FaultGarbled corrupts the reply body: the operation ran, but the
+	// client cannot trust what it read back.
+	FaultGarbled FaultKind = "garbled"
+	// FaultDropBefore drops the management connection before the
+	// operation applies. The client sees a dead session; the device
+	// config is untouched.
+	FaultDropBefore FaultKind = "drop-before"
+	// FaultDropAfter drops the management connection after the operation
+	// applied but before the OK reply — the ambiguous-commit case: the
+	// client cannot distinguish this from FaultDropBefore without
+	// reading state back.
+	FaultDropAfter FaultKind = "drop-after"
+	// FaultReboot reboots the device immediately after the operation
+	// applies (mid-deploy power event): uptime resets and links flap.
+	FaultReboot FaultKind = "reboot"
+)
+
+// ErrInjectedTransient marks a retry-safe injected failure; the
+// operation did not apply.
+var ErrInjectedTransient = fmt.Errorf("netsim: injected transient fault")
+
+// ErrConnDropped marks a management-session drop. Whether the
+// in-flight operation applied is deliberately unknowable from the error
+// alone — callers must resolve the ambiguity by reading state back.
+var ErrConnDropped = fmt.Errorf("netsim: management connection dropped")
+
+// ErrGarbledReply marks a reply that arrived corrupted; the operation
+// itself may well have applied.
+var ErrGarbledReply = fmt.Errorf("netsim: garbled management reply")
+
+// FaultRule matches a subset of (device, verb) calls and injects one
+// fault kind with the given probability.
+type FaultRule struct {
+	Kind        FaultKind
+	Probability float64       // 0..1 chance per matching call
+	Verbs       []string      // mgmt verbs ("commit", "load-config"...); empty = every faultable verb
+	Devices     []string      // exact device names; empty = every device
+	Latency     time.Duration // FaultLatency: how long to stall
+	MaxCount    int64         // stop firing after this many injections; 0 = unlimited
+
+	// fired is allocated by Add, so FaultRule literals stay plain
+	// copyable values.
+	fired *atomic.Int64
+}
+
+func (r *FaultRule) matches(device, verb string) bool {
+	if len(r.Verbs) > 0 {
+		ok := false
+		for _, v := range r.Verbs {
+			if v == verb {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if len(r.Devices) > 0 {
+		ok := false
+		for _, d := range r.Devices {
+			if d == device {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// FaultPolicy is a seeded, deterministic fault schedule over management
+// operations. Safe for concurrent use; one policy is shared by a whole
+// fleet.
+type FaultPolicy struct {
+	seed int64
+
+	mu       sync.Mutex
+	rules    []*FaultRule
+	counters map[string]*atomic.Int64 // per device|verb decision index
+	counts   map[FaultKind]*atomic.Int64
+
+	disabled atomic.Bool
+
+	metricsMu sync.Mutex
+	metrics   map[FaultKind]*telemetry.Counter
+}
+
+// NewFaultPolicy creates an empty policy. The seed fully determines the
+// schedule: print it on failure and replay the run with the same seed.
+func NewFaultPolicy(seed int64) *FaultPolicy {
+	return &FaultPolicy{
+		seed:     seed,
+		counters: make(map[string]*atomic.Int64),
+		counts:   make(map[FaultKind]*atomic.Int64),
+	}
+}
+
+// Seed returns the policy's seed.
+func (p *FaultPolicy) Seed() int64 { return p.seed }
+
+// Add appends a rule; rules are evaluated in insertion order and the
+// first non-latency rule to fire wins (latency composes with a
+// subsequent error fault, like a slow session that then drops).
+func (p *FaultPolicy) Add(r FaultRule) *FaultPolicy {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rule := r
+	rule.fired = new(atomic.Int64)
+	p.rules = append(p.rules, &rule)
+	return p
+}
+
+// SetDisabled pauses (true) or resumes (false) injection. Disabled
+// decisions do not advance the schedule.
+func (p *FaultPolicy) SetDisabled(v bool) { p.disabled.Store(v) }
+
+// Counts returns how many faults fired, by kind.
+func (p *FaultPolicy) Counts() map[FaultKind]int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[FaultKind]int64, len(p.counts))
+	for k, c := range p.counts {
+		out[k] = c.Load()
+	}
+	return out
+}
+
+// Total returns how many faults fired across all kinds.
+func (p *FaultPolicy) Total() int64 {
+	var t int64
+	for _, n := range p.Counts() {
+		t += n
+	}
+	return t
+}
+
+// String renders the fired-fault summary with the seed, the line a
+// failing chaos run prints for reproduction.
+func (p *FaultPolicy) String() string {
+	counts := p.Counts()
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault policy seed=%d injected={", p.seed)
+	for i, k := range kinds {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s:%d", k, counts[FaultKind(k)])
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Instrument registers per-kind injected-fault counters on reg.
+func (p *FaultPolicy) Instrument(reg *telemetry.Registry) {
+	reg.Help("robotron_netsim_injected_faults_total",
+		"Management-plane faults injected by the netsim chaos policy, by kind.")
+	p.metricsMu.Lock()
+	defer p.metricsMu.Unlock()
+	p.metrics = make(map[FaultKind]*telemetry.Counter)
+	for _, k := range []FaultKind{FaultTransient, FaultLatency, FaultGarbled,
+		FaultDropBefore, FaultDropAfter, FaultReboot} {
+		p.metrics[k] = reg.Counter("robotron_netsim_injected_faults_total",
+			telemetry.L("kind", string(k))...)
+	}
+}
+
+// faultPlan is the resolved outcome of one injection decision.
+type faultPlan struct {
+	latency time.Duration
+	preErr  error // returned before the operation runs: nothing applied
+	postErr error // returned after the operation ran: it DID apply
+	garble  bool  // corrupt a string reply (operation applied)
+	reboot  bool  // reboot the device after the operation applies
+}
+
+// decide draws the fault plan for call n of (device, verb). The PRNG is
+// re-derived per decision from (seed, device, verb, n), so the schedule
+// is a pure function of the call sequence per device+verb — concurrent
+// deployment goroutines cannot perturb it.
+func (p *FaultPolicy) decide(device, verb string) faultPlan {
+	if p == nil || p.disabled.Load() {
+		return faultPlan{}
+	}
+	p.mu.Lock()
+	key := device + "|" + verb
+	ctr, ok := p.counters[key]
+	if !ok {
+		ctr = new(atomic.Int64)
+		p.counters[key] = ctr
+	}
+	rules := p.rules
+	p.mu.Unlock()
+
+	n := ctr.Add(1) - 1
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%d", p.seed, device, verb, n)
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+
+	var plan faultPlan
+	for _, r := range rules {
+		if !r.matches(device, verb) {
+			continue
+		}
+		// Draw for every matching rule so the schedule of later rules
+		// does not shift when an earlier rule fires.
+		draw := rng.Float64()
+		if draw >= r.Probability {
+			continue
+		}
+		if r.MaxCount > 0 && r.fired.Load() >= r.MaxCount {
+			continue
+		}
+		r.fired.Add(1)
+		p.record(r.Kind)
+		switch r.Kind {
+		case FaultLatency:
+			plan.latency += r.Latency
+			continue // latency composes with a later error fault
+		case FaultTransient:
+			plan.preErr = fmt.Errorf("%w: %s %s", ErrInjectedTransient, device, verb)
+		case FaultDropBefore:
+			plan.preErr = fmt.Errorf("%w: %s %s (before apply)", ErrConnDropped, device, verb)
+		case FaultDropAfter:
+			plan.postErr = fmt.Errorf("%w: %s %s (after apply)", ErrConnDropped, device, verb)
+		case FaultGarbled:
+			plan.garble = true
+			plan.postErr = fmt.Errorf("%w: %s %s", ErrGarbledReply, device, verb)
+		case FaultReboot:
+			plan.reboot = true
+			continue // the operation still applies; reboot follows it
+		}
+		return plan
+	}
+	return plan
+}
+
+func (p *FaultPolicy) record(k FaultKind) {
+	p.mu.Lock()
+	c, ok := p.counts[k]
+	if !ok {
+		c = new(atomic.Int64)
+		p.counts[k] = c
+	}
+	p.mu.Unlock()
+	c.Add(1)
+	p.metricsMu.Lock()
+	m := p.metrics[k]
+	p.metricsMu.Unlock()
+	m.Inc() // telemetry counters are nil-safe
+}
+
+// --- device-side hook ---
+
+// SetFaultPolicy attaches (or, with nil, detaches) a fault policy to
+// this device's management verbs.
+func (d *Device) SetFaultPolicy(p *FaultPolicy) {
+	d.mu.Lock()
+	d.faults = p
+	d.mu.Unlock()
+}
+
+func (d *Device) faultPolicy() *FaultPolicy {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.faults
+}
+
+// runFault wraps an error-returning management verb with the device's
+// fault policy. The pre/post distinction is what makes drops ambiguous:
+// preErr means op never ran, postErr means it ran to completion and
+// only the reply was lost.
+func (d *Device) runFault(verb string, op func() error) error {
+	plan := d.faultPolicy().decide(d.name, verb)
+	if plan.latency > 0 {
+		time.Sleep(plan.latency)
+	}
+	if plan.preErr != nil {
+		return plan.preErr
+	}
+	err := op()
+	if plan.reboot && err == nil {
+		d.Reboot()
+	}
+	if err != nil {
+		return err
+	}
+	return plan.postErr
+}
+
+// runFaultStr is runFault for verbs returning a body; FaultGarbled
+// corrupts the body and surfaces ErrGarbledReply alongside it.
+func (d *Device) runFaultStr(verb string, op func() (string, error)) (string, error) {
+	plan := d.faultPolicy().decide(d.name, verb)
+	if plan.latency > 0 {
+		time.Sleep(plan.latency)
+	}
+	if plan.preErr != nil {
+		return "", plan.preErr
+	}
+	out, err := op()
+	if plan.reboot && err == nil {
+		d.Reboot()
+	}
+	if err != nil {
+		return "", err
+	}
+	if plan.garble {
+		return garbleString(out), plan.postErr
+	}
+	if plan.postErr != nil {
+		return "", plan.postErr
+	}
+	return out, nil
+}
+
+// garbleString deterministically corrupts a reply body: truncated
+// mid-stream with binary junk appended, the way a torn TCP read looks.
+func garbleString(s string) string {
+	return s[:len(s)/2] + "\x00\x15<GARBLED>"
+}
+
+// SetFaultPolicy attaches one policy to every device in the fleet,
+// including devices added later.
+func (f *Fleet) SetFaultPolicy(p *FaultPolicy) {
+	f.mu.Lock()
+	f.faults = p
+	devices := make([]*Device, 0, len(f.devices))
+	for _, d := range f.devices {
+		devices = append(devices, d)
+	}
+	f.mu.Unlock()
+	for _, d := range devices {
+		d.SetFaultPolicy(p)
+	}
+}
+
+// FaultPolicy returns the fleet's attached policy (nil when chaos is off).
+func (f *Fleet) FaultPolicy() *FaultPolicy {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.faults
+}

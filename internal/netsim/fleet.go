@@ -16,6 +16,7 @@ type Fleet struct {
 	mu      sync.Mutex
 	devices map[string]*Device
 	cables  []cable
+	faults  *FaultPolicy // attached to every device, present and future
 
 	// recomputeMu serializes whole Recompute passes. Commits from a
 	// parallel deployment trigger concurrent recomputes; without this, a
@@ -44,6 +45,7 @@ func (f *Fleet) AddDevice(name string, vendor Vendor, role, site string) (*Devic
 	}
 	d := NewDevice(name, vendor, role, site)
 	d.onCommit = func(*Device) { f.Recompute() }
+	d.faults = f.faults
 	f.devices[name] = d
 	return d, nil
 }
@@ -201,7 +203,10 @@ func (f *Fleet) Recompute() {
 func (f *Fleet) recomputeBGP(devs map[string]*Device) {
 	configs := make(map[*Device]string, len(devs))
 	for _, d := range devs {
-		if cfg, err := d.RunningConfig(); err == nil {
+		// Internal simulation bookkeeping, not a management operation:
+		// bypass the fault hook so chaos policies neither fail the
+		// recompute nor have their schedules perturbed by it.
+		if cfg, err := d.runningConfigOp(); err == nil {
 			configs[d] = cfg
 		}
 	}

@@ -3,12 +3,14 @@ package netsim
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 )
 
@@ -116,21 +118,40 @@ func (s *MgmtServer) session(conn net.Conn) {
 			writeErr(conn, "no device selected (use: device <name>)")
 			continue
 		}
-		s.dispatch(conn, r, dev, line)
+		if s.dispatch(conn, r, dev, line) {
+			return // injected connection drop: session is gone
+		}
 	}
 }
 
-func (s *MgmtServer) dispatch(w io.Writer, r *bufio.Reader, dev *Device, line string) {
+// dispatch executes one command; it returns true when an injected fault
+// dropped the connection (the session must end without a reply, exactly
+// what a mid-commit TCP RST looks like to the client).
+func (s *MgmtServer) dispatch(w net.Conn, r *bufio.Reader, dev *Device, line string) (dropped bool) {
+	// replyErr renders a device error onto the wire. Injected
+	// connection drops close the socket with no reply at all; injected
+	// garbles corrupt the response framing so the client reads junk.
+	replyErr := func(err error) {
+		switch {
+		case errors.Is(err, ErrConnDropped):
+			w.Close()
+			dropped = true
+		case errors.Is(err, ErrGarbledReply):
+			fmt.Fprintf(w, "\x15GARBLED\x15\n")
+		default:
+			writeErr(w, err.Error())
+		}
+	}
 	reply := func(body string, err error) {
 		if err != nil {
-			writeErr(w, err.Error())
+			replyErr(err)
 			return
 		}
 		writeOK(w, body)
 	}
 	replyJSON := func(v any, err error) {
 		if err != nil {
-			writeErr(w, err.Error())
+			replyErr(err)
 			return
 		}
 		b, merr := json.Marshal(v)
@@ -209,6 +230,7 @@ func (s *MgmtServer) dispatch(w io.Writer, r *bufio.Reader, dev *Device, line st
 	default:
 		writeErr(w, fmt.Sprintf("unknown command %q", line))
 	}
+	return dropped
 }
 
 func writeOK(w io.Writer, body string) {
@@ -220,11 +242,24 @@ func writeErr(w io.Writer, msg string) {
 	fmt.Fprintf(w, "ERR %s\n", msg)
 }
 
+// ErrTimeout marks a management operation that exceeded the client's
+// per-operation deadline. Like a connection drop, a timed-out commit is
+// ambiguous: the device may or may not have applied it.
+var ErrTimeout = fmt.Errorf("netsim: management operation timed out")
+
+// DefaultOpTimeout bounds each management operation: a stalled server
+// must surface as a classifiable timeout, never hang the caller.
+const DefaultOpTimeout = 5 * time.Second
+
 // MgmtClient is a client-side management session over TCP.
 type MgmtClient struct {
-	conn net.Conn
-	r    *bufio.Reader
-	mu   sync.Mutex
+	mu        sync.Mutex
+	conn      net.Conn
+	r         *bufio.Reader
+	addr      string // non-empty: the session can redial after a drop
+	device    string
+	broken    bool          // stream desynced (drop/timeout); redial before reuse
+	opTimeout time.Duration // per-operation deadline; 0 disables
 }
 
 // DialMgmt connects to a fleet management endpoint and selects a device.
@@ -233,7 +268,10 @@ func DialMgmt(addr, device string) (*MgmtClient, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &MgmtClient{conn: conn, r: bufio.NewReader(conn)}
+	c := &MgmtClient{
+		conn: conn, r: bufio.NewReader(conn),
+		addr: addr, device: device, opTimeout: DefaultOpTimeout,
+	}
 	if _, err := c.Do("device " + device); err != nil {
 		conn.Close()
 		return nil, err
@@ -241,24 +279,103 @@ func DialMgmt(addr, device string) (*MgmtClient, error) {
 	return c, nil
 }
 
+// SetOpTimeout changes the per-operation deadline; 0 disables it.
+func (c *MgmtClient) SetOpTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.opTimeout = d
+	c.mu.Unlock()
+}
+
+// ensureLocked redials a broken session when the client knows its
+// endpoint; after a drop or timeout the old stream cannot be trusted to
+// be reply-aligned.
+func (c *MgmtClient) ensureLocked() error {
+	if !c.broken {
+		return nil
+	}
+	if c.addr == "" {
+		return fmt.Errorf("%w: session broken and not redialable", ErrConnDropped)
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("%w: redial: %v", ErrConnDropped, err)
+	}
+	old := c.conn
+	c.conn = conn
+	c.r = bufio.NewReader(conn)
+	c.broken = false
+	if old != nil {
+		old.Close()
+	}
+	if c.device != "" {
+		if _, err := c.doLocked("device "+c.device, ""); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Do sends one command line and returns the response body.
 func (c *MgmtClient) Do(cmd string) (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, err := fmt.Fprintf(c.conn, "%s\n", cmd); err != nil {
+	if err := c.ensureLocked(); err != nil {
 		return "", err
 	}
-	return c.readReply()
+	return c.doLocked(cmd, "")
 }
 
 // DoWithBody sends a command followed by a raw payload (load-config).
 func (c *MgmtClient) DoWithBody(cmd, body string) (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, err := fmt.Fprintf(c.conn, "%s\n%s", cmd, body); err != nil {
+	if err := c.ensureLocked(); err != nil {
 		return "", err
 	}
-	return c.readReply()
+	return c.doLocked(cmd, body)
+}
+
+func (c *MgmtClient) doLocked(cmd, body string) (string, error) {
+	if c.opTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opTimeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	if _, err := fmt.Fprintf(c.conn, "%s\n%s", cmd, body); err != nil {
+		return "", c.opErr(err)
+	}
+	out, err := c.readReply()
+	return out, c.opErr(err)
+}
+
+// opErr classifies a transport error and marks the session broken when
+// the byte stream can no longer be trusted.
+func (c *MgmtClient) opErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	mapped := wrapNetErr(err)
+	if errors.Is(mapped, ErrConnDropped) || errors.Is(mapped, ErrTimeout) ||
+		errors.Is(mapped, ErrGarbledReply) {
+		c.broken = true
+	}
+	return mapped
+}
+
+// wrapNetErr restores sentinel identity for raw transport errors.
+func wrapNetErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) {
+		return fmt.Errorf("%w: %v", ErrConnDropped, err)
+	}
+	return err
 }
 
 func (c *MgmtClient) readReply() (string, error) {
@@ -272,11 +389,11 @@ func (c *MgmtClient) readReply() (string, error) {
 	}
 	lenStr, ok := strings.CutPrefix(header, "OK ")
 	if !ok {
-		return "", fmt.Errorf("netsim: malformed reply %q", header)
+		return "", fmt.Errorf("%w: malformed reply %q", ErrGarbledReply, header)
 	}
 	n, err := strconv.Atoi(lenStr)
 	if err != nil || n < 0 {
-		return "", fmt.Errorf("netsim: malformed reply length %q", lenStr)
+		return "", fmt.Errorf("%w: malformed reply length %q", ErrGarbledReply, lenStr)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(c.r, buf); err != nil {

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -52,10 +53,16 @@ func (r *RemoteDevice) refreshInfo() error {
 }
 
 // mapErr restores sentinel error identity across the CLI boundary, the
-// way a real driver classifies vendor error strings.
+// way a real driver classifies vendor error strings. Transport-level
+// errors (drops, timeouts, garbled frames) arrive already wrapped by the
+// client; device-side errors arrive as ERR strings and are re-matched.
 func mapErr(err error) error {
 	if err == nil {
 		return nil
+	}
+	if errors.Is(err, ErrConnDropped) || errors.Is(err, ErrTimeout) ||
+		errors.Is(err, ErrGarbledReply) {
+		return err
 	}
 	msg := err.Error()
 	switch {
@@ -63,6 +70,14 @@ func mapErr(err error) error {
 		return fmt.Errorf("%w: %s", ErrNotSupported, msg)
 	case strings.Contains(msg, "unreachable"):
 		return fmt.Errorf("%w: %s", ErrUnreachable, msg)
+	case strings.Contains(msg, "injected transient"):
+		return fmt.Errorf("%w: %s", ErrInjectedTransient, msg)
+	case strings.Contains(msg, "connection dropped"):
+		return fmt.Errorf("%w: %s", ErrConnDropped, msg)
+	case strings.Contains(msg, "timed out"):
+		return fmt.Errorf("%w: %s", ErrTimeout, msg)
+	case strings.Contains(msg, "garbled"):
+		return fmt.Errorf("%w: %s", ErrGarbledReply, msg)
 	}
 	return err
 }

@@ -12,21 +12,23 @@ import (
 type EventType string
 
 const (
-	EvDetected     EventType = "detected"      // drift observed, device entered the loop
-	EvScheduled    EventType = "scheduled"     // remediation queued behind a backoff delay
-	EvRemediate    EventType = "remediate"     // remediation started (budget slot acquired)
-	EvConfirming   EventType = "confirming"    // deployed provisionally, health check running
-	EvConverged    EventType = "converged"     // running config matches golden again
-	EvRetry        EventType = "retry"         // remediation failed, rescheduled with backoff
-	EvQuarantined  EventType = "quarantined"   // device parked for operator review
-	EvReleased     EventType = "released"      // operator released a quarantined device
-	EvSuppressed   EventType = "suppressed"    // drift ignored (quarantined device)
-	EvRateLimited  EventType = "rate-limited"  // deploy token bucket empty, deferred
-	EvBudgetTrip   EventType = "budget-trip"   // safety budget exceeded, breaker opened
-	EvBreakerReset EventType = "breaker-reset" // operator re-armed the loop
-	EvCheckError   EventType = "check-error"   // conformance check failed (device unreachable...)
-	EvSweep        EventType = "sweep"         // periodic full-fleet conformance sweep ran
-	EvHalted       EventType = "halted"        // drift seen while the breaker is open
+	EvDetected        EventType = "detected"         // drift observed, device entered the loop
+	EvScheduled       EventType = "scheduled"        // remediation queued behind a backoff delay
+	EvRemediate       EventType = "remediate"        // remediation started (budget slot acquired)
+	EvConfirming      EventType = "confirming"       // deployed provisionally, health check running
+	EvConverged       EventType = "converged"        // running config matches golden again
+	EvRetry           EventType = "retry"            // remediation failed, rescheduled with backoff
+	EvQuarantined     EventType = "quarantined"      // device parked for operator review
+	EvReleased        EventType = "released"         // operator released a quarantined device
+	EvSuppressed      EventType = "suppressed"       // drift ignored (quarantined device)
+	EvRateLimited     EventType = "rate-limited"     // deploy token bucket empty, deferred
+	EvBudgetTrip      EventType = "budget-trip"      // safety budget exceeded, breaker opened
+	EvBreakerReset    EventType = "breaker-reset"    // operator re-armed the loop
+	EvCheckError      EventType = "check-error"      // conformance check failed (device unreachable...)
+	EvTransportRetry  EventType = "transport-retry"  // remediation hit a transport fault; rescheduled without penalty
+	EvTransportGiveUp EventType = "transport-giveup" // transport retries exhausted; device re-enters via next sweep
+	EvSweep           EventType = "sweep"            // periodic full-fleet conformance sweep ran
+	EvHalted          EventType = "halted"           // drift seen while the breaker is open
 )
 
 // Event is one journal entry. Active snapshots the number of in-flight
@@ -120,19 +122,20 @@ func (j *Journal) Format() string {
 
 // ReconcileStats counts reconciler outcomes since construction.
 type ReconcileStats struct {
-	Detected    int64 // deviations that entered the loop
-	Remediated  int64 // successful remediation deployments
-	Converged   int64 // devices driven back to running == golden
-	Quarantined int64 // devices parked for operator review
-	BudgetTrips int64 // circuit-breaker openings
-	Retries     int64 // failed remediation attempts rescheduled
-	RateLimited int64 // remediations deferred by the deploy token bucket
-	CheckErrors int64 // conformance checks that errored (retried)
-	Suppressed  int64 // deviations ignored on quarantined devices
+	Detected         int64 // deviations that entered the loop
+	Remediated       int64 // successful remediation deployments
+	Converged        int64 // devices driven back to running == golden
+	Quarantined      int64 // devices parked for operator review
+	BudgetTrips      int64 // circuit-breaker openings
+	Retries          int64 // failed remediation attempts rescheduled
+	RateLimited      int64 // remediations deferred by the deploy token bucket
+	CheckErrors      int64 // conformance checks that errored (retried)
+	Suppressed       int64 // deviations ignored on quarantined devices
+	TransportRetries int64 // remediations rescheduled after transport faults
 }
 
 // String renders the counters in one line.
 func (s ReconcileStats) String() string {
-	return fmt.Sprintf("detected=%d remediated=%d converged=%d quarantined=%d budget-trips=%d retries=%d rate-limited=%d check-errors=%d suppressed=%d",
-		s.Detected, s.Remediated, s.Converged, s.Quarantined, s.BudgetTrips, s.Retries, s.RateLimited, s.CheckErrors, s.Suppressed)
+	return fmt.Sprintf("detected=%d remediated=%d converged=%d quarantined=%d budget-trips=%d retries=%d rate-limited=%d check-errors=%d suppressed=%d transport-retries=%d",
+		s.Detected, s.Remediated, s.Converged, s.Quarantined, s.BudgetTrips, s.Retries, s.RateLimited, s.CheckErrors, s.Suppressed, s.TransportRetries)
 }

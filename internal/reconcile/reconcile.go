@@ -376,9 +376,35 @@ func (r *Reconciler) remediate(name string) {
 	if err == nil {
 		ds.attempt = 0
 		ds.checkAttempt = 0
+		ds.transportAttempt = 0
 		r.met.remediated.Inc()
 		r.met.converged.Inc()
 		r.setStateLocked(ds, StateConverged, EvConverged, "running config matches golden")
+		r.mu.Unlock()
+		return
+	}
+	if deploy.Classify(err) != deploy.ClassPermanent {
+		// Transport-layer failure: the management session flapped — the
+		// device never *rejected* the config, so this must not count
+		// toward quarantine. It rides the bounded check-retry budget
+		// instead; on exhaustion the device parks as converged and the
+		// next sweep re-detects whatever drift remains.
+		ds.transportAttempt++
+		r.met.transportRetries.Inc()
+		if r.cfg.MaxCheckRetries > 0 && ds.transportAttempt > r.cfg.MaxCheckRetries {
+			n := ds.transportAttempt
+			ds.transportAttempt = 0
+			r.setStateLocked(ds, StateConverged, EvTransportGiveUp,
+				fmt.Sprintf("%d transport failures, last: %v — awaiting next sweep", n, err))
+			alerts = append(alerts, fmt.Sprintf(
+				"reconcile: %s unreachable during %d remediation attempt(s) (last: %v) — giving up until the next sweep",
+				name, n, err))
+			r.mu.Unlock()
+			r.fire(alerts)
+			return
+		}
+		r.eventLocked(name, EvTransportRetry, fmt.Sprintf("attempt %d: %v", ds.transportAttempt, err))
+		r.scheduleLocked(ds, r.cfg.backoff(ds.transportAttempt-1))
 		r.mu.Unlock()
 		return
 	}
@@ -410,6 +436,7 @@ func (r *Reconciler) remediateOnce(name string) error {
 	}
 	rep, err := r.deps.Deployer.Deploy(map[string]string{name: cfg}, deploy.Options{
 		ConfirmGrace: r.cfg.ConfirmGrace,
+		Retry:        r.cfg.DeployRetry,
 	})
 	if err != nil {
 		if rep.Pending != nil {
@@ -495,15 +522,16 @@ func (r *Reconciler) Stats() ReconcileStats {
 	m := r.met
 	r.mu.Unlock()
 	return ReconcileStats{
-		Detected:    m.detected.Value(),
-		Remediated:  m.remediated.Value(),
-		Converged:   m.converged.Value(),
-		Quarantined: m.quarantined.Value(),
-		BudgetTrips: m.budgetTrips.Value(),
-		Retries:     m.retries.Value(),
-		RateLimited: m.rateLimited.Value(),
-		CheckErrors: m.checkErrors.Value(),
-		Suppressed:  m.suppressed.Value(),
+		Detected:         m.detected.Value(),
+		Remediated:       m.remediated.Value(),
+		Converged:        m.converged.Value(),
+		Quarantined:      m.quarantined.Value(),
+		BudgetTrips:      m.budgetTrips.Value(),
+		Retries:          m.retries.Value(),
+		RateLimited:      m.rateLimited.Value(),
+		CheckErrors:      m.checkErrors.Value(),
+		Suppressed:       m.suppressed.Value(),
+		TransportRetries: m.transportRetries.Value(),
 	}
 }
 

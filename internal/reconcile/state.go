@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"github.com/robotron-net/robotron/internal/deploy"
 )
 
 // State is a device's position in the reconciliation state machine:
@@ -14,17 +16,26 @@ import (
 //	                                             ↘ quarantined
 //
 // detected:    drift observed; not yet scheduled (only while the breaker
-//              is open — normally a device moves to backoff immediately).
+//
+//	is open — normally a device moves to backoff immediately).
+//
 // backoff:     remediation queued behind the deterministic backoff delay
-//              (or a deploy-rate token).
+//
+//	(or a deploy-rate token).
+//
 // remediating: golden regenerated and deploying with commit-confirm.
 // confirming:  provisionally committed; health check decides confirm vs
-//              rollback.
+//
+//	rollback.
+//
 // converged:   running config matches golden again; the device stays
-//              tracked so flap damping spans episodes.
+//
+//	tracked so flap damping spans episodes.
+//
 // quarantined: flap damping or repeated failure parked the device for
-//              operator review; further drift is suppressed until
-//              Release.
+//
+//	operator review; further drift is suppressed until
+//	Release.
 type State string
 
 const (
@@ -39,15 +50,16 @@ const (
 // deviceState is the reconciler's per-device record. All fields are
 // guarded by Reconciler.mu.
 type deviceState struct {
-	name         string
-	state        State
-	attempt      int         // failed remediation attempts this episode
-	checkAttempt int         // consecutive conformance-check errors
-	detections   []time.Time // drift detections inside the damping window
-	timer        Timer       // pending backoff timer, nil when none
-	timerArmed   bool
-	lastDetail   string
-	changedAt    time.Time
+	name             string
+	state            State
+	attempt          int         // failed remediation attempts this episode
+	checkAttempt     int         // consecutive conformance-check errors
+	transportAttempt int         // consecutive transport-layer remediation failures
+	detections       []time.Time // drift detections inside the damping window
+	timer            Timer       // pending backoff timer, nil when none
+	timerArmed       bool
+	lastDetail       string
+	changedAt        time.Time
 }
 
 // DeviceStatus is the exported view of one tracked device.
@@ -110,7 +122,17 @@ type Config struct {
 
 	// MaxCheckRetries bounds the retry queue for conformance checks that
 	// error (unreachable device). Default 3. Negative disables retries.
+	// The same bound applies to transport-layer remediation failures
+	// (management session flapped mid-deploy): those ride this retry
+	// queue, never the drift→quarantine path, because the device didn't
+	// reject the config — we just couldn't talk to it.
 	MaxCheckRetries int
+
+	// DeployRetry, when set, is handed to the deployment engine for
+	// remediation pushes so transient transport faults are absorbed by
+	// per-device backoff inside the deploy instead of failing the whole
+	// remediation attempt. Nil keeps single-shot commits.
+	DeployRetry *deploy.RetryPolicy
 
 	// Author is recorded on golden commits. Default "reconciler".
 	Author string

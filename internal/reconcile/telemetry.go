@@ -13,15 +13,16 @@ import (
 // before Instrument stay on the old registry — instrument before
 // starting the loop.
 type reconcileMetrics struct {
-	detected    *telemetry.Counter
-	remediated  *telemetry.Counter
-	converged   *telemetry.Counter
-	quarantined *telemetry.Counter
-	budgetTrips *telemetry.Counter
-	retries     *telemetry.Counter
-	rateLimited *telemetry.Counter
-	checkErrors *telemetry.Counter
-	suppressed  *telemetry.Counter
+	detected         *telemetry.Counter
+	remediated       *telemetry.Counter
+	converged        *telemetry.Counter
+	quarantined      *telemetry.Counter
+	budgetTrips      *telemetry.Counter
+	retries          *telemetry.Counter
+	rateLimited      *telemetry.Counter
+	checkErrors      *telemetry.Counter
+	suppressed       *telemetry.Counter
+	transportRetries *telemetry.Counter
 }
 
 func bindReconcileMetrics(reg *telemetry.Registry) reconcileMetrics {
@@ -30,15 +31,16 @@ func bindReconcileMetrics(reg *telemetry.Registry) reconcileMetrics {
 		return reg.Counter(name)
 	}
 	return reconcileMetrics{
-		detected:    c("robotron_reconcile_detected_total", "deviations that entered the loop"),
-		remediated:  c("robotron_reconcile_remediated_total", "successful remediation deployments"),
-		converged:   c("robotron_reconcile_converged_total", "devices driven back to running == golden"),
-		quarantined: c("robotron_reconcile_quarantined_total", "devices parked for operator review"),
-		budgetTrips: c("robotron_reconcile_budget_trips_total", "safety-budget circuit-breaker openings"),
-		retries:     c("robotron_reconcile_retries_total", "failed remediation attempts rescheduled"),
-		rateLimited: c("robotron_reconcile_rate_limited_total", "remediations deferred by the deploy token bucket"),
-		checkErrors: c("robotron_reconcile_check_errors_total", "conformance checks that errored (retried)"),
-		suppressed:  c("robotron_reconcile_suppressed_total", "deviations ignored on quarantined devices"),
+		detected:         c("robotron_reconcile_detected_total", "deviations that entered the loop"),
+		remediated:       c("robotron_reconcile_remediated_total", "successful remediation deployments"),
+		converged:        c("robotron_reconcile_converged_total", "devices driven back to running == golden"),
+		quarantined:      c("robotron_reconcile_quarantined_total", "devices parked for operator review"),
+		budgetTrips:      c("robotron_reconcile_budget_trips_total", "safety-budget circuit-breaker openings"),
+		retries:          c("robotron_reconcile_retries_total", "failed remediation attempts rescheduled"),
+		rateLimited:      c("robotron_reconcile_rate_limited_total", "remediations deferred by the deploy token bucket"),
+		checkErrors:      c("robotron_reconcile_check_errors_total", "conformance checks that errored (retried)"),
+		suppressed:       c("robotron_reconcile_suppressed_total", "deviations ignored on quarantined devices"),
+		transportRetries: c("robotron_reconcile_transport_retries_total", "remediations rescheduled after transport faults (no quarantine credit)"),
 	}
 }
 

@@ -89,6 +89,7 @@ type DB struct {
 	tables map[string]*table
 	binlog []LogEntry
 	seq    uint64
+	txSeq  uint64 // transaction counter; stamps LogEntry.TxID groups
 	closed bool
 	// name identifies this server in errors and logs (e.g. "master.ash1").
 	name string
@@ -133,7 +134,8 @@ func (db *DB) CreateTable(def TableDef) error {
 	}
 	db.tables[def.Name] = newTable(def)
 	db.seq++
-	db.binlog = append(db.binlog, LogEntry{Seq: db.seq, Op: OpCreateTable, Table: def.Name, Def: &def})
+	db.txSeq++
+	db.binlog = append(db.binlog, LogEntry{Seq: db.seq, TxID: db.txSeq, Op: OpCreateTable, Table: def.Name, Def: &def})
 	return nil
 }
 
@@ -156,7 +158,8 @@ func (db *DB) AlterAddColumn(tableName string, col Column) error {
 	}
 	cp := col
 	db.seq++
-	db.binlog = append(db.binlog, LogEntry{Seq: db.seq, Op: OpAlterAddColumn, Table: tableName, Col: &cp})
+	db.txSeq++
+	db.binlog = append(db.binlog, LogEntry{Seq: db.seq, TxID: db.txSeq, Op: OpAlterAddColumn, Table: tableName, Col: &cp})
 	return nil
 }
 

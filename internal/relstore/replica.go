@@ -1,12 +1,19 @@
 package relstore
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"github.com/robotron-net/robotron/internal/telemetry"
 )
+
+// ErrMasterDown is returned by CatchUp when the master database is not
+// serving: a dead master has no binlog to stream, and pretending
+// otherwise would let replication read entries the real server could
+// never have sent.
+var ErrMasterDown = errors.New("relstore: master is down")
 
 // Replica is an asynchronous follower of a master DB, mirroring FBNet's
 // MySQL replication: "all writes to the master database server are
@@ -85,38 +92,61 @@ func (r *Replica) catchUpLocked() error {
 	if !r.db.Healthy() {
 		return fmt.Errorf("relstore: replica %s is down", r.db.Name())
 	}
+	if !r.master.Healthy() {
+		return fmt.Errorf("%w: replica %s cannot pull from %s", ErrMasterDown, r.db.Name(), r.master.Name())
+	}
 	entries := r.master.entriesSince(r.applied)
-	for _, e := range entries {
-		if e.Seq <= r.applied {
+	return r.applyGroupsLocked(entries)
+}
+
+// applyGroupsLocked replays entries transaction group by transaction
+// group. Each group lands atomically on the local DB, so the replica is
+// torn-transaction-free at every observable instant — including the
+// instant Promote snapshots it into a master.
+func (r *Replica) applyGroupsLocked(entries []LogEntry) error {
+	for start := 0; start < len(entries); {
+		if entries[start].Seq <= r.applied {
+			start++
 			continue
 		}
-		if err := r.db.applyEntry(e); err != nil {
-			return fmt.Errorf("relstore: replica %s: applying seq %d: %w", r.db.Name(), e.Seq, err)
+		end := txGroupEnd(entries, start)
+		if err := r.db.applyTxGroup(entries[start:end]); err != nil {
+			return fmt.Errorf("relstore: replica %s: applying seq %d: %w", r.db.Name(), entries[start].Seq, err)
 		}
-		r.applied = e.Seq
+		r.applied = entries[end-1].Seq
+		start = end
 	}
 	return nil
 }
 
-// ApplyN applies at most n pending entries, for tests that need to observe
-// intermediate replication states.
+// txGroupEnd returns the exclusive end of the transaction group opening
+// at entries[start]. Entries without a TxID (legacy records) group alone.
+func txGroupEnd(entries []LogEntry, start int) int {
+	end := start + 1
+	for end < len(entries) && entries[start].TxID != 0 && entries[end].TxID == entries[start].TxID {
+		end++
+	}
+	return end
+}
+
+// ApplyN applies at least n pending entries, rounded up to the next
+// transaction boundary (partial transactions never apply), for tests
+// that need to observe intermediate replication states.
 func (r *Replica) ApplyN(n int) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	entries := r.master.entriesSince(r.applied)
-	for i, e := range entries {
-		if i >= n {
-			break
-		}
-		if e.Seq <= r.applied {
-			continue
-		}
-		if err := r.db.applyEntry(e); err != nil {
-			return err
-		}
-		r.applied = e.Seq
+	if n <= 0 || len(entries) == 0 {
+		return nil
 	}
-	return nil
+	end := n
+	if end > len(entries) {
+		end = len(entries)
+	}
+	for end < len(entries) && entries[end].TxID != 0 && entries[end].TxID == entries[end-1].TxID {
+		end++
+	}
+	return r.applyGroupsLocked(entries[:end])
 }
 
 // StartAuto begins background replication, pulling every interval.
@@ -177,16 +207,30 @@ func (r *Replica) Promote() *DB {
 	return r.db
 }
 
-// applyEntry replays one binlog record. Constraints were validated on the
-// master, so this path maintains rows and indexes directly; it still
-// appends to the local binlog so the replica can itself be a replication
-// source after promotion.
-func (db *DB) applyEntry(e LogEntry) error {
+// applyTxGroup replays the binlog records of one transaction under a
+// single lock acquisition and a single liveness check: the group lands
+// atomically or not at all (a SetDown racing the apply waits for the
+// whole group). A replica killed mid-stream therefore can never hold a
+// torn transaction suffix.
+func (db *DB) applyTxGroup(entries []LogEntry) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
 		return fmt.Errorf("relstore: %s is down", db.name)
 	}
+	for _, e := range entries {
+		if err := db.applyEntryLocked(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyEntryLocked replays one binlog record. Constraints were validated
+// on the master, so this path maintains rows and indexes directly; it
+// still appends to the local binlog so the replica can itself be a
+// replication source after promotion.
+func (db *DB) applyEntryLocked(e LogEntry) error {
 	switch e.Op {
 	case OpCreateTable:
 		if e.Def == nil {
@@ -232,6 +276,11 @@ func (db *DB) applyEntry(e LogEntry) error {
 		return fmt.Errorf("unknown op %d", e.Op)
 	}
 	db.seq = e.Seq
+	if e.TxID > db.txSeq {
+		// Keep the tx counter monotonic so transactions committed after
+		// a promotion stamp fresh group ids.
+		db.txSeq = e.TxID
+	}
 	db.binlog = append(db.binlog, e)
 	return nil
 }

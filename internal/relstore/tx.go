@@ -34,7 +34,12 @@ func (o Op) String() string {
 
 // LogEntry is one replicated binlog record.
 type LogEntry struct {
-	Seq    uint64
+	Seq uint64
+	// TxID groups the entries of one transaction. Replication applies a
+	// whole group atomically, so a replica (and anything promoted from
+	// it) can never expose a torn transaction suffix. DDL statements
+	// auto-commit as single-entry groups.
+	TxID   uint64
 	Op     Op
 	Table  string
 	RowID  int64
@@ -103,9 +108,13 @@ func (tx *Tx) Commit() error {
 	}
 	tx.done = true
 	db := tx.db
-	for i := range tx.pending {
-		db.seq++
-		tx.pending[i].Seq = db.seq
+	if len(tx.pending) > 0 {
+		db.txSeq++
+		for i := range tx.pending {
+			db.seq++
+			tx.pending[i].Seq = db.seq
+			tx.pending[i].TxID = db.txSeq
+		}
 	}
 	db.binlog = append(db.binlog, tx.pending...)
 	db.mCommits.Inc()
