@@ -1,12 +1,20 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race chaos bench bench-generate bench-reconcile bench-telemetry
+.PHONY: tier1 build vet test race verify-gate chaos bench bench-generate bench-reconcile bench-telemetry
 
 # Tier-1 gate: what CI and reviewers run before merging.
-tier1:
+tier1: verify-gate
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Pre-deploy intent verification gate: the invariant checker's mutation
+# tests (flip an ASN, leak a subnet, orphan a circuit, partition a
+# switch) plus the end-to-end rejection contract in core, under the race
+# detector. See DESIGN.md §12.
+verify-gate:
+	$(GO) test -race -v -timeout 5m ./internal/verify/
+	$(GO) test -race -timeout 5m -run 'TestVerifyGate' ./internal/core/
 
 build:
 	$(GO) build ./...

@@ -37,6 +37,7 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /traces (JSON) and /healthz on this address (e.g. :9090); empty disables")
 	chaosRate := flag.Float64("chaos-rate", 0, "probability of an injected transport fault per management operation (0 disables fault injection)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the deterministic fault-injection schedule (printed so failures reproduce)")
+	noVerify := flag.Bool("no-verify", false, "bypass the pre-deploy intent verification gate (emergency escape hatch; deployments proceed even when network invariants fail)")
 	flag.Parse()
 	if *reconcileMode {
 		*scenario = "reconcile"
@@ -54,9 +55,11 @@ func main() {
 		retry = &deploy.RetryPolicy{Seed: *chaosSeed}
 	}
 
+	verifyIntent := !*noVerify
 	r, err := core.New(core.Options{
 		FaultPolicy:         faults,
 		DeployRetry:         retry,
+		VerifyIntent:        &verifyIntent,
 		DeployParallelism:   *parallel,
 		GenerateParallelism: *parallel,
 		EnableReconciler:    *scenario == "reconcile",
@@ -75,6 +78,9 @@ func main() {
 	}
 	if faults != nil {
 		fmt.Printf("  | chaos: %s rate=%.3f\n", faults, *chaosRate)
+	}
+	if *noVerify {
+		fmt.Println("  | verify: pre-deploy intent verification DISABLED (-no-verify)")
 	}
 	if *metricsAddr != "" {
 		srv, err := r.ServeMetrics(*metricsAddr)

@@ -66,6 +66,47 @@ func (r Report) ByKind() map[Kind]int {
 	return out
 }
 
+// RecordGate persists one pre-deploy verification-gate decision as an
+// OperationalEvent, so gate history is queryable next to the rest of the
+// operational record (who was rejected, when, and why).
+func RecordGate(store *fbnet.Store, devices int, violations []string, atUnix int64) error {
+	urgency := "NOTICE"
+	detail := fmt.Sprintf("verified %d devices, all invariants hold", devices)
+	if len(violations) > 0 {
+		urgency = "CRITICAL"
+		detail = fmt.Sprintf("rejected deployment of %d devices, %d violation(s): %s",
+			devices, len(violations), strings.Join(violations, "; "))
+	}
+	_, err := store.Mutate(func(m *fbnet.Mutation) error {
+		_, err := m.Create("OperationalEvent", map[string]any{
+			"device_name": "verify-gate",
+			"kind":        "verify-gate",
+			"detail":      detail,
+			"urgency":     urgency,
+			"at_unix":     atUnix,
+		})
+		return err
+	})
+	return err
+}
+
+// RecordGateBypass persists a deployment that skipped verification
+// (-no-verify): habitual bypasses must be visible in the operational
+// record even though no invariants were checked.
+func RecordGateBypass(store *fbnet.Store, devices int, atUnix int64) error {
+	_, err := store.Mutate(func(m *fbnet.Mutation) error {
+		_, err := m.Create("OperationalEvent", map[string]any{
+			"device_name": "verify-gate",
+			"kind":        "verify-gate",
+			"detail":      fmt.Sprintf("gate BYPASSED for deployment of %d devices (-no-verify)", devices),
+			"urgency":     "WARNING",
+			"at_unix":     atUnix,
+		})
+		return err
+	})
+	return err
+}
+
 // Run executes all audits over the store.
 func Run(store *fbnet.Store) (Report, error) {
 	var rep Report

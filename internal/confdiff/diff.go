@@ -271,6 +271,16 @@ func (d Diff) Unified(n int) string {
 				if i != 0 && i != len(d.Edits)-1 || len(head) > 0 || len(tail) > 0 {
 					b.WriteString("  ...\n")
 				}
+				// Re-anchor the tail context: when the elision cuts into
+				// the middle of an indented block, the change below would
+				// render without its enclosing stanza (which interface?
+				// which protocol?). Emit the block's header line unless it
+				// already appeared in the head context.
+				if len(tail) > 0 {
+					if hdr, at, ok := stanzaHeader(lines, len(lines)-n); ok && !(len(head) > 0 && at < n) {
+						fmt.Fprintf(&b, "  %s\n", hdr)
+					}
+				}
 				for _, l := range tail {
 					fmt.Fprintf(&b, "  %s\n", l)
 				}
@@ -287,6 +297,103 @@ func (d Diff) Unified(n int) string {
 			for _, l := range e.Lines {
 				fmt.Fprintf(&b, "- %s\n", l)
 			}
+		}
+	}
+	return b.String()
+}
+
+// stanzaHeader returns the innermost enclosing block header for
+// lines[start]: the nearest preceding non-blank line at column zero, with
+// its index. ok is false when lines[start] itself starts a block (it is
+// not indented) or no header precedes it.
+func stanzaHeader(lines []string, start int) (string, int, bool) {
+	if start < 0 || start >= len(lines) || !indented(lines[start]) {
+		return "", 0, false
+	}
+	for i := start - 1; i >= 0; i-- {
+		if l := lines[i]; l != "" && !indented(l) {
+			return l, i, true
+		}
+	}
+	return "", 0, false
+}
+
+func indented(s string) bool {
+	return s != "" && (s[0] == ' ' || s[0] == '\t')
+}
+
+// HunkContaining renders just the change hunk whose added/removed lines
+// contain needle as a substring, with n context lines on each side and
+// stanza-header re-anchoring, the counterexample format of the pre-deploy
+// verification gate. An empty needle (or one found nowhere) selects the
+// first change hunk; an all-equal diff yields "".
+func (d Diff) HunkContaining(needle string, n int) string {
+	target := -1
+scan:
+	for i, e := range d.Edits {
+		if e.Kind == Equal {
+			continue
+		}
+		for _, l := range e.Lines {
+			if strings.Contains(l, needle) {
+				target = i
+				break scan
+			}
+		}
+	}
+	if target < 0 {
+		for i, e := range d.Edits {
+			if e.Kind != Equal {
+				target = i
+				break
+			}
+		}
+	}
+	if target < 0 {
+		return ""
+	}
+	// Widen to the whole run of consecutive change edits (a Remove
+	// followed by its replacement Add is one hunk).
+	start, end := target, target
+	for start > 0 && d.Edits[start-1].Kind != Equal {
+		start--
+	}
+	for end < len(d.Edits)-1 && d.Edits[end+1].Kind != Equal {
+		end++
+	}
+	var b strings.Builder
+	if start > 0 {
+		lines := d.Edits[start-1].Lines
+		from := len(lines) - n
+		if from < 0 {
+			from = 0
+		}
+		if hdr, at, ok := stanzaHeader(lines, from); ok && at < from {
+			fmt.Fprintf(&b, "  %s\n", hdr)
+			if at+1 < from {
+				b.WriteString("  ...\n")
+			}
+		}
+		for _, l := range lines[from:] {
+			fmt.Fprintf(&b, "  %s\n", l)
+		}
+	}
+	for i := start; i <= end; i++ {
+		for _, l := range d.Edits[i].Lines {
+			fmt.Fprintf(&b, "%s %s\n", d.Edits[i].Kind, l)
+		}
+	}
+	if end < len(d.Edits)-1 {
+		lines := d.Edits[end+1].Lines
+		to := n
+		if to > len(lines) {
+			to = len(lines)
+		}
+		for _, l := range lines[:to] {
+			fmt.Fprintf(&b, "  %s\n", l)
+		}
+		if to < len(lines) {
+			b.WriteString("  ...\n")
 		}
 	}
 	return b.String()

@@ -1,0 +1,130 @@
+package confdiff
+
+import (
+	"strings"
+	"testing"
+)
+
+// vendor1-shaped config fragments for the stanza tests.
+const stanzaOld = `hostname psw1
+!
+interface ae1
+ mtu 9000
+ load-interval 30
+ ipv6 addr 2401:db00::1/127
+ no shutdown
+interface et1/1
+ mtu 9000
+ channel-group ae1
+ lacp rate fast
+ no shutdown
+!
+router bgp 65101
+ bgp log-neighbor-changes
+ bgp graceful-restart
+ neighbor 2401:db00::0 remote-as 65001
+ neighbor 2401:db00::0 description to pr1
+!
+end
+`
+
+const stanzaNew = `hostname psw1
+!
+interface ae1
+ mtu 9000
+ load-interval 30
+ ipv6 addr 2401:db00::1/127
+ no shutdown
+interface et1/1
+ mtu 9000
+ channel-group ae1
+ lacp rate fast
+ no shutdown
+!
+router bgp 65101
+ bgp log-neighbor-changes
+ bgp graceful-restart
+ neighbor 2401:db00::0 remote-as 65999
+ neighbor 2401:db00::0 description to pr1
+!
+end
+`
+
+// TestUnifiedGolden pins the exact unified rendering, including the
+// stanza-header re-anchor: the elision between the hostname and the BGP
+// change used to resume with " bgp graceful-restart" — an indented line
+// with no clue which block it belongs to. The header ("router bgp 65101")
+// must now precede the tail context.
+func TestUnifiedGolden(t *testing.T) {
+	d := Compute(stanzaOld, stanzaNew)
+	got := d.Unified(2)
+	want := "" +
+		"  ...\n" +
+		"  router bgp 65101\n" +
+		"   bgp log-neighbor-changes\n" +
+		"   bgp graceful-restart\n" +
+		"-  neighbor 2401:db00::0 remote-as 65001\n" +
+		"+  neighbor 2401:db00::0 remote-as 65999\n" +
+		"   neighbor 2401:db00::0 description to pr1\n" +
+		"  !\n" +
+		"  end\n"
+	if got != want {
+		t.Errorf("unified output drifted.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestUnifiedDeterministic: the same input pair renders byte-identically
+// across repeated computations (no map-order or timing dependence anywhere
+// in the pipeline), and the diff applies back faithfully.
+func TestUnifiedDeterministic(t *testing.T) {
+	first := Compute(stanzaOld, stanzaNew).Unified(3)
+	for i := 0; i < 100; i++ {
+		if got := Compute(stanzaOld, stanzaNew).Unified(3); got != first {
+			t.Fatalf("run %d produced different output:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+	out, err := Compute(stanzaOld, stanzaNew).Apply(Lines(stanzaOld))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(out, "\n")+"\n" != stanzaNew {
+		t.Error("diff does not apply back to the new config")
+	}
+}
+
+// TestUnifiedHeaderNotDuplicated: when the stanza header is already inside
+// the printed head context, the re-anchor must not repeat it.
+func TestUnifiedHeaderNotDuplicated(t *testing.T) {
+	old := "top\n a\n b\n c\nend\n"
+	new := "top\n a\n b\n c\nend\nextra\n"
+	u := Compute(old, new).Unified(2)
+	if strings.Count(u, "  top\n") > 1 {
+		t.Errorf("stanza header duplicated:\n%s", u)
+	}
+}
+
+func TestHunkContaining(t *testing.T) {
+	d := Compute(stanzaOld, stanzaNew)
+	h := d.HunkContaining("65999", 2)
+	for _, want := range []string{
+		"router bgp 65101\n", // re-anchored stanza header
+		"- " + " neighbor 2401:db00::0 remote-as 65001\n",
+		"+ " + " neighbor 2401:db00::0 remote-as 65999\n",
+	} {
+		if !strings.Contains(h, want) {
+			t.Errorf("hunk missing %q:\n%s", want, h)
+		}
+	}
+	// The hunk is focused: none of the interface stanza appears.
+	if strings.Contains(h, "interface ae1") {
+		t.Errorf("hunk includes unrelated stanza:\n%s", h)
+	}
+	// Unknown needle falls back to the first change hunk.
+	if fb := d.HunkContaining("no-such-line", 2); !strings.Contains(fb, "+ ") {
+		t.Errorf("fallback hunk has no change lines:\n%s", fb)
+	}
+	// All-equal diff has no hunk.
+	if h := Compute(stanzaOld, stanzaOld).HunkContaining("65999", 2); h != "" {
+		t.Errorf("identical configs produced a hunk: %q", h)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"github.com/robotron-net/robotron/internal/relstore"
 	"github.com/robotron-net/robotron/internal/revctl"
 	"github.com/robotron-net/robotron/internal/telemetry"
+	"github.com/robotron-net/robotron/internal/verify"
 )
 
 // Robotron is the assembled system.
@@ -42,6 +43,12 @@ type Robotron struct {
 	// Reconciler is the closed-loop drift controller; nil unless
 	// Options.EnableReconciler was set.
 	Reconciler *reconcile.Reconciler
+
+	// Verifier is the pre-deploy intent verification gate; VerifyIntent
+	// controls whether GenerateAndDeploy/ProvisionCluster run it before
+	// opening any management session.
+	Verifier     *verify.Checker
+	VerifyIntent bool
 
 	// Telemetry is the shared metrics registry every subsystem reports
 	// into; Tracer collects pipeline traces (one root span per
@@ -110,6 +117,13 @@ type Options struct {
 	// it, commits are single-shot and any injected fault fails the
 	// device's deployment.
 	DeployRetry *deploy.RetryPolicy
+	// VerifyIntent controls the pre-deploy verification gate that checks
+	// network-wide invariants (BGP symmetry, p2p subnet consistency,
+	// reachability, orphan references) over the candidate configs before
+	// any device is touched. nil means ON — bypassing the gate is the
+	// exceptional case (the CLI's -no-verify), so it takes an explicit
+	// false.
+	VerifyIntent *bool
 }
 
 // New builds a complete Robotron instance over fresh state.
@@ -195,6 +209,8 @@ func New(opts Options) (*Robotron, error) {
 	deployer.Instrument(reg)
 	cm.Instrument(reg)
 	jm.Instrument(reg)
+	verifier := verify.NewChecker(store, gen.Golden)
+	verifier.Instrument(reg)
 	r := &Robotron{
 		Store:      store,
 		Designer:   designer,
@@ -209,6 +225,9 @@ func New(opts Options) (*Robotron, error) {
 
 		Telemetry: reg,
 		Tracer:    tracer,
+
+		Verifier:     verifier,
+		VerifyIntent: opts.VerifyIntent == nil || *opts.VerifyIntent,
 
 		DeployParallelism:   opts.DeployParallelism,
 		GenerateParallelism: opts.GenerateParallelism,
@@ -441,6 +460,11 @@ func (r *Robotron) ProvisionCluster(ctx design.ChangeContext, siteName, clusterN
 	}
 	r.logf("configgen: %d device configs generated", len(configs))
 
+	if err := r.verifyGate(configs, tr); err != nil {
+		tr.SetAttr("error", err.Error())
+		return out, fmt.Errorf("core: intent verification failed: %w", err)
+	}
+
 	psp := tr.Child("provision")
 	rep, err := r.Deployer.InitialProvision(configs, deploy.Options{Notify: r.Logf, Parallelism: r.DeployParallelism, Retry: r.DeployRetry})
 	psp.End()
@@ -516,6 +540,13 @@ func (r *Robotron) GenerateAndDeploy(devices []string, opts deploy.Options, auth
 		tr.SetAttr("error", err.Error())
 		return deploy.Report{}, err
 	}
+	// The gate runs before the goldens move and before any management
+	// session opens: a rejected deployment leaves no trace on the fleet
+	// and no stale intent in the repository.
+	if err := r.verifyGate(configs, tr); err != nil {
+		tr.SetAttr("error", err.Error())
+		return deploy.Report{}, err
+	}
 	for name, cfg := range configs {
 		if _, err := r.Generator.CommitGolden(name, cfg, author, "incremental update intent"); err != nil {
 			tr.SetAttr("error", err.Error())
@@ -548,6 +579,46 @@ func (r *Robotron) GenerateAndDeploy(devices []string, opts deploy.Options, auth
 		rsp.End()
 	}
 	return rep, nil
+}
+
+// verifyGate runs the pre-deploy intent verification over the candidate
+// configs (the §5.2→§5.3 boundary): network-wide invariants are checked
+// against FBNet, the decision is recorded as an audit event, and a
+// rejection — carrying every counterexample — is returned before a single
+// management session is opened.
+func (r *Robotron) verifyGate(configs map[string]string, tr *telemetry.Span) error {
+	if !r.VerifyIntent || r.Verifier == nil {
+		if r.Verifier != nil {
+			// A bypassed gate still leaves a visible trail in the
+			// operational record.
+			if err := audit.RecordGateBypass(r.Store, len(configs), time.Now().Unix()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sp := tr.Child("verify")
+	res, err := r.Verifier.Check(configs)
+	sp.SetAttrInt("violations", int64(len(res.Violations)))
+	sp.End()
+	if err != nil {
+		return err
+	}
+	summaries := make([]string, 0, len(res.Violations))
+	for _, v := range res.Violations {
+		summaries = append(summaries, fmt.Sprintf("[%s] %s: %s", v.Invariant, v.Device, v.Detail))
+	}
+	if err := audit.RecordGate(r.Store, res.Devices, summaries, time.Now().Unix()); err != nil {
+		return err
+	}
+	if !res.Pass() {
+		for _, v := range res.Violations {
+			r.logf("verify: %s", v)
+		}
+		return &verify.RejectionError{Result: res}
+	}
+	r.logf("verify: %d devices checked, all invariants hold (%v)", res.Devices, res.Elapsed)
+	return nil
 }
 
 // PromoteCircuits moves every fully-deployed provisioning circuit to

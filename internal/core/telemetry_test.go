@@ -78,13 +78,15 @@ func TestGenerateAndDeployTrace(t *testing.T) {
 		t.Fatalf("root trace_id=%q duration=%d", root.TraceID, root.DurationNS)
 	}
 
-	// Top-level nesting: generate, deploy, reconcile — in pipeline order.
+	// Top-level nesting: generate, verify, deploy, reconcile — in
+	// pipeline order (the verification gate sits between generation and
+	// deployment).
 	var order []string
 	for _, c := range root.Children {
 		order = append(order, c.Name)
 	}
-	if got := strings.Join(order, ","); got != "generate,deploy,reconcile" {
-		t.Fatalf("root children = %s, want generate,deploy,reconcile", got)
+	if got := strings.Join(order, ","); got != "generate,verify,deploy,reconcile" {
+		t.Fatalf("root children = %s, want generate,verify,deploy,reconcile", got)
 	}
 
 	gen := root.Children[0]
@@ -100,7 +102,7 @@ func TestGenerateAndDeployTrace(t *testing.T) {
 		}
 	}
 
-	dep := root.Children[1]
+	dep := root.Children[2]
 	if dep.DurationNS <= 0 {
 		t.Errorf("deploy span duration = %d", dep.DurationNS)
 	}
@@ -132,7 +134,7 @@ func TestGenerateAndDeployTrace(t *testing.T) {
 		t.Errorf("commit spans = %d, want %d", commits, len(devices))
 	}
 
-	rec := root.Children[2]
+	rec := root.Children[3]
 	verifies := rec.FindAll("verify-device")
 	if len(verifies) != len(devices) {
 		t.Fatalf("verify-device spans = %d, want %d", len(verifies), len(devices))

@@ -50,6 +50,12 @@ func (d *Designer) AddPeering(ctx ChangeContext, spec PeeringSpec) (ChangeResult
 	if spec.ASN <= 0 || spec.LocalAS <= 0 {
 		return ChangeResult{}, 0, fmt.Errorf("design: peering requires both AS numbers")
 	}
+	// The old check looked at each AS in isolation; an eBGP interconnect
+	// whose two sides share one AS is a contradiction the partner's side
+	// would reject at session bring-up.
+	if spec.ASN == spec.LocalAS {
+		return ChangeResult{}, 0, fmt.Errorf("design: eBGP peering with %s requires distinct AS numbers, both sides are %d", spec.Partner, spec.ASN)
+	}
 	var sessionID int64
 	res, err := d.change(ctx, func(m *fbnet.Mutation, at *allocTracker) error {
 		dev, err := m.FindOne("Device", fbnet.Eq("name", spec.Device))

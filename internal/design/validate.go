@@ -92,6 +92,15 @@ func ValidateDesign(store *fbnet.Store) ([]Violation, error) {
 			if err != nil {
 				return nil, err
 			}
+			// One-sided addressing leaves the pair loop below with zero
+			// pairs, so it must be rejected explicitly: a bundle with a
+			// p2p address on only one end is exactly the misconfiguration
+			// this rule exists for, not a vacuous pass.
+			if (len(aPfx) == 0) != (len(zPfx) == 0) {
+				add("p2p-same-subnet", "LinkGroup", lg.ID,
+					"%s has %s p2p addressing on only one side (a=%d, z=%d prefixes)",
+					lg.String("name"), pm, len(aPfx), len(zPfx))
+			}
 			for _, ap := range aPfx {
 				for _, zp := range zPfx {
 					if ap.Bits() != zp.Bits() || !ipam.SameSubnet(ap.Addr(), zp.Addr(), ap.Bits()) {
@@ -111,6 +120,10 @@ func ValidateDesign(store *fbnet.Store) ([]Violation, error) {
 		if err != nil {
 			return nil, err
 		}
+		prefixModel := "V6Prefix"
+		if model == "BgpV4Session" {
+			prefixModel = "V4Prefix"
+		}
 		for _, s := range sessions {
 			if s.Ref("local_device") != 0 && s.Ref("local_device") == s.Ref("remote_device") {
 				add("bgp-distinct-peers", model, s.ID, "session peers with itself")
@@ -124,6 +137,31 @@ func ValidateDesign(store *fbnet.Store) ([]Violation, error) {
 			case "ebgp":
 				if s.Int("local_as") == s.Int("remote_as") {
 					add("bgp-as-match", model, s.ID, "eBGP session within one AS %d", s.Int("local_as"))
+				}
+			}
+			// Rule: the session's local_prefix is addressed on an interface
+			// of its *local* device. The old checks inspected only session-
+			// level fields, so a session sourcing from another device's
+			// subnet — unconfigurable on the box — passed validation.
+			if pfxID := s.Ref("local_prefix"); pfxID != 0 && s.Ref("local_device") != 0 {
+				pfx, err := store.GetByID(prefixModel, pfxID)
+				if err != nil {
+					return nil, err
+				}
+				aggID := pfx.Ref("interface")
+				if aggID == 0 {
+					add("bgp-local-prefix", model, s.ID,
+						"local_prefix %s is not bound to any interface", pfx.String("prefix"))
+				} else {
+					agg, err := store.GetByID("AggregatedInterface", aggID)
+					if err != nil {
+						return nil, err
+					}
+					if agg.Ref("device") != s.Ref("local_device") {
+						add("bgp-local-prefix", model, s.ID,
+							"local_prefix %s lives on interface %s of device %d, not the session's local device %d",
+							pfx.String("prefix"), agg.String("name"), agg.Ref("device"), s.Ref("local_device"))
+					}
 				}
 			}
 		}

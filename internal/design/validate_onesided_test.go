@@ -1,0 +1,132 @@
+package design
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/robotron-net/robotron/internal/fbnet"
+)
+
+// countRule tallies violations of one rule.
+func countRule(vs []Violation, rule string) int {
+	n := 0
+	for _, v := range vs {
+		if v.Rule == rule {
+			n++
+		}
+	}
+	return n
+}
+
+// TestValidateOneSidedP2PAddressing: removing the z-side p2p prefix of a
+// bundle used to pass validation — the same-subnet rule compared a×z
+// prefix pairs, and one empty side produced zero pairs, a vacuous pass.
+func TestValidateOneSidedP2PAddressing(t *testing.T) {
+	d, _ := popWithPR(t)
+	store := d.Store()
+	if vs, err := ValidateDesign(store); err != nil || len(vs) != 0 {
+		t.Fatalf("clean cluster validates dirty: %v %v", vs, err)
+	}
+	// Delete one link group's z-side prefix: resolve a session's
+	// remote_addr back to the prefix object on the far device.
+	ss, err := store.Find("BgpV6Session", fbnet.Eq("session_type", "ebgp"))
+	if err != nil || len(ss) == 0 {
+		t.Fatalf("no ebgp sessions: %v", err)
+	}
+	s := ss[0]
+	zPfx, err := store.FindOne("V6Prefix", fbnet.Eq("prefix", s.String("remote_addr")+"/127"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Mutate(func(m *fbnet.Mutation) error {
+		return m.Delete("V6Prefix", zPfx.ID)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := ValidateDesign(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countRule(vs, "p2p-same-subnet") == 0 {
+		t.Errorf("one-sided p2p addressing not flagged; violations: %v", vs)
+	}
+	found := false
+	for _, v := range vs {
+		if v.Rule == "p2p-same-subnet" && strings.Contains(v.Detail, "only one side") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no one-sided detail in violations: %v", vs)
+	}
+}
+
+// TestValidateLocalPrefixOwnership: a BGP session whose local_prefix lives
+// on the far device's interface is unconfigurable on the local box, but
+// the session-level checks (type, AS numbers) never looked at the prefix.
+func TestValidateLocalPrefixOwnership(t *testing.T) {
+	d, _ := popWithPR(t)
+	store := d.Store()
+	ss, err := store.Find("BgpV6Session", fbnet.Eq("session_type", "ebgp"))
+	if err != nil || len(ss) == 0 {
+		t.Fatalf("no ebgp sessions: %v", err)
+	}
+	s := ss[0]
+	// The z-side prefix belongs to the remote device's aggregate.
+	zPfx, err := store.FindOne("V6Prefix", fbnet.Eq("prefix", s.String("remote_addr")+"/127"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Mutate(func(m *fbnet.Mutation) error {
+		return m.Update("BgpV6Session", s.ID, map[string]any{"local_prefix": zPfx.ID})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := ValidateDesign(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countRule(vs, "bgp-local-prefix") != 1 {
+		t.Errorf("misattached local_prefix not flagged exactly once: %v", vs)
+	}
+}
+
+// TestValidateUnboundLocalPrefix: a session pointing at a prefix that lost
+// its interface binding is flagged too.
+func TestValidateUnboundLocalPrefix(t *testing.T) {
+	d, _ := popWithPR(t)
+	store := d.Store()
+	ss, err := store.Find("BgpV6Session", fbnet.Eq("session_type", "ebgp"))
+	if err != nil || len(ss) == 0 {
+		t.Fatalf("no ebgp sessions: %v", err)
+	}
+	s := ss[0]
+	pfx, err := store.GetByID("V6Prefix", s.Ref("local_prefix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Mutate(func(m *fbnet.Mutation) error {
+		return m.Update("V6Prefix", pfx.ID, map[string]any{"interface": nil})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := ValidateDesign(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countRule(vs, "bgp-local-prefix") == 0 {
+		t.Errorf("unbound local_prefix not flagged: %v", vs)
+	}
+}
+
+// TestAddPeeringRejectsSharedAS: an eBGP interconnect with ASN == LocalAS
+// used to pass the one-sided "both numbers positive" check.
+func TestAddPeeringRejectsSharedAS(t *testing.T) {
+	d, pr := popWithPR(t)
+	_, _, err := d.AddPeering(testCtx("pop"), PeeringSpec{
+		Device: pr, Partner: "Self-Peer", ASN: 32934, Kind: "peering", LocalAS: 32934,
+	})
+	if err == nil || !strings.Contains(err.Error(), "distinct AS") {
+		t.Fatalf("same-AS peering accepted, err=%v", err)
+	}
+}

@@ -71,8 +71,16 @@ func (p *Pool) Allocate(bits int, owner string) (netip.Prefix, error) {
 	for p.root.Overlaps(cand) {
 		if !p.overlapsAllocated(cand) {
 			p.allocated[cand] = owner
-			next, _ := nextSubnet(cand)
-			p.cursor[bits] = next
+			if next, err := nextSubnet(cand); err == nil {
+				p.cursor[bits] = next
+			} else {
+				// The last subnet of the address space was just handed
+				// out. Storing the wrapped (zero) prefix would poison the
+				// cursor: it never compares less-than in Free's rewind,
+				// so freed space would be unfindable forever. Drop the
+				// cursor instead; the next Allocate rescans from the root.
+				delete(p.cursor, bits)
+			}
 			return cand, nil
 		}
 		var err error
@@ -110,8 +118,10 @@ func (p *Pool) Free(prefix netip.Prefix) error {
 		return fmt.Errorf("ipam: %s was not allocated from this pool", prefix)
 	}
 	delete(p.allocated, prefix)
-	// Rewind the cursor so the freed space is reconsidered.
-	if cur, ok := p.cursor[prefix.Bits()]; ok && prefix.Addr().Less(cur.Addr()) {
+	// Rewind the cursor so the freed space is reconsidered. An invalid
+	// cursor (legacy wrapped-state) rewinds too: a zero netip.Addr sorts
+	// before every real address, so Less alone would never reclaim.
+	if cur, ok := p.cursor[prefix.Bits()]; ok && (!cur.IsValid() || prefix.Addr().Less(cur.Addr())) {
 		p.cursor[prefix.Bits()] = prefix
 	}
 	return nil
@@ -176,7 +186,14 @@ func nextSubnet(p netip.Prefix) (netip.Prefix, error) {
 	byteIdx := offset / 8
 	bitIdx := uint(7 - offset%8)
 	carry := byte(1 << bitIdx)
-	for i := byteIdx; i >= 0; i-- {
+	// For v4 the carry must stop at byte 12, where the mapped address
+	// begins: letting it ripple into the ::ffff: marker bytes silently
+	// swallows the wrap and yields 0.0.0.0 instead of an error.
+	low := 0
+	if bitLen == 32 {
+		low = 12
+	}
+	for i := byteIdx; i >= low; i-- {
 		sum := uint16(bytes[i]) + uint16(carry)
 		bytes[i] = byte(sum)
 		if sum <= 0xff {
@@ -243,6 +260,12 @@ func (p *Pool) AllocateHost(owner string) (netip.Prefix, error) {
 // are rejected if they belong to different subnets").
 func SameSubnet(a, z netip.Addr, bits int) bool {
 	if a.Is4() != z.Is4() {
+		return false
+	}
+	if bits < 0 || bits > a.BitLen() {
+		// An out-of-range length yields invalid (equal) masked prefixes
+		// for *any* two addresses; report the pair as distinct rather
+		// than vacuously same-subnet.
 		return false
 	}
 	pa := netip.PrefixFrom(a, bits).Masked()

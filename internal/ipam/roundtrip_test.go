@@ -1,0 +1,185 @@
+package ipam
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+// TestReallocateAfterFreeAtSpaceEnd pins the cursor-poisoning bug: when the
+// last subnet before the end of the address space is allocated, nextSubnet
+// wraps and the cursor used to be stored as the zero Prefix. The zero
+// cursor made Allocate report exhaustion instantly AND defeated Free's
+// rewind (an invalid Addr never compares greater), so a release-then-
+// reallocate cycle permanently lost the freed space.
+func TestReallocateAfterFreeAtSpaceEnd(t *testing.T) {
+	cases := []struct {
+		root string
+		bits int
+	}{
+		{"255.255.255.252/30", 31},
+		{"ffff:ffff:ffff:ffff:ffff:ffff:ffff:fffc/126", 127},
+	}
+	for _, tc := range cases {
+		p := MustPool(tc.root)
+		first, err := p.Allocate(tc.bits, "a")
+		if err != nil {
+			t.Fatalf("%s: first Allocate: %v", tc.root, err)
+		}
+		if _, err := p.Allocate(tc.bits, "b"); err != nil {
+			t.Fatalf("%s: second Allocate: %v", tc.root, err)
+		}
+		if _, err := p.Allocate(tc.bits, "c"); err == nil {
+			t.Fatalf("%s: third Allocate succeeded on a full pool", tc.root)
+		}
+		if err := p.Free(first); err != nil {
+			t.Fatalf("%s: Free: %v", tc.root, err)
+		}
+		again, err := p.Allocate(tc.bits, "d")
+		if err != nil {
+			t.Fatalf("%s: reallocate after free failed: %v", tc.root, err)
+		}
+		if again != first {
+			t.Errorf("%s: reallocated %s, want the freed %s", tc.root, again, first)
+		}
+	}
+}
+
+// TestAllocateP2PBoundaries checks the /31 (and /127) edges: a root that is
+// exactly one p2p subnet yields it once with both usable addresses, and the
+// subnet count of a small root is exact (no off-by-one at either end).
+func TestAllocateP2PBoundaries(t *testing.T) {
+	p := MustPool("10.0.0.0/31")
+	pp, err := p.AllocateP2P("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.A.String() != "10.0.0.0" || pp.Z.String() != "10.0.0.1" {
+		t.Errorf("p2p = %s/%s, want 10.0.0.0/10.0.0.1", pp.A, pp.Z)
+	}
+	if !SameSubnet(pp.A, pp.Z, 31) {
+		t.Error("endpoints not in one /31")
+	}
+	if _, err := p.AllocateP2P("c2"); err == nil {
+		t.Error("second /31 from a /31 root should fail")
+	}
+
+	// A /29 holds exactly four /31s — not three, not five.
+	p = MustPool("192.0.2.8/29")
+	var got []netip.Prefix
+	for {
+		sub, err := p.Allocate(31, "x")
+		if err != nil {
+			break
+		}
+		got = append(got, sub)
+	}
+	if len(got) != 4 {
+		t.Fatalf("allocated %d /31s from a /29, want 4: %v", len(got), got)
+	}
+	if got[0].Addr().String() != "192.0.2.8" || got[3].Addr().String() != "192.0.2.14" {
+		t.Errorf("boundary subnets = %s .. %s, want 192.0.2.8/31 .. 192.0.2.14/31", got[0], got[3])
+	}
+}
+
+func TestSameSubnetInvalidBits(t *testing.T) {
+	a := netip.MustParseAddr("10.0.0.0")
+	z := netip.MustParseAddr("10.99.0.0")
+	if SameSubnet(a, z, 33) {
+		t.Error("v4 bits=33 reported same-subnet for unrelated addresses")
+	}
+	if SameSubnet(a, z, -1) {
+		t.Error("bits=-1 reported same-subnet")
+	}
+	v6a := netip.MustParseAddr("2401:db00::")
+	v6z := netip.MustParseAddr("2607:f8b0::")
+	if SameSubnet(v6a, v6z, 129) {
+		t.Error("v6 bits=129 reported same-subnet for unrelated addresses")
+	}
+	if !SameSubnet(a, netip.MustParseAddr("10.0.0.1"), 31) {
+		t.Error("valid /31 pair reported different subnets")
+	}
+}
+
+// TestAllocateFreeRoundtripProperty drives random allocate/free sequences
+// against a model free-set and checks the pool agrees with the model at
+// every step: allocations are unique, inside the root, properly masked,
+// Allocate fails exactly when the model is full, Free fails exactly on
+// prefixes the model does not hold, and everything freed is reallocatable.
+func TestAllocateFreeRoundtripProperty(t *testing.T) {
+	roots := []struct {
+		root string
+		bits int
+		cap  int
+	}{
+		{"10.1.0.0/28", 31, 8},
+		{"2401:db00::/124", 127, 8},
+		// Pools butting against the end of the address space, where the
+		// cursor wrap path is exercised constantly.
+		{"255.255.255.240/28", 31, 8},
+		{"ffff:ffff:ffff:ffff:ffff:ffff:ffff:fff0/124", 127, 8},
+	}
+	for _, tc := range roots {
+		rng := rand.New(rand.NewSource(7))
+		p := MustPool(tc.root)
+		model := map[netip.Prefix]bool{}
+		var held []netip.Prefix
+		for step := 0; step < 2000; step++ {
+			if rng.Intn(2) == 0 {
+				sub, err := p.Allocate(tc.bits, "owner")
+				if len(model) == tc.cap {
+					if err == nil {
+						t.Fatalf("%s step %d: Allocate succeeded on a full pool (%s)", tc.root, step, sub)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("%s step %d: Allocate failed with %d/%d held: %v", tc.root, step, len(model), tc.cap, err)
+				}
+				if model[sub] {
+					t.Fatalf("%s step %d: double allocation of %s", tc.root, step, sub)
+				}
+				if !p.Root().Overlaps(sub) || sub.Bits() != tc.bits || sub != sub.Masked() {
+					t.Fatalf("%s step %d: bad allocation %s", tc.root, step, sub)
+				}
+				model[sub] = true
+				held = append(held, sub)
+			} else if len(held) > 0 {
+				i := rng.Intn(len(held))
+				sub := held[i]
+				held = append(held[:i], held[i+1:]...)
+				if err := p.Free(sub); err != nil {
+					t.Fatalf("%s step %d: Free(%s): %v", tc.root, step, sub, err)
+				}
+				delete(model, sub)
+				if err := p.Free(sub); err == nil {
+					t.Fatalf("%s step %d: double Free(%s) succeeded", tc.root, step, sub)
+				}
+			}
+			if got := p.Used(); got != len(model) {
+				t.Fatalf("%s step %d: Used()=%d, model=%d", tc.root, step, got, len(model))
+			}
+		}
+		// Final cross-check: the pool's allocation list IS the model.
+		allocs := p.Allocations()
+		if len(allocs) != len(model) {
+			t.Fatalf("%s: Allocations()=%d entries, model=%d", tc.root, len(allocs), len(model))
+		}
+		for _, a := range allocs {
+			if !model[a] {
+				t.Errorf("%s: pool holds %s, model does not", tc.root, a)
+			}
+		}
+		// Drain and refill: every subnet must come back.
+		for _, sub := range allocs {
+			if err := p.Free(sub); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < tc.cap; i++ {
+			if _, err := p.Allocate(tc.bits, "refill"); err != nil {
+				t.Fatalf("%s: refill %d/%d failed: %v", tc.root, i+1, tc.cap, err)
+			}
+		}
+	}
+}

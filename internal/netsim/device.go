@@ -20,6 +20,7 @@ import (
 	"regexp"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -123,6 +124,10 @@ type Device struct {
 	// faults, when set, injects failures into management verbs (see
 	// faults.go); both the in-process API and the TCP CLI go through it.
 	faults *FaultPolicy
+
+	// mgmtOps counts every management verb issued against the device,
+	// successful or not — the observable footprint of a deployment.
+	mgmtOps atomic.Int64
 }
 
 type ifaceState struct {
@@ -454,6 +459,17 @@ func (d *Device) confirmExpired() {
 		cb(d)
 	}
 }
+
+// HasCandidate reports whether an uncommitted candidate config is staged.
+func (d *Device) HasCandidate() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.hasCand
+}
+
+// MgmtOps returns how many management operations (any verb, including
+// failed ones) have been issued against the device since creation.
+func (d *Device) MgmtOps() int64 { return d.mgmtOps.Load() }
 
 // ConfirmPending reports whether a commit-confirmed rollback timer is armed.
 func (d *Device) ConfirmPending() bool {

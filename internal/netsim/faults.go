@@ -316,6 +316,7 @@ func (d *Device) faultPolicy() *FaultPolicy {
 // preErr means op never ran, postErr means it ran to completion and
 // only the reply was lost.
 func (d *Device) runFault(verb string, op func() error) error {
+	d.mgmtOps.Add(1)
 	plan := d.faultPolicy().decide(d.name, verb)
 	if plan.latency > 0 {
 		time.Sleep(plan.latency)
@@ -336,6 +337,7 @@ func (d *Device) runFault(verb string, op func() error) error {
 // runFaultStr is runFault for verbs returning a body; FaultGarbled
 // corrupts the body and surfaces ErrGarbledReply alongside it.
 func (d *Device) runFaultStr(verb string, op func() (string, error)) (string, error) {
+	d.mgmtOps.Add(1)
 	plan := d.faultPolicy().decide(d.name, verb)
 	if plan.latency > 0 {
 		time.Sleep(plan.latency)

@@ -1,0 +1,381 @@
+package verify
+
+import (
+	"net/netip"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/robotron-net/robotron/internal/configgen"
+	"github.com/robotron-net/robotron/internal/design"
+	"github.com/robotron-net/robotron/internal/fbnet"
+	"github.com/robotron-net/robotron/internal/relstore"
+	"github.com/robotron-net/robotron/internal/revctl"
+	"github.com/robotron-net/robotron/internal/telemetry"
+)
+
+func testCtx(domain string) design.ChangeContext {
+	return design.ChangeContext{
+		EmployeeID: "e1", TicketID: "T-1", Description: "test",
+		Domain: domain, NowUnix: 1_700_000_000,
+	}
+}
+
+// newFleet builds a known-good POP cluster, renders its configs, commits
+// them as goldens (the diff baseline a later mutation is compared to),
+// and returns the pieces a mutation test needs.
+func newFleet(t *testing.T) (*design.Designer, *configgen.Generator, *Checker) {
+	t.Helper()
+	db := relstore.NewDB("master")
+	store, err := fbnet.Open(db, fbnet.NewCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := design.NewDesigner(store, design.DefaultPools())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EnsureStandardHardware(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.EnsureSite("pop1", "pop", "apac"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.BuildCluster(testCtx("pop"), "pop1", "pop1-c1", design.POPGen1()); err != nil {
+		t.Fatal(err)
+	}
+	g, err := configgen.NewGenerator(store, revctl.NewRepo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cfg := range renderSite(t, g) {
+		if _, err := g.CommitGolden(name, cfg, "e1", "seed golden"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d, g, NewChecker(store, g.Golden)
+}
+
+func renderSite(t *testing.T, g *configgen.Generator) map[string]string {
+	t.Helper()
+	cfgs, err := g.GenerateSite("pop1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfgs
+}
+
+func byInvariant(vs []Violation, inv Invariant) []Violation {
+	var out []Violation
+	for _, v := range vs {
+		if v.Invariant == inv {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TestCleanFleetPasses: a freshly designed cluster has zero violations,
+// and the gate records its run in telemetry.
+func TestCleanFleetPasses(t *testing.T) {
+	_, g, c := newFleet(t)
+	reg := telemetry.NewRegistry()
+	c.Instrument(reg)
+	res, err := c.Check(renderSite(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass() {
+		for _, v := range res.Violations {
+			t.Errorf("clean fleet violation: %s", v)
+		}
+	}
+	if res.Devices != 6 {
+		t.Errorf("checked %d devices, want 6", res.Devices)
+	}
+	if got := reg.Counter("robotron_verify_runs_total").Value(); got != 1 {
+		t.Errorf("runs counter = %d, want 1", got)
+	}
+	if got := reg.Counter("robotron_verify_rejections_total").Value(); got != 0 {
+		t.Errorf("rejections counter = %d, want 0", got)
+	}
+	if got := reg.Histogram("robotron_verify_seconds").Count(); got != 1 {
+		t.Errorf("latency histogram count = %d, want 1", got)
+	}
+}
+
+// TestUninstrumentedCheckerWorks: the gate must not require telemetry.
+func TestUninstrumentedCheckerWorks(t *testing.T) {
+	_, g, c := newFleet(t)
+	if res, err := c.Check(renderSite(t, g)); err != nil || !res.Pass() {
+		t.Fatalf("uninstrumented check: res=%+v err=%v", res, err)
+	}
+}
+
+// TestFlippedASNRejected: flip one session's remote AS and the gate must
+// name the device now claiming two AS numbers, with the confdiff hunk of
+// its pending change carrying the flipped value.
+func TestFlippedASNRejected(t *testing.T) {
+	d, g, c := newFleet(t)
+	store := d.Store()
+	reg := telemetry.NewRegistry()
+	c.Instrument(reg)
+	ss, err := store.Find("BgpV6Session", fbnet.Eq("session_type", "ebgp"))
+	if err != nil || len(ss) == 0 {
+		t.Fatalf("no ebgp sessions: %v", err)
+	}
+	s := ss[0]
+	victim, err := store.GetByID("Device", s.Ref("remote_device"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Mutate(func(m *fbnet.Mutation) error {
+		return m.Update("BgpV6Session", s.ID, map[string]any{"remote_as": int64(65999)})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Check(renderSite(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass() {
+		t.Fatal("flipped ASN passed the gate")
+	}
+	sym := byInvariant(res.Violations, BGPSymmetry)
+	if len(sym) == 0 {
+		t.Fatalf("no %s violation; got %v", BGPSymmetry, res.Violations)
+	}
+	found := false
+	for _, v := range sym {
+		if v.Device == victim.String("name") && strings.Contains(v.Detail, "65999") {
+			found = true
+			if v.Hunk == "" {
+				t.Errorf("violation on %s has no counterexample hunk", v.Device)
+			} else if !strings.Contains(v.Hunk, "65999") {
+				t.Errorf("hunk does not show the flipped AS:\n%s", v.Hunk)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no violation names %s with AS 65999: %v", victim.String("name"), sym)
+	}
+	if got := reg.Counter("robotron_verify_rejections_total").Value(); got != 1 {
+		t.Errorf("rejections counter = %d, want 1", got)
+	}
+	if got := reg.Counter("robotron_verify_violations_total",
+		telemetry.L("invariant", string(BGPSymmetry))...).Value(); got == 0 {
+		t.Error("per-invariant violation counter not incremented")
+	}
+}
+
+// TestLeakedSubnetRejected: re-address one end of a p2p link into a /126
+// that swallows another link's subnet. Both the one-sided original subnet
+// and the cross-circuit overlap must surface, naming the device.
+func TestLeakedSubnetRejected(t *testing.T) {
+	d, g, c := newFleet(t)
+	store := d.Store()
+	pfxs, err := store.Find("V6Prefix", fbnet.Eq("purpose", "p2p"))
+	if err != nil || len(pfxs) < 4 {
+		t.Fatalf("p2p prefixes: %d, err %v", len(pfxs), err)
+	}
+	sort.Slice(pfxs, func(i, j int) bool { return pfxs[i].String("prefix") < pfxs[j].String("prefix") })
+	victim := pfxs[0]
+	victimPfx := netip.MustParsePrefix(victim.String("prefix"))
+	// Find a prefix in a different /127 and widen the victim over it.
+	var target netip.Prefix
+	for _, p := range pfxs[1:] {
+		cand := netip.MustParsePrefix(p.String("prefix"))
+		if cand.Masked() != victimPfx.Masked() {
+			target = cand
+			break
+		}
+	}
+	if !target.IsValid() {
+		t.Fatal("no second p2p subnet in fleet")
+	}
+	leak := netip.PrefixFrom(target.Addr(), 126)
+	if _, err := store.Mutate(func(m *fbnet.Mutation) error {
+		return m.Update("V6Prefix", victim.ID, map[string]any{"prefix": leak.String()})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Check(renderSite(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass() {
+		t.Fatal("leaked subnet passed the gate")
+	}
+	p2p := byInvariant(res.Violations, P2PConsistency)
+	if len(p2p) == 0 {
+		t.Fatalf("no %s violation; got %v", P2PConsistency, res.Violations)
+	}
+	overlap, hunked := false, false
+	for _, v := range p2p {
+		if v.Device == "" {
+			t.Errorf("violation without a device: %s", v)
+		}
+		if strings.Contains(v.Detail, "overlaps") {
+			overlap = true
+		}
+		if v.Hunk != "" && strings.Contains(v.Hunk, leak.Addr().String()) {
+			hunked = true
+		}
+	}
+	if !overlap {
+		t.Errorf("cross-circuit overlap not reported: %v", p2p)
+	}
+	if !hunked {
+		t.Errorf("no violation hunk shows the leaked address %s: %v", leak.Addr(), p2p)
+	}
+}
+
+// TestOrphanedCircuitRejected: deleting a physical interface nulls its
+// circuit endpoint; the gate must name the device and port recovered from
+// the circuit id, and the hunk must show the port leaving the config.
+func TestOrphanedCircuitRejected(t *testing.T) {
+	d, g, c := newFleet(t)
+	store := d.Store()
+	circuits, err := store.Find("Circuit", fbnet.Eq("status", "provisioning"))
+	if err != nil || len(circuits) == 0 {
+		t.Fatalf("no provisioning circuits: %v", err)
+	}
+	cir := circuits[0]
+	pif, err := store.GetByID("PhysicalInterface", cir.Ref("a_interface"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDev, wantIface := parseCircuitEnd(cir.String("circuit_id"), true)
+	if wantIface != pif.String("name") {
+		t.Fatalf("circuit id %q does not encode a-side port %q", cir.String("circuit_id"), pif.String("name"))
+	}
+	if _, err := store.Mutate(func(m *fbnet.Mutation) error {
+		return m.Delete("PhysicalInterface", pif.ID)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Check(renderSite(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass() {
+		t.Fatal("orphaned circuit passed the gate")
+	}
+	orphans := byInvariant(res.Violations, OrphanRef)
+	found := false
+	for _, v := range orphans {
+		if v.Device == wantDev && strings.Contains(v.Detail, cir.String("circuit_id")) {
+			found = true
+			if v.Hunk == "" || !strings.Contains(v.Hunk, wantIface) {
+				t.Errorf("hunk does not show port %s leaving the config:\n%q", wantIface, v.Hunk)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no orphan violation names %s / circuit %s: %v", wantDev, cir.String("circuit_id"), orphans)
+	}
+}
+
+// TestPartitionedDeviceRejected: decommissioning every circuit of one
+// switch strands it below its aggregation layer.
+func TestPartitionedDeviceRejected(t *testing.T) {
+	d, g, c := newFleet(t)
+	store := d.Store()
+	victim, err := store.FindOne("Device", fbnet.Eq("name", "psw1.pop1-c1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resolve each circuit's endpoint devices through pif → linecard.
+	pifDev := func(pifID int64) int64 {
+		p, err := store.GetByID("PhysicalInterface", pifID)
+		if err != nil {
+			return 0
+		}
+		lc, err := store.GetByID("Linecard", p.Ref("linecard"))
+		if err != nil {
+			return 0
+		}
+		return lc.Ref("device")
+	}
+	circuits, err := store.Find("Circuit", fbnet.Ne("status", "decommissioned"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cut []int64
+	for _, cir := range circuits {
+		if pifDev(cir.Ref("a_interface")) == victim.ID || pifDev(cir.Ref("z_interface")) == victim.ID {
+			cut = append(cut, cir.ID)
+		}
+	}
+	if len(cut) == 0 {
+		t.Fatal("victim had no circuits to cut")
+	}
+	if _, err := store.Mutate(func(m *fbnet.Mutation) error {
+		for _, id := range cut {
+			if err := m.Update("Circuit", id, map[string]any{"status": "decommissioned"}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Check(renderSite(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach := byInvariant(res.Violations, Reachability)
+	found := false
+	for _, v := range reach {
+		if v.Device == "psw1.pop1-c1" && strings.Contains(v.Detail, "aggregation layer") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("partitioned psw1 not flagged; reachability violations: %v", reach)
+	}
+}
+
+// TestRejectionError renders the violation count and first counterexample.
+func TestRejectionError(t *testing.T) {
+	err := &RejectionError{Result: Result{Violations: []Violation{
+		{Invariant: BGPSymmetry, Device: "psw1", Detail: "AS flip"},
+		{Invariant: OrphanRef, Device: "pr1", Detail: "gone"},
+	}}}
+	msg := err.Error()
+	for _, want := range []string{"2 invariant violation", "bgp-symmetry", "psw1", "AS flip"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestContainsAddrBoundaries(t *testing.T) {
+	cases := []struct {
+		cfg, addr string
+		want      bool
+	}{
+		{"neighbor 10.0.0.1 remote-as 1", "10.0.0.1", true},
+		{"neighbor 10.0.0.10 remote-as 1", "10.0.0.1", false},
+		{"neighbor 2401:db00::10 {", "2401:db00::1", false},
+		{"neighbor 2401:db00::1 {", "2401:db00::1", true},
+		{"addr 10.0.0.1/31", "10.0.0.1", false}, // /31 token, not the bare addr
+		{"x10.0.0.1", "10.0.0.1", true},         // 'x' is not an address char
+	}
+	for _, tc := range cases {
+		if got := containsAddr(tc.cfg, tc.addr); got != tc.want {
+			t.Errorf("containsAddr(%q, %q) = %v, want %v", tc.cfg, tc.addr, got, tc.want)
+		}
+	}
+}
+
+func TestParseCircuitEnd(t *testing.T) {
+	dev, iface := parseCircuitEnd("pr1.c1:et1/1--psw1.c1:et2/2", true)
+	if dev != "pr1.c1" || iface != "et1/1" {
+		t.Errorf("a side = %s:%s", dev, iface)
+	}
+	dev, iface = parseCircuitEnd("pr1.c1:et1/1--psw1.c1:et2/2", false)
+	if dev != "psw1.c1" || iface != "et2/2" {
+		t.Errorf("z side = %s:%s", dev, iface)
+	}
+}
