@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race verify-gate chaos bench bench-generate bench-reconcile bench-telemetry
+.PHONY: tier1 build vet test race verify-gate chaos bench bench-generate bench-reconcile bench-telemetry bench-scale
 
 # Tier-1 gate: what CI and reviewers run before merging.
 tier1: verify-gate
@@ -37,7 +37,7 @@ chaos:
 # Paper-evaluation and system benchmarks (Figures 12-16, Tables 2-3,
 # materialization, provisioning, parallel deployment), plus the
 # generation-pipeline benchmarks captured to BENCH_generate.json.
-bench: bench-generate bench-reconcile bench-telemetry
+bench: bench-generate bench-reconcile bench-telemetry bench-scale
 	$(GO) test -bench=. -benchmem .
 
 # Generation + deployment pipeline benchmarks (serial vs parallel vs
@@ -68,3 +68,14 @@ bench-telemetry:
 		-bench 'BenchmarkTelemetryOverhead' \
 		./internal/configgen/ >> BENCH_telemetry.json
 	@grep -h '"Output".*ns/op' BENCH_telemetry.json | sed 's/.*"Output":"//;s/\\n"}//;s/\\t/\t/g'
+
+# Hot-path scale benchmarks (DESIGN.md §13): incremental fleet recompute,
+# lock-free relstore epoch reads, zero-alloc template rendering, and the
+# reconcile loop, at fleet/table sizes 256/4096/16384 plus a 100k-device
+# recompute microbench. ROBOTRON_BENCH_LARGE=1 unlocks the 16384 and 100k
+# sizes, which the per-package default runs skip.
+bench-scale:
+	ROBOTRON_BENCH_LARGE=1 $(GO) test -json -run '^$$' -benchmem -timeout 30m \
+		-bench 'BenchmarkScale' \
+		./internal/netsim/ ./internal/relstore/ ./internal/configgen/ ./internal/reconcile/ > BENCH_scale.json
+	@grep -h '"Output".*ns/op' BENCH_scale.json | sed 's/.*"Output":"//;s/\\n"}//;s/\\t/\t/g'

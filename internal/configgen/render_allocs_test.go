@@ -1,0 +1,40 @@
+package configgen
+
+import (
+	"testing"
+
+	"github.com/robotron-net/robotron/internal/tmpl"
+)
+
+// TestRenderAllocGuard pins the allocation count of the template-render
+// hot path: one full vendor1 render of a realistic device. The render
+// state is pooled and scope/loop bookkeeping is allocation-free, so the
+// steady-state cost is a handful of allocations (output string, map key
+// sorts, filter results) — not the ~1,400 the map-scoped executor paid.
+// A regression that reintroduces per-iteration or per-lookup allocations
+// trips this long before it shows up in fleet-wide latency.
+func TestRenderAllocGuard(t *testing.T) {
+	tpl := tmpl.MustParse("vendor1", Vendor1FullTemplate)
+	d := scaleDeviceData(1)
+	ctx := map[string]any{"device": d}
+
+	want, err := tpl.Render(ctx) // warm the state pool and field caches
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		got, err := tpl.Render(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatal("render output changed between runs")
+		}
+	})
+	// Measured ~10 allocs/render; 25 leaves headroom for pool churn under
+	// GC pressure while still catching any per-iteration regression (the
+	// device data drives >100 loop iterations).
+	if allocs > 25 {
+		t.Errorf("device render costs %.0f allocs, want <= 25", allocs)
+	}
+}

@@ -1,0 +1,118 @@
+package configgen
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"github.com/robotron-net/robotron/internal/tmpl"
+)
+
+// The scale benchmarks measure the rendering hot loop — vendor template
+// execution over the per-device Thrift data object — for whole fleets of
+// 256-16384 devices, independent of store and memoization layers. The
+// 16384 size is gated behind ROBOTRON_BENCH_LARGE=1; `make bench-scale`
+// sets the variable.
+
+func scaleFleetSizes() []int {
+	sizes := []int{256, 4096}
+	if os.Getenv("ROBOTRON_BENCH_LARGE") == "1" {
+		sizes = append(sizes, 16384)
+	}
+	return sizes
+}
+
+// scaleDeviceData builds a realistic mid-size device data object: four
+// LACP bundles with two member ports each, four BGP neighbors, a routing
+// policy, and a firewall.
+func scaleDeviceData(i int) *DeviceData {
+	d := &DeviceData{
+		Name:         fmt.Sprintf("dev%06d.bench", i),
+		Role:         "bb",
+		Vendor:       "vendor1",
+		Site:         "bench",
+		LoopbackV4:   fmt.Sprintf("10.255.%d.%d/32", (i>>8)&255, i&255),
+		LoopbackV6:   fmt.Sprintf("2401:db00::%x/128", i+1),
+		LocalAS:      65000,
+		SyslogTarget: "2401:db00:face::1",
+		MgmtIP:       fmt.Sprintf("172.16.%d.%d", (i>>8)&255, i&255),
+	}
+	for a := 0; a < 4; a++ {
+		agg := AggregatedInterfaceData{
+			Name:     fmt.Sprintf("ae%d", a),
+			Number:   int32(a),
+			MTU:      9216,
+			V4Prefix: fmt.Sprintf("10.%d.%d.%d/31", a, (i>>8)&255, (i&127)*2),
+			V6Prefix: fmt.Sprintf("2401:db00:%x:%x::/127", a, i),
+		}
+		for p := 0; p < 2; p++ {
+			agg.Pifs = append(agg.Pifs, PhysicalInterfaceData{Name: fmt.Sprintf("et%d/%d", a, p+1)})
+		}
+		d.Aggs = append(d.Aggs, agg)
+		d.BGPNeighbors = append(d.BGPNeighbors, BGPNeighborData{
+			Addr:        fmt.Sprintf("2401:db00:%x:%x::1", a, i),
+			RemoteAS:    int64(65100 + a),
+			Family:      "v6",
+			SessionType: "ebgp",
+			Description: fmt.Sprintf("to peer%d", a),
+		})
+	}
+	d.BGPNeighbors[0].ImportPolicy = "PEER-IN"
+	d.Policies = append(d.Policies, PolicyData{
+		Name: "PEER-IN",
+		Terms: []PolicyTermData{
+			{Seq: 10, MatchPrefix: "2401:db00::/32", Action: "accept"},
+			{Seq: 20, Action: "reject"},
+		},
+	})
+	d.Firewalls = append(d.Firewalls, FirewallData{
+		Name: "edge-in", Direction: "in",
+		Rules: []FirewallRuleData{
+			{Seq: 10, Action: "permit", Protocol: "tcp", DstPort: 179},
+			{Seq: 20, Action: "deny", Protocol: "any"},
+		},
+	})
+	return d
+}
+
+// BenchmarkScaleRenderFleet renders every device of an n-device fleet
+// through the vendor1 template: one op = one full-fleet render sweep.
+func BenchmarkScaleRenderFleet(b *testing.B) {
+	t := tmpl.MustParse("vendor1", Vendor1FullTemplate)
+	for _, n := range scaleFleetSizes() {
+		b.Run(fmt.Sprintf("fleet=%d", n), func(b *testing.B) {
+			devs := make([]*DeviceData, n)
+			for i := range devs {
+				devs[i] = scaleDeviceData(i)
+			}
+			// Warm one render so parse-time laziness doesn't skew op 0.
+			if _, err := t.Render(map[string]any{"device": devs[0]}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, d := range devs {
+					if _, err := t.Render(map[string]any{"device": d}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScaleRenderDevice renders a single device, the unit the
+// allocation-regression guard pins.
+func BenchmarkScaleRenderDevice(b *testing.B) {
+	t := tmpl.MustParse("vendor1", Vendor1FullTemplate)
+	d := scaleDeviceData(1)
+	ctx := map[string]any{"device": d}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := t.Render(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -111,8 +111,8 @@ type Device struct {
 	history     []string // committed configs, oldest first
 	ifaces      map[string]*ifaceState
 	bgpPeers    map[string]*BGPPeerStatus
-	lldp        []LLDPNeighbor
-	traffic     float64 // offered load 0..1; >0 means draining required
+	lldp        map[string]LLDPNeighbor // keyed by local interface
+	traffic     float64                 // offered load 0..1; >0 means draining required
 	confirmTmr  *time.Timer
 	confirmPrev string
 	commitDelay time.Duration // simulated config-apply time
@@ -120,6 +120,15 @@ type Device struct {
 	syslogSink func(SyslogMessage)
 	// onCommit lets the fleet recompute link state when configs change.
 	onCommit func(*Device)
+	// onManual notifies the fleet of an out-of-band config append
+	// (ApplyManualChange) so the derived-state indexes stay current; no
+	// recompute is triggered, matching the pre-incremental behavior where
+	// manual drift was only picked up by the next recompute pass.
+	onManual func(*Device)
+	// onHealth notifies the fleet of a reachability or hardware change
+	// (SetDown, Reboot, RemoveLinecard) so the device is marked dirty for
+	// the next incremental recompute pass.
+	onHealth func(*Device)
 	now      func() time.Time
 	// faults, when set, injects failures into management verbs (see
 	// faults.go); both the in-process API and the TCP CLI go through it.
@@ -546,8 +555,12 @@ func (d *Device) ApplyManualChange(line string) error {
 	}
 	d.history = append(d.history, d.running)
 	d.running += line + "\n"
+	cb := d.onManual
 	d.mu.Unlock()
 	d.emit(5, "config", "CONFIG_CHANGED: configuration changed from console by admin")
+	if cb != nil {
+		cb(d)
+	}
 	return nil
 }
 
@@ -680,8 +693,67 @@ func (d *Device) setBGP(peerAddr, state string) {
 
 func (d *Device) setLLDP(neighbors []LLDPNeighbor) {
 	d.mu.Lock()
-	d.lldp = neighbors
+	d.lldp = make(map[string]LLDPNeighbor, len(neighbors))
+	for _, n := range neighbors {
+		d.lldp[n.LocalInterface] = n
+	}
 	d.mu.Unlock()
+}
+
+// setLLDPEntry installs or refreshes the adjacency on one local interface
+// (incremental recompute path).
+func (d *Device) setLLDPEntry(n LLDPNeighbor) {
+	d.mu.Lock()
+	if d.lldp == nil {
+		d.lldp = make(map[string]LLDPNeighbor, 4)
+	}
+	d.lldp[n.LocalInterface] = n
+	d.mu.Unlock()
+}
+
+// clearLLDPEntry drops the adjacency on one local interface.
+func (d *Device) clearLLDPEntry(localIface string) {
+	d.mu.Lock()
+	delete(d.lldp, localIface)
+	d.mu.Unlock()
+}
+
+// pruneLLDP drops adjacencies on local interfaces not in keep — interfaces
+// that lost their cable since the entry was installed.
+func (d *Device) pruneLLDP(keep map[string]bool) {
+	d.mu.Lock()
+	for local := range d.lldp {
+		if !keep[local] {
+			delete(d.lldp, local)
+		}
+	}
+	d.mu.Unlock()
+}
+
+// indexSnapshot returns the running config and the configured BGP peer
+// addresses regardless of reachability — simulation bookkeeping for the
+// fleet's ownership and session indexes, not a management operation.
+func (d *Device) indexSnapshot() (cfg string, peers []string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cfg = d.running
+	peers = make([]string, 0, len(d.bgpPeers))
+	for addr := range d.bgpPeers {
+		peers = append(peers, addr)
+	}
+	return cfg, peers
+}
+
+// ifaceNames returns the configured interface names without advancing
+// traffic counters or requiring reachability (incremental recompute path).
+func (d *Device) ifaceNames() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.ifaces))
+	for name := range d.ifaces {
+		out = append(out, name)
+	}
+	return out
 }
 
 // ShowInterfaces returns interface status with monotonically advancing
@@ -733,7 +805,16 @@ func (d *Device) ShowLLDPNeighbors() ([]LLDPNeighbor, error) {
 	if err := d.checkUp(); err != nil {
 		return nil, err
 	}
-	return append([]LLDPNeighbor(nil), d.lldp...), nil
+	out := make([]LLDPNeighbor, 0, len(d.lldp))
+	for _, n := range d.lldp {
+		out = append(out, n)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].LocalInterface < out[j-1].LocalInterface; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
 }
 
 // ShowBGPSummary returns BGP peer states.
@@ -813,7 +894,11 @@ func (d *Device) SetTrafficLoad(l float64) {
 func (d *Device) SetDown(down bool) {
 	d.mu.Lock()
 	d.down = down
+	cb := d.onHealth
 	d.mu.Unlock()
+	if cb != nil {
+		cb(d)
+	}
 }
 
 // Reachable reports whether management operations will succeed.
@@ -835,12 +920,16 @@ func (d *Device) Reboot() {
 			flapped = append(flapped, name)
 		}
 	}
+	cb := d.onHealth
 	d.mu.Unlock()
 	for _, name := range flapped {
 		d.setLink(name, false)
 	}
 	for _, name := range flapped {
 		d.setLink(name, true)
+	}
+	if cb != nil {
+		cb(d)
 	}
 }
 
@@ -867,8 +956,12 @@ func (d *Device) RemoveLinecard(slot int) {
 			affected = append(affected, name)
 		}
 	}
+	cb := d.onHealth
 	d.mu.Unlock()
 	for _, name := range affected {
 		d.setLink(name, false)
+	}
+	if cb != nil {
+		cb(d)
 	}
 }

@@ -1,0 +1,230 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestBGPExactAddressMatch pins the fix for the substring false-positive:
+// the old recompute used strings.Contains, so a session to 10.0.0.1 was
+// established by any device whose config merely contained 10.0.0.12 (the
+// peer address is a prefix of it). Matching is now by exact address
+// token.
+func TestBGPExactAddressMatch(t *testing.T) {
+	f := NewFleet()
+	a, _ := f.AddDevice("a", Vendor1, "psw", "s")
+	b, _ := f.AddDevice("b", Vendor1, "psw", "s")
+
+	if err := b.LoadConfig("interface et1/1\n ip addr 10.0.0.12/31\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// a peers with 10.0.0.1 — a strict prefix of b's 10.0.0.12. No device
+	// owns 10.0.0.1, so the session must stay Active.
+	if err := a.LoadConfig("interface et1/1\n ip addr 10.0.0.13/31\nneighbor 10.0.0.1 remote-as 65000\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	peers, err := a.ShowBGPSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 1 || peers[0].State != "Active" {
+		t.Fatalf("session to unowned 10.0.0.1 = %+v, want Active (substring false-positive)", peers)
+	}
+	// The reference full pass agrees.
+	f.RecomputeFull()
+	peers, _ = a.ShowBGPSummary()
+	if peers[0].State != "Active" {
+		t.Fatalf("RecomputeFull: session = %+v, want Active", peers)
+	}
+
+	// Peering with the exactly-owned address establishes.
+	if err := a.LoadConfig("interface et1/1\n ip addr 10.0.0.13/31\nneighbor 10.0.0.12 remote-as 65000\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	peers, _ = a.ShowBGPSummary()
+	if len(peers) != 1 || peers[0].State != "Established" {
+		t.Fatalf("session to owned 10.0.0.12 = %+v, want Established", peers)
+	}
+}
+
+// devSnap is the derived operational state of one device.
+type devSnap struct {
+	lldp  map[string]LLDPNeighbor
+	links map[string]bool
+	bgp   map[string]string
+}
+
+// snapshotFleet captures every device's derived state (LLDP, link
+// oper-status, BGP session states) for equality comparison.
+func snapshotFleet(f *Fleet) map[string]devSnap {
+	out := make(map[string]devSnap)
+	for _, d := range f.Devices() {
+		d.mu.Lock()
+		s := devSnap{
+			lldp:  make(map[string]LLDPNeighbor, len(d.lldp)),
+			links: make(map[string]bool, len(d.ifaces)),
+			bgp:   make(map[string]string, len(d.bgpPeers)),
+		}
+		for k, v := range d.lldp {
+			s.lldp[k] = v
+		}
+		for name, st := range d.ifaces {
+			s.links[name] = st.operUp
+		}
+		for addr, p := range d.bgpPeers {
+			s.bgp[addr] = p.State
+		}
+		d.mu.Unlock()
+		out[d.Name()] = s
+	}
+	return out
+}
+
+// TestIncrementalMatchesFullRecompute drives seed-reproducible random
+// event sequences — commits, wiring changes, manual drift, reachability
+// flaps, reboots, linecard pulls — through the incremental engine and
+// asserts, at every settle point (an event that flushes), that the state
+// is a fixed point of the retained reference full pass: running
+// RecomputeFull changes nothing.
+func TestIncrementalMatchesFullRecompute(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1337} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			f := NewFleet()
+			const nDev = 12
+			devs := make([]*Device, nDev)
+			for i := range devs {
+				d, err := f.AddDevice(fmt.Sprintf("dev%02d", i), Vendor1, "psw", "s")
+				if err != nil {
+					t.Fatal(err)
+				}
+				devs[i] = d
+			}
+			ifaces := []string{"et1/1", "et1/2", "et2/1", "et2/2"}
+			// Address pool with prefix collisions (10.0.0.1 vs 10.0.0.12
+			// vs 10.0.0.102) so exact-token matching is exercised.
+			addr := func() string { return fmt.Sprintf("10.0.0.%d", rng.Intn(20)) }
+
+			randomConfig := func() string {
+				cfg := ""
+				for _, ifc := range ifaces {
+					if rng.Intn(2) == 0 {
+						cfg += fmt.Sprintf("interface %s\n ip addr %s/31\n", ifc, addr())
+					}
+				}
+				for k := rng.Intn(3); k > 0; k-- {
+					cfg += fmt.Sprintf("neighbor %s remote-as 65000\n", addr())
+				}
+				return cfg
+			}
+
+			check := func(step int) {
+				t.Helper()
+				before := snapshotFleet(f)
+				f.RecomputeFull()
+				after := snapshotFleet(f)
+				if !reflect.DeepEqual(before, after) {
+					for name := range before {
+						if !reflect.DeepEqual(before[name], after[name]) {
+							t.Errorf("step %d: %s diverged\n incremental: %+v\n full:        %+v",
+								step, name, before[name], after[name])
+						}
+					}
+					t.FailNow()
+				}
+			}
+
+			for step := 0; step < 300; step++ {
+				d := devs[rng.Intn(nDev)]
+				switch ev := rng.Intn(10); ev {
+				case 0, 1, 2: // commit a fresh config (flushes)
+					if err := d.LoadConfig(randomConfig()); err != nil {
+						continue // device down: no flush, no check
+					}
+					if err := d.Commit(); err != nil {
+						continue
+					}
+					check(step)
+				case 3, 4: // wire two random ports (flushes)
+					z := devs[rng.Intn(nDev)]
+					if z == d {
+						continue
+					}
+					err := f.Wire(d.Name(), ifaces[rng.Intn(len(ifaces))],
+						z.Name(), ifaces[rng.Intn(len(ifaces))])
+					if err != nil {
+						continue // port already cabled
+					}
+					check(step)
+				case 5: // fiber cut (flushes)
+					if f.Uncable(d.Name(), ifaces[rng.Intn(len(ifaces))]) {
+						check(step)
+					}
+				case 6: // reachability flap (stale until next flush)
+					d.SetDown(!d.Reachable())
+				case 7: // out-of-band drift (stale until next flush)
+					_ = d.ApplyManualChange("neighbor " + addr() + " remote-as 65001")
+				case 8: // reboot (stale until next flush)
+					d.Reboot()
+				case 9: // linecard pull (stale until next flush)
+					d.RemoveLinecard(1 + rng.Intn(2))
+				}
+			}
+			// Settle any remaining dirt with a final commit and check.
+			for _, d := range devs {
+				d.SetDown(false)
+			}
+			if err := devs[0].LoadConfig(randomConfig()); err != nil {
+				t.Fatal(err)
+			}
+			if err := devs[0].Commit(); err != nil {
+				t.Fatal(err)
+			}
+			check(-1)
+		})
+	}
+}
+
+// TestRecomputeAllocsFlat is the allocation-regression guard for the
+// incremental hot path: the cost of a single-device commit (parse +
+// dirty-set recompute) must be bounded and must not scale with fleet
+// size.
+func TestRecomputeAllocsFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc guard skipped in -short")
+	}
+	measure := func(n int) float64 {
+		f := buildRingFleet(t, n)
+		d, _ := f.Device("dev000000")
+		cfg := ringConfig(0, n)
+		return testing.AllocsPerRun(50, func() {
+			if err := d.LoadConfig(cfg); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small := measure(64)
+	large := measure(1024)
+	// ~55 allocs today; 150 leaves headroom without hiding an O(n) slip.
+	if small > 150 {
+		t.Errorf("single-device commit at fleet=64: %v allocs, want <= 150", small)
+	}
+	if large > small*2+20 {
+		t.Errorf("allocs scale with fleet size: fleet=64 %v, fleet=1024 %v", small, large)
+	}
+}

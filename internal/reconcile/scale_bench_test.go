@@ -1,0 +1,60 @@
+package reconcile
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/robotron-net/robotron/internal/monitor"
+)
+
+// BenchmarkScaleReconcileConverge extends the convergence benchmark to
+// query-storm fleet sizes: the whole fleet drifts at once and the loop
+// drives every device back. Uses the fake world + virtual clock so the
+// number isolates reconciler overhead (state machine, journal, budget
+// math, scheduling). The 16384 size is gated behind
+// ROBOTRON_BENCH_LARGE=1; `make bench-scale` sets the variable.
+func BenchmarkScaleReconcileConverge(b *testing.B) {
+	sizes := []int{256, 4096}
+	if os.Getenv("ROBOTRON_BENCH_LARGE") == "1" {
+		sizes = append(sizes, 16384)
+	}
+	for _, fleet := range sizes {
+		b.Run(fmt.Sprintf("fleet=%d", fleet), func(b *testing.B) {
+			names := make([]string, fleet)
+			for i := range names {
+				names[i] = fmt.Sprintf("dev%05d", i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				w := newFakeWorld(names...)
+				clk := NewVirtualClock(t0)
+				r := New(Deps{
+					Golden:   w,
+					Deployer: deployerFunc(w.deployClock(clk)),
+					Checker:  w,
+				}, Config{
+					Clock: clk, BackoffBase: time.Second,
+					DampingThreshold: -1,
+					BudgetMaxDevices: fleet, BudgetMaxFraction: 1.0,
+				})
+				for _, name := range names {
+					w.drift(name)
+				}
+				b.StartTimer()
+				for _, name := range names {
+					r.HandleDeviation(monitor.Deviation{Device: name, Added: 1})
+				}
+				clk.Advance(time.Minute)
+				b.StopTimer()
+				if got := len(w.deploys); got != fleet {
+					b.Fatalf("deploys = %d, want %d", got, fleet)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}

@@ -2,7 +2,9 @@ package relstore
 
 import (
 	"fmt"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"github.com/robotron-net/robotron/internal/telemetry"
 )
@@ -17,9 +19,10 @@ type table struct {
 	// refIndex maps fk column name -> referenced id -> set of referencing
 	// row ids in this table, to make referential actions O(refs).
 	refIndex map[string]map[int64]map[int64]struct{}
-	// secondary maps column name -> value -> set of row ids, for Indexed
-	// (non-unique) columns, so point lookups are O(matches).
-	secondary map[string]map[any]map[int64]struct{}
+	// secondary maps column name -> value -> sorted row ids, for Indexed
+	// (non-unique) columns, so point lookups are O(matches) and already
+	// in ascending order (reads copy, never sort).
+	secondary map[string]map[any][]int64
 }
 
 func newTable(def TableDef) *table {
@@ -28,14 +31,14 @@ func newTable(def TableDef) *table {
 		rows:      make(map[int64]map[string]any),
 		unique:    make(map[string]map[any]int64),
 		refIndex:  make(map[string]map[int64]map[int64]struct{}),
-		secondary: make(map[string]map[any]map[int64]struct{}),
+		secondary: make(map[string]map[any][]int64),
 	}
 	for _, c := range def.Columns {
 		if c.Unique {
 			t.unique[c.Name] = make(map[any]int64)
 		}
 		if c.Indexed {
-			t.secondary[c.Name] = make(map[any]map[int64]struct{})
+			t.secondary[c.Name] = make(map[any][]int64)
 		}
 	}
 	for _, fk := range def.ForeignKeys {
@@ -65,34 +68,58 @@ func (t *table) unindexRef(col string, refID, rowID int64) {
 
 func (t *table) indexSecondary(col string, v any, rowID int64) {
 	m := t.secondary[col]
-	s, ok := m[v]
-	if !ok {
-		s = make(map[int64]struct{})
-		m[v] = s
+	ids := m[v]
+	if i, found := slices.BinarySearch(ids, rowID); !found {
+		m[v] = slices.Insert(ids, i, rowID)
 	}
-	s[rowID] = struct{}{}
 }
 
 func (t *table) unindexSecondary(col string, v any, rowID int64) {
-	if s, ok := t.secondary[col][v]; ok {
-		delete(s, rowID)
-		if len(s) == 0 {
+	ids := t.secondary[col][v]
+	if i, found := slices.BinarySearch(ids, rowID); found {
+		ids = slices.Delete(ids, i, i+1)
+		if len(ids) == 0 {
 			delete(t.secondary[col], v)
+		} else {
+			t.secondary[col][v] = ids
 		}
 	}
 }
 
 // DB is an in-memory relational database. One DB is a single "MySQL
 // server"; replication across servers is provided by Replica.
+//
+// Writes serialize on mu (a transaction holds it from Begin to Commit,
+// matching §4.3.2's no-partial-state guarantee). Reads never take mu:
+// they run against an immutable epoch snapshot — see epoch.go — that a
+// reader advances on demand by replaying the binlog delta, so read
+// throughput is unaffected by open write transactions.
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*table
-	binlog []LogEntry
 	seq    uint64
 	txSeq  uint64 // transaction counter; stamps LogEntry.TxID groups
 	closed bool
 	// name identifies this server in errors and logs (e.g. "master.ash1").
 	name string
+
+	// binlogMu guards binlog separately from mu so epoch refresh and
+	// replication can read the log without blocking behind an open write
+	// transaction; committers append under it (whole tx groups at a time,
+	// keeping every prefix transaction-consistent) and then publish the
+	// new sequence to committed.
+	binlogMu  sync.RWMutex
+	binlog    []LogEntry
+	committed atomic.Uint64 // last binlog seq visible to readers
+	downFlag  atomic.Bool   // lock-free mirror of closed for the read path
+
+	// Epoch read stores: epochPtr is the published snapshot readers pin;
+	// spare is the other buffer of the left-right pair, caught up and
+	// swapped in by advanceEpochs (serialized by epochMu, which also
+	// guards spare).
+	epochMu  sync.Mutex
+	epochPtr atomic.Pointer[epoch]
+	spare    *epoch
 
 	// Telemetry mirrors; nil (no-op) until Instrument.
 	mCommits   *telemetry.Counter
@@ -101,7 +128,10 @@ type DB struct {
 
 // NewDB creates an empty database server with the given name.
 func NewDB(name string) *DB {
-	return &DB{tables: make(map[string]*table), name: name}
+	db := &DB{tables: make(map[string]*table), name: name}
+	db.epochPtr.Store(&epoch{tables: make(map[string]*table)})
+	db.spare = &epoch{tables: make(map[string]*table)}
+	return db
 }
 
 // Name returns the server name.
@@ -135,8 +165,23 @@ func (db *DB) CreateTable(def TableDef) error {
 	db.tables[def.Name] = newTable(def)
 	db.seq++
 	db.txSeq++
-	db.binlog = append(db.binlog, LogEntry{Seq: db.seq, TxID: db.txSeq, Op: OpCreateTable, Table: def.Name, Def: &def})
+	db.appendBinlog(LogEntry{Seq: db.seq, TxID: db.txSeq, Op: OpCreateTable, Table: def.Name, Def: &def})
+	db.advanceEpochs(db.seq)
 	return nil
+}
+
+// appendBinlog publishes committed entries: append under binlogMu, then
+// advance the committed watermark. The order matters — a reader that
+// observes the new watermark is guaranteed to find every entry up to it
+// in the log. Callers hold db.mu, which serializes committers.
+func (db *DB) appendBinlog(entries ...LogEntry) {
+	if len(entries) == 0 {
+		return
+	}
+	db.binlogMu.Lock()
+	db.binlog = append(db.binlog, entries...)
+	db.binlogMu.Unlock()
+	db.committed.Store(db.seq)
 }
 
 // AlterAddColumn adds a column to an existing table; live schema change
@@ -159,7 +204,8 @@ func (db *DB) AlterAddColumn(tableName string, col Column) error {
 	cp := col
 	db.seq++
 	db.txSeq++
-	db.binlog = append(db.binlog, LogEntry{Seq: db.seq, TxID: db.txSeq, Op: OpAlterAddColumn, Table: tableName, Col: &cp})
+	db.appendBinlog(LogEntry{Seq: db.seq, TxID: db.txSeq, Op: OpAlterAddColumn, Table: tableName, Col: &cp})
+	db.advanceEpochs(db.seq)
 	return nil
 }
 
@@ -181,17 +227,17 @@ func (t *table) addColumn(col Column) error {
 	if col.Indexed {
 		// Existing rows read the new column as NULL, which is never
 		// indexed, so the fresh empty index is already consistent.
-		t.secondary[col.Name] = make(map[any]map[int64]struct{})
+		t.secondary[col.Name] = make(map[any][]int64)
 	}
 	return nil
 }
 
 // Tables returns the registered table names.
 func (db *DB) Tables() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	names := make([]string, 0, len(db.tables))
-	for n := range db.tables {
+	e := db.readEpoch()
+	defer e.release()
+	names := make([]string, 0, len(e.tables))
+	for n := range e.tables {
 		names = append(names, n)
 	}
 	return names
@@ -199,9 +245,9 @@ func (db *DB) Tables() []string {
 
 // Def returns a copy of a table's definition.
 func (db *DB) Def(tableName string) (TableDef, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tables[tableName]
+	e := db.readEpoch()
+	defer e.release()
+	t, ok := e.tables[tableName]
 	if !ok {
 		return TableDef{}, fmt.Errorf("relstore: no such table %q", tableName)
 	}
@@ -210,12 +256,12 @@ func (db *DB) Def(tableName string) (TableDef, error) {
 
 // Get returns a snapshot of one row by primary key.
 func (db *DB) Get(tableName string, id int64) (Row, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
+	if db.downFlag.Load() {
 		return Row{}, fmt.Errorf("relstore: %s is down", db.name)
 	}
-	t, ok := db.tables[tableName]
+	e := db.readEpoch()
+	defer e.release()
+	t, ok := e.tables[tableName]
 	if !ok {
 		return Row{}, fmt.Errorf("relstore: no such table %q", tableName)
 	}
@@ -229,12 +275,12 @@ func (db *DB) Get(tableName string, id int64) (Row, error) {
 // Select returns snapshots of all rows matching pred (nil matches all),
 // in ascending id order.
 func (db *DB) Select(tableName string, pred func(Row) bool) ([]Row, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
+	if db.downFlag.Load() {
 		return nil, fmt.Errorf("relstore: %s is down", db.name)
 	}
-	t, ok := db.tables[tableName]
+	e := db.readEpoch()
+	defer e.release()
+	t, ok := e.tables[tableName]
 	if !ok {
 		return nil, fmt.Errorf("relstore: no such table %q", tableName)
 	}
@@ -250,9 +296,9 @@ func (db *DB) Select(tableName string, pred func(Row) bool) ([]Row, error) {
 
 // Count returns the number of rows in a table.
 func (db *DB) Count(tableName string) (int, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tables[tableName]
+	e := db.readEpoch()
+	defer e.release()
+	t, ok := e.tables[tableName]
 	if !ok {
 		return 0, fmt.Errorf("relstore: no such table %q", tableName)
 	}
@@ -262,9 +308,9 @@ func (db *DB) Count(tableName string) (int, error) {
 // LookupUnique finds a row id by a unique column value; ok is false when
 // no row has that value.
 func (db *DB) LookupUnique(tableName, col string, v any) (int64, bool, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tables[tableName]
+	e := db.readEpoch()
+	defer e.release()
+	t, ok := e.tables[tableName]
 	if !ok {
 		return 0, false, fmt.Errorf("relstore: no such table %q", tableName)
 	}
@@ -292,9 +338,9 @@ func normIndexValue(v any) any {
 // LookupIndexed returns the ids of rows whose Indexed (non-unique) column
 // equals v, in ascending id order.
 func (db *DB) LookupIndexed(tableName, col string, v any) ([]int64, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tables[tableName]
+	e := db.readEpoch()
+	defer e.release()
+	t, ok := e.tables[tableName]
 	if !ok {
 		return nil, fmt.Errorf("relstore: no such table %q", tableName)
 	}
@@ -306,21 +352,16 @@ func (t *table) lookupIndexed(tableName, col string, v any) ([]int64, error) {
 	if !ok {
 		return nil, fmt.Errorf("relstore: %s.%s is not an indexed column", tableName, col)
 	}
-	set := idx[normIndexValue(v)]
-	ids := make([]int64, 0, len(set))
-	for id := range set {
-		ids = append(ids, id)
-	}
-	sortInt64s(ids)
-	return ids, nil
+	// The index keeps ids sorted; hand out a copy.
+	return slices.Clone(idx[normIndexValue(v)]), nil
 }
 
 // Referencing returns the ids of rows in tableName whose fkCol references
 // refID. Used by the object layer to follow reverse relationships.
 func (db *DB) Referencing(tableName, fkCol string, refID int64) ([]int64, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tables[tableName]
+	e := db.readEpoch()
+	defer e.release()
+	t, ok := e.tables[tableName]
 	if !ok {
 		return nil, fmt.Errorf("relstore: no such table %q", tableName)
 	}
@@ -338,11 +379,7 @@ func (db *DB) Referencing(tableName, fkCol string, refID int64) ([]int64, error)
 }
 
 func sortInt64s(xs []int64) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
+	slices.Sort(xs)
 }
 
 // SetDown simulates a server failure (health checks fail, all operations
@@ -351,6 +388,7 @@ func (db *DB) SetDown(down bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.closed = down
+	db.downFlag.Store(down)
 }
 
 // Healthy reports whether the server responds to health checks.
@@ -360,11 +398,10 @@ func (db *DB) Healthy() bool {
 	return !db.closed
 }
 
-// Seq returns the current binlog sequence number.
+// Seq returns the current binlog sequence number (the committed
+// watermark — uncommitted transaction entries are not yet sequenced).
 func (db *DB) Seq() uint64 {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.seq
+	return db.committed.Load()
 }
 
 // EntriesSince returns the binlog entries with Seq > after. Consumers such
@@ -377,12 +414,27 @@ func (db *DB) EntriesSince(after uint64) []LogEntry {
 
 // entriesSince returns binlog entries with Seq > after.
 func (db *DB) entriesSince(after uint64) []LogEntry {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.binlogMu.RLock()
+	defer db.binlogMu.RUnlock()
+	entries := db.entriesSinceLocked(after)
+	if len(entries) == 0 {
+		return nil
+	}
+	out := make([]LogEntry, len(entries))
+	copy(out, entries)
+	return out
+}
+
+// entriesSinceLocked returns the binlog suffix with Seq > after, sharing
+// the backing array. Callers hold binlogMu (at least for reading).
+func (db *DB) entriesSinceLocked(after uint64) []LogEntry {
 	if len(db.binlog) == 0 {
 		return nil
 	}
-	// Binlog seqs are dense and ascending; index directly.
+	// Binlog seqs are dense and ascending; index directly. The returned
+	// suffix shares the backing array: the binlog is append-only and
+	// entries are immutable once appended, so reading the suffix after
+	// binlogMu is released races only with writes past its length.
 	first := db.binlog[0].Seq
 	if after < first-1 {
 		after = first - 1
@@ -391,7 +443,5 @@ func (db *DB) entriesSince(after uint64) []LogEntry {
 	if idx >= len(db.binlog) {
 		return nil
 	}
-	out := make([]LogEntry, len(db.binlog)-idx)
-	copy(out, db.binlog[idx:])
-	return out
+	return db.binlog[idx:]
 }

@@ -1,0 +1,231 @@
+package relstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// newPairDB creates a table holding two rows whose "val" columns always
+// sum to zero — every writer transaction updates both rows in one group,
+// so any transaction-consistent snapshot preserves the invariant and any
+// torn read breaks it.
+func newPairDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB("epoch-test")
+	err := db.CreateTable(TableDef{
+		Name: "pair",
+		Columns: []Column{
+			{Name: "val", Type: ColInt},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = db.WithTx(func(tx *Tx) error {
+		for i := 0; i < 2; i++ {
+			if _, err := tx.Insert("pair", map[string]any{"val": int64(0)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// checkPair asserts the snapshot invariant on one read.
+func checkPair(t *testing.T, db *DB, who string) {
+	t.Helper()
+	rows, err := db.Select("pair", nil)
+	if err != nil {
+		t.Errorf("%s: %v", who, err)
+		return
+	}
+	if len(rows) != 2 {
+		t.Errorf("%s: %d rows, want 2", who, len(rows))
+		return
+	}
+	sum := rows[0].Values["val"].(int64) + rows[1].Values["val"].(int64)
+	if sum != 0 {
+		t.Errorf("%s: torn read: val sum = %d (rows %v)", who, sum, rows)
+	}
+}
+
+// TestEpochReadsNoTornTransactions hammers the lock-free read path while
+// a writer commits two-row transactions that keep the rows' values
+// summing to zero. A reader observing a half-applied transaction would
+// see a nonzero sum. Run with -race this also proves the epoch handoff
+// is data-race-free.
+func TestEpochReadsNoTornTransactions(t *testing.T) {
+	db := newPairDB(t)
+	const readers = 4
+	const writes = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				checkPair(t, db, fmt.Sprintf("reader%d", r))
+				if _, err := db.Get("pair", int64(i%2)+1); err != nil {
+					t.Errorf("reader%d: %v", r, err)
+				}
+			}
+		}(r)
+	}
+	for v := int64(1); v <= writes; v++ {
+		err := db.WithTx(func(tx *Tx) error {
+			if err := tx.Update("pair", 1, map[string]any{"val": v}); err != nil {
+				return err
+			}
+			return tx.Update("pair", 2, map[string]any{"val": -v})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestEpochReadYourWrites: a committed transaction must be visible to a
+// Get issued by the same goroutine immediately after Commit returns,
+// even with other readers keeping epochs pinned.
+func TestEpochReadYourWrites(t *testing.T) {
+	db := newPairDB(t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			checkPair(t, db, "background reader")
+		}
+	}()
+	for v := int64(1); v <= 500; v++ {
+		err := db.WithTx(func(tx *Tx) error {
+			if err := tx.Update("pair", 1, map[string]any{"val": v}); err != nil {
+				return err
+			}
+			return tx.Update("pair", 2, map[string]any{"val": -v})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		row, err := db.Get("pair", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := row.Values["val"].(int64); got != v {
+			t.Fatalf("read-your-writes violated: wrote %d, read %d", v, got)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestReplicaEpochConsistencyAndPromotion replays the master's binlog
+// onto a replica while readers query the replica, then promotes it and
+// keeps writing. The sum invariant must hold at every observable
+// instant: during catch-up (groups land atomically), at the promotion
+// snapshot, and on the promoted master afterward.
+func TestReplicaEpochConsistencyAndPromotion(t *testing.T) {
+	master := newPairDB(t)
+	rep := NewReplica(master, "replica-1")
+	if err := rep.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Replica-side readers: must never see a torn group.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if rows, err := rep.DB().Select("pair", nil); err == nil && len(rows) == 2 {
+					sum := rows[0].Values["val"].(int64) + rows[1].Values["val"].(int64)
+					if sum != 0 {
+						t.Errorf("replica reader%d: torn group: sum=%d", r, sum)
+					}
+				}
+			}
+		}(r)
+	}
+	// Replication puller racing the readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := rep.CatchUp(); err != nil {
+				t.Errorf("catchup: %v", err)
+				return
+			}
+		}
+	}()
+	for v := int64(1); v <= 1000; v++ {
+		err := master.WithTx(func(tx *Tx) error {
+			if err := tx.Update("pair", 1, map[string]any{"val": v}); err != nil {
+				return err
+			}
+			return tx.Update("pair", 2, map[string]any{"val": -v})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Promote and verify the snapshot and continued writes.
+	master.SetDown(true)
+	promoted := rep.Promote()
+	checkPair(t, promoted, "promoted snapshot")
+	for v := int64(2000); v < 2100; v++ {
+		err := promoted.WithTx(func(tx *Tx) error {
+			if err := tx.Update("pair", 1, map[string]any{"val": v}); err != nil {
+				return err
+			}
+			return tx.Update("pair", 2, map[string]any{"val": -v})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPair(t, promoted, "promoted master")
+	}
+	row, err := promoted.Get("pair", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := row.Values["val"].(int64); got != 2099 {
+		t.Fatalf("promoted master lost writes: val=%d, want 2099", got)
+	}
+}

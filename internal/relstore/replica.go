@@ -219,68 +219,25 @@ func (db *DB) applyTxGroup(entries []LogEntry) error {
 		return fmt.Errorf("relstore: %s is down", db.name)
 	}
 	for _, e := range entries {
-		if err := db.applyEntryLocked(e); err != nil {
+		// Constraints were validated on the master, so replay maintains
+		// rows and indexes directly (applyEntryToTables, shared with the
+		// epoch builder).
+		if err := applyEntryToTables(db.tables, e); err != nil {
 			return err
 		}
+		db.seq = e.Seq
+		if e.TxID > db.txSeq {
+			// Keep the tx counter monotonic so transactions committed
+			// after a promotion stamp fresh group ids.
+			db.txSeq = e.TxID
+		}
 	}
-	return nil
-}
-
-// applyEntryLocked replays one binlog record. Constraints were validated
-// on the master, so this path maintains rows and indexes directly; it
-// still appends to the local binlog so the replica can itself be a
-// replication source after promotion.
-func (db *DB) applyEntryLocked(e LogEntry) error {
-	switch e.Op {
-	case OpCreateTable:
-		if e.Def == nil {
-			return fmt.Errorf("CREATE TABLE entry without definition")
-		}
-		if _, dup := db.tables[e.Table]; dup {
-			return fmt.Errorf("table %q already exists", e.Table)
-		}
-		db.tables[e.Table] = newTable(*e.Def)
-	case OpInsert:
-		t, ok := db.tables[e.Table]
-		if !ok {
-			return fmt.Errorf("no such table %q", e.Table)
-		}
-		t.restoreRow(e.RowID, copyValues(e.Values))
-	case OpUpdate:
-		t, ok := db.tables[e.Table]
-		if !ok {
-			return fmt.Errorf("no such table %q", e.Table)
-		}
-		if _, ok := t.rows[e.RowID]; !ok {
-			return fmt.Errorf("%s: no row with id %d", e.Table, e.RowID)
-		}
-		t.applyUpdate(e.RowID, copyValues(e.Values))
-	case OpDelete:
-		t, ok := db.tables[e.Table]
-		if !ok {
-			return fmt.Errorf("no such table %q", e.Table)
-		}
-		t.removeRow(e.RowID)
-	case OpAlterAddColumn:
-		t, ok := db.tables[e.Table]
-		if !ok {
-			return fmt.Errorf("no such table %q", e.Table)
-		}
-		if e.Col == nil {
-			return fmt.Errorf("ALTER entry without column")
-		}
-		if err := t.addColumn(*e.Col); err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("unknown op %d", e.Op)
+	// The group also lands on the local binlog — atomically, like a local
+	// commit — so the replica can itself be a replication source after
+	// promotion and its own epoch readers never see a torn group.
+	db.appendBinlog(entries...)
+	if len(entries) > 0 {
+		db.advanceEpochs(db.seq)
 	}
-	db.seq = e.Seq
-	if e.TxID > db.txSeq {
-		// Keep the tx counter monotonic so transactions committed after
-		// a promotion stamp fresh group ids.
-		db.txSeq = e.TxID
-	}
-	db.binlog = append(db.binlog, e)
 	return nil
 }

@@ -108,6 +108,7 @@ func (tx *Tx) Commit() error {
 	}
 	tx.done = true
 	db := tx.db
+	seq := uint64(0)
 	if len(tx.pending) > 0 {
 		db.txSeq++
 		for i := range tx.pending {
@@ -115,10 +116,21 @@ func (tx *Tx) Commit() error {
 			tx.pending[i].Seq = db.seq
 			tx.pending[i].TxID = db.txSeq
 		}
+		// The whole group lands in the binlog atomically (under binlogMu)
+		// before the committed watermark advances, so every binlog prefix
+		// a reader can observe is transaction-consistent.
+		db.appendBinlog(tx.pending...)
+		seq = db.seq
 	}
-	db.binlog = append(db.binlog, tx.pending...)
 	db.mCommits.Inc()
 	db.mu.Unlock()
+	if seq != 0 {
+		// Publish the read epoch after releasing the write lock: the next
+		// writer can begin while we catch the spare store up, and readers
+		// observe the new state the moment it is swapped in — before
+		// Commit returns, preserving read-your-writes.
+		db.advanceEpochs(seq)
+	}
 	return nil
 }
 
@@ -286,11 +298,7 @@ func (tx *Tx) Update(tableName string, id int64, changes map[string]any) error {
 		norm[k] = nv
 		prev[k] = cur[k]
 	}
-	merged := copyValues(cur)
-	for k, v := range norm {
-		merged[k] = v
-	}
-	if err := tx.checkConstraints(t, merged, id); err != nil {
+	if err := tx.checkChangedConstraints(t, norm, id); err != nil {
 		return err
 	}
 	t.unindexRow(id, cur, norm)
@@ -358,6 +366,34 @@ func (tx *Tx) Delete(tableName string, id int64) error {
 	delete(t.rows, id)
 	tx.undo = append(tx.undo, undoEntry{op: OpDelete, table: tableName, rowID: id, values: old})
 	tx.pending = append(tx.pending, LogEntry{Op: OpDelete, Table: tableName, RowID: id})
+	return nil
+}
+
+// checkChangedConstraints validates uniqueness and foreign-key existence
+// for the changed columns of an update. Unchanged columns cannot create
+// new violations, so updates skip the full-row merge the insert path
+// needs. selfID excludes the row being updated from unique collision
+// checks.
+func (tx *Tx) checkChangedConstraints(t *table, changes map[string]any, selfID int64) error {
+	for col, v := range changes {
+		if idx, ok := t.unique[col]; ok && v != nil {
+			if existing, dup := idx[v]; dup && existing != selfID {
+				return fmt.Errorf("relstore: %s.%s: duplicate value %v (row %d)", t.def.Name, col, v, existing)
+			}
+		}
+	}
+	for _, fk := range t.def.ForeignKeys {
+		v, changed := changes[fk.Column]
+		if !changed || v == nil {
+			continue
+		}
+		refID := v.(int64)
+		ref := tx.db.tables[fk.RefTable]
+		if _, ok := ref.rows[refID]; !ok {
+			return fmt.Errorf("relstore: %s.%s: foreign key violation: %s id %d does not exist",
+				t.def.Name, fk.Column, fk.RefTable, refID)
+		}
+	}
 	return nil
 }
 

@@ -5,7 +5,8 @@ import (
 	"io"
 	"reflect"
 	"sort"
-	"strings"
+	"sync"
+	"unicode/utf8"
 )
 
 // Template is a parsed, executable template.
@@ -49,15 +50,38 @@ func MustParse(name, src string) *Template {
 // Name returns the template's name.
 func (t *Template) Name() string { return t.name }
 
+// statePool recycles render states across executions. Fleet-wide config
+// generation renders tens of thousands of templates back to back; reusing
+// the scope stack and output buffer keeps the steady-state render path
+// free of per-call allocations.
+var statePool = sync.Pool{New: func() any { return &state{} }}
+
+func getState(w io.Writer, ctx any) *state {
+	st := statePool.Get().(*state)
+	st.w = w
+	st.root = wrap(ctx)
+	return st
+}
+
+func putState(st *state) {
+	// Drop references to caller data; keep the backing arrays.
+	for i := range st.vars {
+		st.vars[i] = scopeVar{}
+	}
+	st.vars = st.vars[:0]
+	st.frame = 0
+	st.loopDepth = 0 // loop records hold no caller data; keep them for reuse
+	st.buf = st.buf[:0]
+	st.w = nil
+	st.root = value{}
+	statePool.Put(st)
+}
+
 // Execute renders the template against ctx (typically a map[string]any or a
 // struct) and writes the output to w.
 func (t *Template) Execute(w io.Writer, ctx any) error {
-	st := &state{
-		w:     w,
-		tname: t.name,
-		scope: []map[string]value{{}},
-		root:  wrap(ctx),
-	}
+	st := getState(w, ctx)
+	defer putState(st)
 	for _, n := range t.nodes {
 		if err := n.render(st); err != nil {
 			return fmt.Errorf("%s: %w", t.name, err)
@@ -66,44 +90,134 @@ func (t *Template) Execute(w io.Writer, ctx any) error {
 	return nil
 }
 
-// Render is Execute into a string.
+// Render is Execute into a string. It buffers into the pooled state's byte
+// slice, so the only per-render allocation on this path is the final
+// string conversion.
 func (t *Template) Render(ctx any) (string, error) {
-	var b strings.Builder
-	if err := t.Execute(&b, ctx); err != nil {
-		return "", err
-	}
-	return b.String(), nil
-}
-
-// state carries the rendering context through the node tree.
-type state struct {
-	w     io.Writer
-	tname string
-	scope []map[string]value // innermost last; holds loop vars and with-bindings
-	root  value              // the user-supplied context
-}
-
-func (st *state) push() { st.scope = append(st.scope, map[string]value{}) }
-func (st *state) pop()  { st.scope = st.scope[:len(st.scope)-1] }
-
-func (st *state) set(name string, v value) {
-	st.scope[len(st.scope)-1][name] = v
-}
-
-// lookup resolves the first path segment: innermost scopes first, then the
-// root context.
-func (st *state) lookup(name string) (value, bool) {
-	for i := len(st.scope) - 1; i >= 0; i-- {
-		if v, ok := st.scope[i][name]; ok {
-			return v, true
+	st := getState(nil, ctx)
+	defer putState(st)
+	for _, n := range t.nodes {
+		if err := n.render(st); err != nil {
+			return "", fmt.Errorf("%s: %w", t.name, err)
 		}
 	}
-	return st.root.attr(name)
+	return string(st.buf), nil
+}
+
+// scopeVar is one binding on the flat scope stack.
+type scopeVar struct {
+	name string
+	v    value
+}
+
+// state carries the rendering context through the node tree. Scopes are a
+// flat stack of bindings (loop vars, with-bindings) delimited by frame
+// marks rather than a slice of maps: pushing a scope is an integer save,
+// binding is an append or in-place overwrite, and lookup is a short
+// reverse scan — no map allocations anywhere on the render path.
+type state struct {
+	w       io.Writer // nil when buffering into buf (Render path)
+	buf     []byte    // output buffer, used when w == nil
+	scratch [40]byte  // number formatting without allocation when w != nil
+	vars    []scopeVar
+	frame   int // start of the innermost scope frame in vars
+	root    value
+
+	// loops is a depth-indexed freelist of forloop records: nested loops
+	// use distinct records, sequential loops at the same depth reuse one.
+	loops     []*loopState
+	loopDepth int
+}
+
+// acquireLoop returns a loop record for one loop execution at the current
+// nesting depth, allocating only the first time that depth is reached on
+// this state.
+func (st *state) acquireLoop(total int) *loopState {
+	if st.loopDepth == len(st.loops) {
+		st.loops = append(st.loops, new(loopState))
+	}
+	l := st.loops[st.loopDepth]
+	st.loopDepth++
+	l.counter0 = 0
+	l.total = total
+	return l
+}
+
+func (st *state) releaseLoop() { st.loopDepth-- }
+
+// push opens a new scope frame and returns the previous frame mark.
+func (st *state) push() int {
+	old := st.frame
+	st.frame = len(st.vars)
+	return old
+}
+
+// pop closes the innermost frame, restoring the given previous mark.
+func (st *state) pop(oldFrame int) {
+	st.vars = st.vars[:st.frame]
+	st.frame = oldFrame
+}
+
+// set binds name in the innermost frame, overwriting an existing binding
+// in place (loops rebind the same names every iteration).
+func (st *state) set(name string, v value) {
+	for i := st.frame; i < len(st.vars); i++ {
+		if st.vars[i].name == name {
+			st.vars[i].v = v
+			return
+		}
+	}
+	st.vars = append(st.vars, scopeVar{name: name, v: v})
+}
+
+// lookup resolves the first path segment: innermost bindings first, then
+// the root context. norm is the parse-time normalized form of name.
+func (st *state) lookup(name, norm string) (value, bool) {
+	for i := len(st.vars) - 1; i >= 0; i-- {
+		if st.vars[i].name == name {
+			return st.vars[i].v, true
+		}
+	}
+	return st.root.attrNorm(name, norm)
+}
+
+func (st *state) writeString(s string) error {
+	if st.w == nil {
+		st.buf = append(st.buf, s...)
+		return nil
+	}
+	_, err := io.WriteString(st.w, s)
+	return err
+}
+
+// writeValue emits a value the way {{ }} output does, formatting integers
+// directly into the output buffer instead of through an intermediate
+// string.
+func (st *state) writeValue(v value) error {
+	switch v.kind {
+	case kindNil:
+		return nil
+	case kindString:
+		return st.writeString(v.s)
+	case kindInt:
+		if st.w == nil {
+			st.buf = appendInt(st.buf, v.i)
+			return nil
+		}
+		b := appendInt(st.scratch[:0], v.i)
+		_, err := st.w.Write(b)
+		return err
+	case kindBool:
+		if v.b {
+			return st.writeString("True")
+		}
+		return st.writeString("False")
+	}
+	return st.writeString(v.str())
 }
 
 func (n *textNode) render(st *state) error {
-	_, err := io.WriteString(st.w, n.text)
-	return err
+	return st.writeString(n.text)
 }
 
 func (n *varNode) render(st *state) error {
@@ -111,8 +225,7 @@ func (n *varNode) render(st *state) error {
 	if err != nil {
 		return fmt.Errorf("line %d: %w", n.line, err)
 	}
-	_, err = io.WriteString(st.w, v.str())
-	return err
+	return st.writeValue(v)
 }
 
 func (n *ifNode) render(st *state) error {
@@ -133,38 +246,89 @@ func (n *forNode) render(st *state) error {
 	if err != nil {
 		return fmt.Errorf("line %d: %w", n.line, err)
 	}
-	items, keys, err := iterate(iter)
-	if err != nil {
-		return fmt.Errorf("line %d: %w", n.line, err)
+
+	// Resolve the element count up front; empty iterables render the
+	// {% empty %} branch without opening a scope.
+	var total int
+	var mapKeys []reflect.Value
+	switch iter.kind {
+	case kindNil:
+		total = 0
+	case kindList:
+		total = iter.rv.Len()
+	case kindMap:
+		mapKeys = iter.rv.MapKeys()
+		sort.Slice(mapKeys, func(i, j int) bool {
+			return mapKeyString(mapKeys[i]) < mapKeyString(mapKeys[j])
+		})
+		total = len(mapKeys)
+	case kindString:
+		total = utf8.RuneCountInString(iter.s)
+	default:
+		return fmt.Errorf("line %d: cannot iterate over %s", n.line, iter.kindName())
 	}
-	if len(items) == 0 {
+	if total == 0 {
 		return renderAll(st, n.empty)
 	}
-	st.push()
-	defer st.pop()
-	for i, item := range items {
-		if n.secondVar != "" {
-			st.set(n.loopVar, keys[i])
-			st.set(n.secondVar, item)
-		} else {
-			st.set(n.loopVar, item)
+
+	mark := st.push()
+	defer st.pop(mark)
+	// One mutable loop record per loop execution replaces the per-iteration
+	// forloop map: counters advance in place and attribute reads on the
+	// bound kindLoop value compute from it directly.
+	loop := st.acquireLoop(total)
+	defer st.releaseLoop()
+	st.set("forloop", value{kind: kindLoop, loop: loop})
+
+	switch iter.kind {
+	case kindList:
+		for i := 0; i < total; i++ {
+			if err := n.iterOnce(st, loop, i, nilValue(), wrapReflect(iter.rv.Index(i))); err != nil {
+				return err
+			}
 		}
-		st.set("forloop", wrap(map[string]any{
-			"counter":    i + 1,
-			"counter0":   i,
-			"revcounter": len(items) - i,
-			"first":      i == 0,
-			"last":       i == len(items)-1,
-		}))
-		if err := renderAll(st, n.body); err != nil {
-			return err
+	case kindMap:
+		for i, k := range mapKeys {
+			if err := n.iterOnce(st, loop, i, wrapReflect(k), wrapReflect(iter.rv.MapIndex(k))); err != nil {
+				return err
+			}
+		}
+	case kindString:
+		i := 0
+		for off, r := range iter.s {
+			if err := n.iterOnce(st, loop, i, nilValue(), stringValue(iter.s[off:off+utf8.RuneLen(r)])); err != nil {
+				return err
+			}
+			i++
 		}
 	}
 	return nil
 }
 
+// iterOnce binds the loop variables for one iteration and renders the body.
+func (n *forNode) iterOnce(st *state, loop *loopState, i int, key, item value) error {
+	loop.counter0 = i
+	if n.secondVar != "" {
+		st.set(n.loopVar, key)
+		st.set(n.secondVar, item)
+	} else {
+		st.set(n.loopVar, item)
+	}
+	return renderAll(st, n.body)
+}
+
+// mapKeyString is the sort key for map iteration order.
+func mapKeyString(k reflect.Value) string {
+	if k.Kind() == reflect.String {
+		return k.String()
+	}
+	return wrapReflect(k).str()
+}
+
 // iterate expands an iterable value into a slice of element values; for
-// maps it also returns the (sorted) keys so "for k, v in m" is stable.
+// maps it also returns the (sorted) keys so filters over maps are stable.
+// The render loop iterates in place (forNode); this materialized form
+// serves the sequence filters (join, first, last).
 func iterate(v value) (items, keys []value, err error) {
 	switch v.kind {
 	case kindNil:
@@ -176,16 +340,10 @@ func iterate(v value) (items, keys []value, err error) {
 		return items, nil, nil
 	case kindMap:
 		mk := v.rv.MapKeys()
-		strs := make([]string, len(mk))
-		byStr := make(map[string]reflect.Value, len(mk))
-		for i, k := range mk {
-			s := wrapReflect(k).str()
-			strs[i] = s
-			byStr[s] = k
-		}
-		sort.Strings(strs)
-		for _, s := range strs {
-			k := byStr[s]
+		sort.Slice(mk, func(i, j int) bool {
+			return mapKeyString(mk[i]) < mapKeyString(mk[j])
+		})
+		for _, k := range mk {
 			keys = append(keys, wrapReflect(k))
 			items = append(items, wrapReflect(v.rv.MapIndex(k)))
 		}
@@ -204,8 +362,8 @@ func (n *withNode) render(st *state) error {
 	if err != nil {
 		return err
 	}
-	st.push()
-	defer st.pop()
+	mark := st.push()
+	defer st.pop(mark)
 	st.set(n.name, v)
 	return renderAll(st, n.body)
 }
@@ -229,14 +387,14 @@ func renderAll(st *state, nodes []node) error {
 // --- expression evaluation ---
 
 func (e *pathExpr) eval(st *state) (value, error) {
-	v, ok := st.lookup(e.parts[0])
+	v, ok := st.lookup(e.parts[0], e.norm[0])
 	if !ok {
 		// Unknown variables render as empty, matching Django's forgiving
 		// default; config templates rely on this for optional attributes.
 		return nilValue(), nil
 	}
-	for _, part := range e.parts[1:] {
-		v, ok = v.attr(part)
+	for i := 1; i < len(e.parts); i++ {
+		v, ok = v.attrNorm(e.parts[i], e.norm[i])
 		if !ok {
 			return nilValue(), nil
 		}

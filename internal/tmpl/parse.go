@@ -62,10 +62,22 @@ type literalExpr struct {
 
 func (e literalExpr) eval(*state) (value, error) { return e.v, nil }
 
-// pathExpr resolves a dotted variable path against the context.
+// pathExpr resolves a dotted variable path against the context. norm
+// holds the parse-time normalized (lowered, underscore-free) form of each
+// part, so attribute resolution never normalizes at render time.
 type pathExpr struct {
 	parts []string
+	norm  []string
 	line  int
+}
+
+func newPathExpr(dotted string) *pathExpr {
+	parts := strings.Split(dotted, ".")
+	norm := make([]string, len(parts))
+	for i, p := range parts {
+		norm[i] = normalizeName(p)
+	}
+	return &pathExpr{parts: parts, norm: norm}
 }
 
 // filterExpr applies a named filter (with optional argument) to its input.
@@ -511,7 +523,7 @@ func (ep *exprParser) parsePrimary() (expr, error) {
 		case "None", "none", "nil":
 			return literalExpr{v: nilValue()}, nil
 		}
-		return &pathExpr{parts: strings.Split(t.val, ".")}, nil
+		return newPathExpr(t.val), nil
 	case etOp:
 		if t.val == "(" {
 			e, err := ep.parseOr()

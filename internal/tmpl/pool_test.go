@@ -1,0 +1,70 @@
+package tmpl
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestNestedForloopMetadata exercises the depth-indexed loop records:
+// the inner loop's forloop must shadow the outer one, and the outer
+// counters must be intact after the inner loop finishes — including for
+// a second inner loop at the same nesting depth, which reuses the record.
+func TestNestedForloopMetadata(t *testing.T) {
+	src := "{% for a in xs %}" +
+		"[{% for b in ys %}{{ forloop.counter }}{% endfor %}]" +
+		"[{% for b in ys %}{{ forloop.counter }}{% endfor %}]" +
+		"{{ forloop.counter }}/{{ forloop.revcounter }};" +
+		"{% endfor %}"
+	tpl := MustParse("nested", src)
+	got, err := tpl.Render(map[string]any{"xs": []int{10, 20}, "ys": []int{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "[123][123]1/2;[123][123]2/1;"
+	if got != want {
+		t.Errorf("nested forloop render = %q, want %q", got, want)
+	}
+}
+
+// TestConcurrentRender renders the same template from many goroutines.
+// The render-state pool and the struct-field cache are shared mutable
+// state; under -race this proves the pooling is properly isolated per
+// render and the cache handoff is safe.
+func TestConcurrentRender(t *testing.T) {
+	type iface struct {
+		Name string
+		MTU  int
+	}
+	type dev struct {
+		HostName string
+		Ifaces   []iface
+	}
+	tpl := MustParse("conc",
+		"host {{ device.host_name }}\n"+
+			"{% for i in device.ifaces %}iface {{ i.name }} mtu {{ i.mtu }} ({{ forloop.counter }})\n{% endfor %}")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			d := &dev{HostName: fmt.Sprintf("sw%03d", g)}
+			for i := 0; i < 3; i++ {
+				d.Ifaces = append(d.Ifaces, iface{Name: fmt.Sprintf("et%d", i), MTU: 9216})
+			}
+			want := fmt.Sprintf("host sw%03d\niface et0 mtu 9216 (1)\niface et1 mtu 9216 (2)\niface et2 mtu 9216 (3)\n", g)
+			for n := 0; n < 200; n++ {
+				got, err := tpl.Render(map[string]any{"device": d})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got != want {
+					t.Errorf("goroutine %d render %d = %q, want %q", g, n, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -3,7 +3,9 @@ package tmpl
 import (
 	"fmt"
 	"reflect"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // valueKind enumerates the dynamic types template expressions operate on.
@@ -18,7 +20,17 @@ const (
 	kindList // slice or array, wrapped reflect.Value
 	kindMap  // map with string-ish keys, wrapped reflect.Value
 	kindAny  // struct or other opaque Go value
+	kindLoop // forloop metadata, backed by a mutable loopState
 )
+
+// loopState is the mutable record behind the "forloop" variable: one per
+// loop execution, advanced in place each iteration. Attribute reads
+// (counter, first, ...) compute from it directly, replacing the
+// per-iteration map the executor used to allocate.
+type loopState struct {
+	counter0 int
+	total    int
+}
 
 // value is a template-level dynamic value. It wraps Go values so the
 // executor can do truthiness, comparison, attribute lookup, and iteration
@@ -29,7 +41,9 @@ type value struct {
 	i    int64
 	f    float64
 	s    string
-	rv   reflect.Value // valid for kindList, kindMap, kindAny
+	rv   reflect.Value  // valid for kindList, kindMap, kindAny
+	m    map[string]any // fast path for kindMap when the map is map[string]any
+	loop *loopState     // valid for kindLoop
 }
 
 func nilValue() value            { return value{kind: kindNil} }
@@ -38,17 +52,34 @@ func intValue(i int64) value     { return value{kind: kindInt, i: i} }
 func floatValue(f float64) value { return value{kind: kindFloat, f: f} }
 func stringValue(s string) value { return value{kind: kindString, s: s} }
 
-// wrap converts an arbitrary Go value into a template value.
+// wrap converts an arbitrary Go value into a template value. Common
+// context types take a type-switch fast path that avoids reflection.
 func wrap(v any) value {
-	if v == nil {
+	switch x := v.(type) {
+	case nil:
 		return nilValue()
+	case value:
+		return x
+	case string:
+		return stringValue(x)
+	case bool:
+		return boolValue(x)
+	case int:
+		return intValue(int64(x))
+	case int64:
+		return intValue(x)
+	case float64:
+		return floatValue(x)
+	case map[string]any:
+		if x == nil {
+			return nilValue()
+		}
+		return value{kind: kindMap, m: x, rv: reflect.ValueOf(v)}
 	}
-	if tv, ok := v.(value); ok {
-		return tv
-	}
-	rv := reflect.ValueOf(v)
-	return wrapReflect(rv)
+	return wrapReflect(reflect.ValueOf(v))
 }
+
+var mapStrAnyType = reflect.TypeOf(map[string]any(nil))
 
 func wrapReflect(rv reflect.Value) value {
 	for rv.Kind() == reflect.Interface || rv.Kind() == reflect.Pointer {
@@ -71,7 +102,11 @@ func wrapReflect(rv reflect.Value) value {
 	case reflect.Slice, reflect.Array:
 		return value{kind: kindList, rv: rv}
 	case reflect.Map:
-		return value{kind: kindMap, rv: rv}
+		v := value{kind: kindMap, rv: rv}
+		if rv.Type() == mapStrAnyType && rv.CanInterface() {
+			v.m = rv.Interface().(map[string]any)
+		}
+		return v
 	default:
 		return value{kind: kindAny, rv: rv}
 	}
@@ -109,11 +144,13 @@ func (v value) str() string {
 		}
 		return "False"
 	case kindInt:
-		return fmt.Sprintf("%d", v.i)
+		return strconv.FormatInt(v.i, 10)
 	case kindFloat:
-		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v.f), "0"), ".")
+		return strings.TrimRight(strings.TrimRight(strconv.FormatFloat(v.f, 'f', 6, 64), "0"), ".")
 	case kindString:
 		return v.s
+	case kindLoop:
+		return ""
 	default:
 		if v.rv.CanInterface() {
 			if s, ok := v.rv.Interface().(fmt.Stringer); ok {
@@ -123,6 +160,11 @@ func (v value) str() string {
 		}
 		return fmt.Sprintf("%v", v.rv)
 	}
+}
+
+// appendInt formats an integer into dst the way {{ }} output does.
+func appendInt(dst []byte, i int64) []byte {
+	return strconv.AppendInt(dst, i, 10)
 }
 
 // length returns the element count for lists/maps/strings, or -1.
@@ -139,38 +181,122 @@ func (v value) length() int {
 // attr resolves an attribute lookup v.name: map key, struct field (exact,
 // exported-case, or snake_case-insensitive match), or list index.
 func (v value) attr(name string) (value, bool) {
+	return v.attrNorm(name, normalizeName(name))
+}
+
+// attrNorm is attr with the normalized form of name supplied by the
+// caller; the parser normalizes path segments once at parse time so the
+// render path never rebuilds them.
+func (v value) attrNorm(name, norm string) (value, bool) {
 	switch v.kind {
 	case kindMap:
-		if v.rv.Type().Key().Kind() != reflect.String {
+		if v.m != nil {
+			mv, ok := v.m[name]
+			if !ok {
+				return nilValue(), false
+			}
+			return wrap(mv), true
+		}
+		kt := v.rv.Type().Key()
+		if kt.Kind() != reflect.String {
 			return nilValue(), false
 		}
-		mv := v.rv.MapIndex(reflect.ValueOf(name).Convert(v.rv.Type().Key()))
+		kv := reflect.ValueOf(name)
+		if kt != kv.Type() {
+			kv = kv.Convert(kt)
+		}
+		mv := v.rv.MapIndex(kv)
 		if !mv.IsValid() {
 			return nilValue(), false
 		}
 		return wrapReflect(mv), true
 	case kindAny:
 		if v.rv.Kind() == reflect.Struct {
-			t := v.rv.Type()
-			for i := 0; i < t.NumField(); i++ {
-				f := t.Field(i)
-				if !f.IsExported() {
-					continue
-				}
-				if f.Name == name || fieldNameMatches(f.Name, name) {
-					return wrapReflect(v.rv.Field(i)), true
-				}
+			if i, ok := structFieldIndex(v.rv.Type(), name, norm); ok {
+				return wrapReflect(v.rv.Field(i)), true
 			}
 		}
 		return nilValue(), false
 	case kindList:
-		var idx int
-		if _, err := fmt.Sscanf(name, "%d", &idx); err == nil && idx >= 0 && idx < v.rv.Len() {
+		idx, ok := parseIndex(name)
+		if ok && idx < v.rv.Len() {
 			return wrapReflect(v.rv.Index(idx)), true
+		}
+		return nilValue(), false
+	case kindLoop:
+		l := v.loop
+		switch name {
+		case "counter":
+			return intValue(int64(l.counter0 + 1)), true
+		case "counter0":
+			return intValue(int64(l.counter0)), true
+		case "revcounter":
+			return intValue(int64(l.total - l.counter0)), true
+		case "first":
+			return boolValue(l.counter0 == 0), true
+		case "last":
+			return boolValue(l.counter0 == l.total-1), true
 		}
 		return nilValue(), false
 	}
 	return nilValue(), false
+}
+
+// parseIndex parses a non-negative decimal list index without allocating.
+func parseIndex(s string) (int, bool) {
+	if s == "" {
+		return 0, false
+	}
+	n := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+// fieldCache maps a struct type to its attribute-lookup table: exact
+// exported field names plus their normalized (lowered, underscore-free)
+// forms, each pointing at the field index. Built once per type, read
+// lock-free afterwards — template renders resolve struct attributes with
+// at most two map probes instead of a reflective scan over every field.
+var fieldCache sync.Map // reflect.Type -> map[string]int
+
+func structFieldIndex(t reflect.Type, name, norm string) (int, bool) {
+	cached, ok := fieldCache.Load(t)
+	if !ok {
+		m := make(map[string]int)
+		// Exact names first: an exact match must win over another field's
+		// normalized alias.
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if f.IsExported() {
+				m[f.Name] = i
+			}
+		}
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			n := normalizeName(f.Name)
+			if _, dup := m[n]; !dup {
+				m[n] = i
+			}
+		}
+		cached, _ = fieldCache.LoadOrStore(t, m)
+	}
+	m := cached.(map[string]int)
+	if i, ok := m[name]; ok {
+		return i, true
+	}
+	if i, ok := m[norm]; ok {
+		return i, true
+	}
+	return 0, false
 }
 
 // fieldNameMatches reports whether a Go field name (e.g. V4Prefix) matches
@@ -180,8 +306,22 @@ func fieldNameMatches(goName, attr string) bool {
 	return normalizeName(goName) == normalizeName(attr)
 }
 
+// normalizeName lowers s and strips underscores. Already-normalized
+// strings (the common case for template attribute names) are returned
+// as-is without allocating.
 func normalizeName(s string) string {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '_' || (c >= 'A' && c <= 'Z') {
+			return normalizeNameSlow(s)
+		}
+	}
+	return s
+}
+
+func normalizeNameSlow(s string) string {
 	var b strings.Builder
+	b.Grow(len(s))
 	for i := 0; i < len(s); i++ {
 		c := s[i]
 		if c == '_' {
@@ -253,6 +393,8 @@ func (v value) kindName() string {
 		return "list"
 	case kindMap:
 		return "map"
+	case kindLoop:
+		return "forloop"
 	}
 	return "value"
 }
@@ -272,6 +414,10 @@ func contains(needle, hay value) (bool, error) {
 		}
 		return false, nil
 	case kindMap:
+		if hay.m != nil {
+			_, ok := hay.m[needle.str()]
+			return ok, nil
+		}
 		if hay.rv.Type().Key().Kind() == reflect.String {
 			mv := hay.rv.MapIndex(reflect.ValueOf(needle.str()).Convert(hay.rv.Type().Key()))
 			return mv.IsValid(), nil
