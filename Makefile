@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race verify-gate chaos bench bench-generate bench-reconcile bench-telemetry bench-scale
+.PHONY: tier1 build vet test race verify-gate chaos sim bench bench-generate bench-reconcile bench-telemetry bench-scale
 
 # Tier-1 gate: what CI and reviewers run before merging.
-tier1: verify-gate
+tier1: verify-gate sim
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
@@ -31,8 +31,19 @@ race:
 # Chaos suite: the fleet-scale fault-injection soak (64 devices, 4 fault
 # kinds on a fixed seed, convergence-or-quarantine acceptance) plus the
 # /metrics scrape check, under the race detector. See DESIGN.md §11.
+# The same acceptance criteria also exist declaratively as
+# examples/scenarios/ambiguous-commit-chaos.yaml (run by `make sim`).
 chaos:
 	$(GO) test -race -v -timeout 10m ./internal/chaos/
+
+# Scenario harness: static-validate and execute every example scenario
+# under the race detector (the engine tests double-run each for
+# byte-identical journals), then the same through the CLI entry point.
+# See DESIGN.md §14 and README "Writing scenarios".
+sim:
+	$(GO) test -race -timeout 10m ./internal/scenario/
+	$(GO) run -race ./cmd/robotron sim validate examples/scenarios/*.yaml
+	$(GO) run -race ./cmd/robotron sim run examples/scenarios/*.yaml
 
 # Paper-evaluation and system benchmarks (Figures 12-16, Tables 2-3,
 # materialization, provisioning, parallel deployment), plus the

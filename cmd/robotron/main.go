@@ -11,6 +11,14 @@
 //	robotron -scenario distributed # every stage boundary over a real socket
 //	robotron -scenario firewall    # phased ACL rollout across a cluster
 //	robotron -reconcile            # closed-loop drift reconciliation demo
+//
+// The sim noun group drives the declarative scenario harness
+// (internal/scenario): timed events and assertions from a YAML file,
+// executed on a deterministic virtual clock.
+//
+//	robotron sim run [-realtime] [-v] [-journal] <file>...
+//	robotron sim validate <file>...
+//	robotron sim list [dir]
 package main
 
 import (
@@ -29,6 +37,11 @@ import (
 )
 
 func main() {
+	// Noun groups dispatch before flag parsing: `robotron sim ...` is
+	// the declarative scenario harness.
+	if len(os.Args) > 1 && os.Args[1] == "sim" {
+		os.Exit(runSim(os.Args[2:]))
+	}
 	scenario := flag.String("scenario", "lifecycle", "scenario: lifecycle, backbone, drift, outage, distributed, firewall, reconcile")
 	reconcileMode := flag.Bool("reconcile", false, "shorthand for -scenario reconcile")
 	employee := flag.String("employee", "e-cli", "employee id recorded on design changes")

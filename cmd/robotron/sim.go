@@ -1,0 +1,122 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/robotron-net/robotron/internal/scenario"
+)
+
+// The `robotron sim` noun group drives the declarative scenario
+// harness:
+//
+//	robotron sim run <file>...       execute scenarios
+//	robotron sim validate <file>...  static checking only
+//	robotron sim list [dir]          enumerate scenarios in a directory
+//
+// Exit codes: 0 all scenarios passed, 1 a scenario failed (an assertion
+// did not hold or an action errored), 2 a scenario file is invalid
+// (parse or validation error) or usage is wrong.
+func runSim(args []string) int {
+	fs := flag.NewFlagSet("sim", flag.ExitOnError)
+	realtime := fs.Bool("realtime", false, "run on the wall clock instead of the deterministic virtual clock")
+	verbose := fs.Bool("v", false, "verbose progress output")
+	journal := fs.Bool("journal", false, "print each run's deterministic journal")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: robotron sim <run|validate|list> [flags] [args]\n")
+		fs.PrintDefaults()
+	}
+	if len(args) == 0 {
+		fs.Usage()
+		return 2
+	}
+	cmd := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return 2
+	}
+	files := fs.Args()
+	switch cmd {
+	case "run":
+		if len(files) == 0 {
+			fmt.Fprintln(os.Stderr, "sim run: no scenario files given")
+			return 2
+		}
+		return simRun(files, *realtime, *verbose, *journal)
+	case "validate":
+		if len(files) == 0 {
+			fmt.Fprintln(os.Stderr, "sim validate: no scenario files given")
+			return 2
+		}
+		return simValidate(files)
+	case "list":
+		dir := "examples/scenarios"
+		if len(files) > 0 {
+			dir = files[0]
+		}
+		return simList(dir)
+	default:
+		fmt.Fprintf(os.Stderr, "sim: unknown subcommand %q (want run, validate, or list)\n", cmd)
+		return 2
+	}
+}
+
+func simRun(files []string, realtime, verbose, journal bool) int {
+	var logf func(string, ...any)
+	if verbose {
+		logf = func(format string, args ...any) {
+			fmt.Printf("  | "+format+"\n", args...)
+		}
+	}
+	for _, path := range files {
+		f, err := scenario.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "INVALID %s\n  %v\n", path, err)
+			return 2
+		}
+		res, err := scenario.Run(f, scenario.Options{Realtime: realtime, Logf: logf})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL    %s\n  %v\n", path, err)
+			if journal && res != nil {
+				fmt.Print(res.Journal)
+			}
+			return 1
+		}
+		fmt.Printf("ok      %s (%s, %d events)\n", path, res.Scenario, res.Events)
+		if journal {
+			fmt.Print(res.Journal)
+		}
+	}
+	return 0
+}
+
+func simValidate(files []string) int {
+	for _, path := range files {
+		if _, err := scenario.Load(path); err != nil {
+			fmt.Fprintf(os.Stderr, "INVALID %s\n  %v\n", path, err)
+			return 2
+		}
+		fmt.Printf("valid   %s\n", path)
+	}
+	return 0
+}
+
+func simList(dir string) int {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.yaml"))
+	if err != nil || len(matches) == 0 {
+		fmt.Fprintf(os.Stderr, "sim list: no scenarios under %s\n", dir)
+		return 2
+	}
+	sort.Strings(matches)
+	for _, path := range matches {
+		f, err := scenario.Load(path)
+		if err != nil {
+			fmt.Printf("%-40s INVALID: %v\n", filepath.Base(path), err)
+			continue
+		}
+		fmt.Printf("%-40s %s\n", filepath.Base(path), f.Description)
+	}
+	return 0
+}

@@ -222,6 +222,17 @@ func (d *Device) RunningConfig() (string, error) {
 	return d.runFaultStr("show running-config", d.runningConfigOp)
 }
 
+// PeekRunningConfig returns the active configuration without opening a
+// management session: no verb is counted, no fault fires, and a down
+// device still answers. It is the read-side counterpart of
+// InjectRunningConfig — harness and test observation that must not
+// perturb the system under test.
+func (d *Device) PeekRunningConfig() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.running
+}
+
 func (d *Device) runningConfigOp() (string, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()

@@ -25,6 +25,7 @@ package reconcile
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -507,7 +508,16 @@ func (r *Reconciler) ResetBreaker() {
 	}
 	r.tripped = false
 	r.eventLocked("", EvBreakerReset, "operator re-armed the loop")
-	for _, ds := range r.devices {
+	// Sorted order: the re-arm schedules one timer per open device, and
+	// timer order is remediation order — map iteration here would make
+	// the drain order (and the journal) differ run to run.
+	names := make([]string, 0, len(r.devices))
+	for name := range r.devices {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ds := r.devices[name]
 		if (ds.state == StateDetected || ds.state == StateBackoff) && !ds.timerArmed {
 			r.scheduleLocked(ds, r.cfg.backoff(ds.attempt))
 		}
@@ -564,6 +574,7 @@ func (r *Reconciler) Devices() []DeviceStatus {
 			Detail:     ds.lastDetail,
 		})
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
 	return out
 }
 

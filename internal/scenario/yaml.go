@@ -1,0 +1,415 @@
+package scenario
+
+// A dependency-free parser for the YAML subset scenario files use,
+// keeping the repo's zero-dependency stance. Supported:
+//
+//   - block mappings:        key: value   /   key:\n  <indented block>
+//   - block sequences:       - item   /   - key: value\n  <more keys>
+//   - flow sequences:        [a, b, c]    (scalar elements only)
+//   - scalars:               bare words, "double quoted", 'single quoted'
+//   - comments:              # to end of line (outside quotes)
+//   - blank lines anywhere
+//
+// Not supported (rejected with a position): tabs for indentation,
+// anchors/aliases, multi-document streams, flow mappings, block
+// scalars (| and >), and keys containing ':'. Every node carries its
+// 1-based source line for error reporting; type interpretation
+// (numbers, booleans, durations) happens at decode time in scenario.go.
+
+import (
+	"fmt"
+	"strings"
+)
+
+type nodeKind int
+
+const (
+	scalarNode nodeKind = iota
+	mapNode
+	listNode
+)
+
+func (k nodeKind) String() string {
+	switch k {
+	case scalarNode:
+		return "scalar"
+	case mapNode:
+		return "mapping"
+	default:
+		return "sequence"
+	}
+}
+
+// node is one parsed YAML value.
+type node struct {
+	kind nodeKind
+	line int
+
+	scalar string // scalarNode
+	quoted bool   // scalar came from a quoted literal
+
+	keys     []string         // mapNode: insertion order
+	children map[string]*node // mapNode
+
+	items []*node // listNode
+}
+
+// parseError is a position-carrying syntax error.
+type parseError struct {
+	path string
+	line int
+	msg  string
+}
+
+func (e *parseError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.path, e.line, e.msg)
+}
+
+// srcLine is one significant input line.
+type srcLine struct {
+	num    int
+	indent int
+	text   string // content with indentation stripped
+}
+
+type parser struct {
+	path  string
+	lines []srcLine
+	pos   int
+}
+
+// parseYAML parses a whole document into its root mapping.
+func parseYAML(path, src string) (*node, error) {
+	p := &parser{path: path}
+	for i, raw := range strings.Split(src, "\n") {
+		num := i + 1
+		text := stripComment(raw)
+		trimmed := strings.TrimLeft(text, " ")
+		if strings.TrimSpace(trimmed) == "" {
+			continue
+		}
+		indent := len(text) - len(trimmed)
+		if strings.HasPrefix(raw, strings.Repeat(" ", indent)+"\t") || strings.Contains(text[:indent+min(1, len(trimmed))], "\t") {
+			return nil, &parseError{p.path, num, "tab indentation is not supported; use spaces"}
+		}
+		if strings.HasPrefix(trimmed, "\t") {
+			return nil, &parseError{p.path, num, "tab indentation is not supported; use spaces"}
+		}
+		p.lines = append(p.lines, srcLine{num: num, indent: indent, text: strings.TrimRight(trimmed, " ")})
+	}
+	if len(p.lines) == 0 {
+		return nil, &parseError{p.path, 1, "empty scenario file"}
+	}
+	if p.lines[0].indent != 0 {
+		return nil, &parseError{p.path, p.lines[0].num, "top level must not be indented"}
+	}
+	root, err := p.parseBlock(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, &parseError{p.path, l.num, fmt.Sprintf("unexpected indentation (got %d spaces)", l.indent)}
+	}
+	if root.kind != mapNode {
+		return nil, &parseError{p.path, root.line, "top level must be a mapping"}
+	}
+	return root, nil
+}
+
+// stripComment removes a trailing comment, honoring quotes.
+func stripComment(s string) string {
+	inS, inD := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case '#':
+			if !inS && !inD && (i == 0 || s[i-1] == ' ') {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// parseBlock parses the run of lines at exactly `indent`, returning a
+// mapping or a sequence depending on the first line.
+func (p *parser) parseBlock(indent int) (*node, error) {
+	first := p.lines[p.pos]
+	if strings.HasPrefix(first.text, "- ") || first.text == "-" {
+		return p.parseSequence(indent)
+	}
+	return p.parseMapping(indent)
+}
+
+func (p *parser) parseMapping(indent int) (*node, error) {
+	out := &node{kind: mapNode, line: p.lines[p.pos].num, children: map[string]*node{}}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, &parseError{p.path, l.num, fmt.Sprintf("unexpected indentation (got %d spaces, expected %d)", l.indent, indent)}
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return nil, &parseError{p.path, l.num, "sequence item in a mapping block"}
+		}
+		key, rest, err := p.splitKey(l)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out.children[key]; dup {
+			return nil, &parseError{p.path, l.num, fmt.Sprintf("duplicate key %q", key)}
+		}
+		p.pos++
+		var child *node
+		if rest != "" {
+			child, err = p.parseInline(rest, l.num)
+			if err != nil {
+				return nil, err
+			}
+		} else if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			child, err = p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			child = &node{kind: scalarNode, line: l.num, scalar: ""}
+		}
+		out.keys = append(out.keys, key)
+		out.children[key] = child
+	}
+	return out, nil
+}
+
+func (p *parser) parseSequence(indent int) (*node, error) {
+	out := &node{kind: listNode, line: p.lines[p.pos].num}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent || (!strings.HasPrefix(l.text, "- ") && l.text != "-") {
+			if l.indent > indent {
+				return nil, &parseError{p.path, l.num, fmt.Sprintf("unexpected indentation (got %d spaces, expected %d)", l.indent, indent)}
+			}
+			break
+		}
+		rest := strings.TrimPrefix(strings.TrimPrefix(l.text, "-"), " ")
+		itemIndent := l.indent + 2
+		if rest == "" {
+			// "-" alone: the item is the following deeper block.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, &parseError{p.path, l.num, "empty sequence item"}
+			}
+			item, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			out.items = append(out.items, item)
+			continue
+		}
+		if k, v, isKV := splitInlineKey(rest); isKV {
+			// "- key: value" opens a mapping whose remaining keys sit at
+			// the item's content indent (dash indent + 2).
+			item := &node{kind: mapNode, line: l.num, children: map[string]*node{}}
+			p.pos++
+			var first *node
+			var err error
+			if v != "" {
+				first, err = p.parseInline(v, l.num)
+			} else if p.pos < len(p.lines) && p.lines[p.pos].indent > itemIndent {
+				first, err = p.parseBlock(p.lines[p.pos].indent)
+			} else {
+				first = &node{kind: scalarNode, line: l.num, scalar: ""}
+			}
+			if err != nil {
+				return nil, err
+			}
+			item.keys = append(item.keys, k)
+			item.children[k] = first
+			if p.pos < len(p.lines) && p.lines[p.pos].indent == itemIndent &&
+				!strings.HasPrefix(p.lines[p.pos].text, "- ") && p.lines[p.pos].text != "-" {
+				rest, err := p.parseMapping(itemIndent)
+				if err != nil {
+					return nil, err
+				}
+				for _, rk := range rest.keys {
+					if _, dup := item.children[rk]; dup {
+						return nil, &parseError{p.path, rest.children[rk].line, fmt.Sprintf("duplicate key %q", rk)}
+					}
+					item.keys = append(item.keys, rk)
+					item.children[rk] = rest.children[rk]
+				}
+			}
+			out.items = append(out.items, item)
+			continue
+		}
+		// Plain scalar (or flow list) item.
+		p.pos++
+		item, err := p.parseInline(rest, l.num)
+		if err != nil {
+			return nil, err
+		}
+		out.items = append(out.items, item)
+	}
+	return out, nil
+}
+
+// parseInline parses a value that fits on one line: a scalar or a flow
+// sequence.
+func (p *parser) parseInline(s string, line int) (*node, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, &parseError{p.path, line, "flow sequence missing closing ]"}
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		out := &node{kind: listNode, line: line}
+		if inner == "" {
+			return out, nil
+		}
+		for _, part := range splitFlow(inner) {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				return nil, &parseError{p.path, line, "empty element in flow sequence"}
+			}
+			sc, quoted, err := unquote(part)
+			if err != nil {
+				return nil, &parseError{p.path, line, err.Error()}
+			}
+			out.items = append(out.items, &node{kind: scalarNode, line: line, scalar: sc, quoted: quoted})
+		}
+		return out, nil
+	}
+	if strings.HasPrefix(s, "{") {
+		return nil, &parseError{p.path, line, "flow mappings are not supported"}
+	}
+	if strings.HasPrefix(s, "|") || strings.HasPrefix(s, ">") {
+		return nil, &parseError{p.path, line, "block scalars (| and >) are not supported"}
+	}
+	if strings.HasPrefix(s, "&") || strings.HasPrefix(s, "*") {
+		return nil, &parseError{p.path, line, "anchors and aliases are not supported"}
+	}
+	sc, quoted, err := unquote(s)
+	if err != nil {
+		return nil, &parseError{p.path, line, err.Error()}
+	}
+	return &node{kind: scalarNode, line: line, scalar: sc, quoted: quoted}, nil
+}
+
+// splitKey splits "key: rest" on a mapping line.
+func (p *parser) splitKey(l srcLine) (key, rest string, err error) {
+	k, v, ok := splitInlineKey(l.text)
+	if !ok {
+		return "", "", &parseError{p.path, l.num, fmt.Sprintf("expected \"key: value\", got %q", l.text)}
+	}
+	return k, v, nil
+}
+
+// splitInlineKey splits "key: value" / "key:" into (key, value, true),
+// requiring a simple unquoted key.
+func splitInlineKey(s string) (key, value string, ok bool) {
+	i := strings.Index(s, ":")
+	if i <= 0 {
+		return "", "", false
+	}
+	key = s[:i]
+	if strings.ContainsAny(key, "\"'[]{} ") {
+		return "", "", false
+	}
+	rest := s[i+1:]
+	if rest == "" {
+		return key, "", true
+	}
+	if !strings.HasPrefix(rest, " ") {
+		return "", "", false // "a:b" is a scalar, not a key
+	}
+	return key, strings.TrimSpace(rest), true
+}
+
+// splitFlow splits a flow-sequence body on commas outside quotes.
+func splitFlow(s string) []string {
+	var parts []string
+	depth := 0
+	inS, inD := false, false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case '[':
+			if !inS && !inD {
+				depth++
+			}
+		case ']':
+			if !inS && !inD {
+				depth--
+			}
+		case ',':
+			if !inS && !inD && depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
+
+// unquote interprets a scalar literal.
+func unquote(s string) (val string, quoted bool, err error) {
+	if len(s) >= 2 && s[0] == '"' {
+		if s[len(s)-1] != '"' {
+			return "", false, fmt.Errorf("unterminated double-quoted string %s", s)
+		}
+		var b strings.Builder
+		body := s[1 : len(s)-1]
+		for i := 0; i < len(body); i++ {
+			c := body[i]
+			if c == '\\' && i+1 < len(body) {
+				i++
+				switch body[i] {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '"':
+					b.WriteByte('"')
+				case '\\':
+					b.WriteByte('\\')
+				default:
+					return "", false, fmt.Errorf("unsupported escape \\%c", body[i])
+				}
+				continue
+			}
+			if c == '"' {
+				return "", false, fmt.Errorf("unescaped quote inside %s", s)
+			}
+			b.WriteByte(c)
+		}
+		return b.String(), true, nil
+	}
+	if len(s) >= 2 && s[0] == '\'' {
+		if s[len(s)-1] != '\'' {
+			return "", false, fmt.Errorf("unterminated single-quoted string %s", s)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), true, nil
+	}
+	if len(s) > 0 && (s[0] == '"' || s[0] == '\'') {
+		return "", false, fmt.Errorf("unterminated quoted string %s", s)
+	}
+	return s, false, nil
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+import "sort"
+
+// Programmatic metric access: in-process consumers (the scenario
+// engine's assertions, tests, operator tooling) read metric values
+// directly instead of scraping and re-parsing the Prometheus text
+// endpoint. The text exporter in prom.go remains the wire format; this
+// file is the API.
+
+// MetricValue is one sample from a registry snapshot.
+type MetricValue struct {
+	// Name is the raw (unsanitized) metric family name.
+	Name string
+	// Labels are the instance's labels in registration order.
+	Labels Labels
+	// Kind is "counter", "gauge", or "histogram".
+	Kind string
+	// Value is the counter or gauge value. For histograms it is the
+	// observation count (the _count series), the value thresholds are
+	// asserted against.
+	Value float64
+	// Sum is the histogram sample sum; zero for counters and gauges.
+	Sum float64
+}
+
+// Key renders the sample's identity as name{labels}.
+func (m MetricValue) Key() string { return m.Name + m.Labels.String() }
+
+// Snapshot returns every registered metric's current value, sorted by
+// name then labels, so two snapshots of identical registries compare
+// equal. Callback gauges are evaluated at snapshot time. Nil-safe.
+func (r *Registry) Snapshot() []MetricValue {
+	if r == nil {
+		return nil
+	}
+	metrics := r.snapshot()
+	out := make([]MetricValue, 0, len(metrics))
+	for _, m := range metrics {
+		out = append(out, metricValueOf(m))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Value looks up one metric instance by exact name and label set
+// (labels must match in order, the same rule the registry itself keys
+// by). The second return is false when no such instance is registered.
+// Histograms report their observation count. Nil-safe.
+func (r *Registry) Value(name string, labels ...Label) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	m, ok := r.metrics[r.key(name, Labels(labels))]
+	r.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	return metricValueOf(m).Value, true
+}
+
+func metricValueOf(m *metric) MetricValue {
+	out := MetricValue{Name: m.name, Labels: m.labels}
+	switch m.kind {
+	case kindCounter:
+		out.Kind = "counter"
+		out.Value = float64(m.counter.Value())
+	case kindGauge:
+		out.Kind = "gauge"
+		out.Value = m.gauge.Value()
+	case kindGaugeFunc:
+		out.Kind = "gauge"
+		out.Value = m.gfn()
+	case kindHistogram:
+		out.Kind = "histogram"
+		s := m.hist.Snapshot()
+		out.Value = float64(s.Count)
+		out.Sum = s.Sum
+	}
+	return out
+}

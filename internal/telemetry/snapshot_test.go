@@ -1,0 +1,66 @@
+package telemetry
+
+import "testing"
+
+func TestSnapshotAndValue(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total").Add(3)
+	reg.Counter("c_total", L("kind", "b")...).Add(5)
+	reg.Gauge("g").Set(2.5)
+	reg.GaugeFunc("gf", func() float64 { return 7 })
+	h := reg.Histogram("h_seconds")
+	h.Observe(0.1)
+	h.Observe(0.2)
+
+	if v, ok := reg.Value("c_total"); !ok || v != 3 {
+		t.Errorf("Value(c_total) = %v,%v want 3,true", v, ok)
+	}
+	if v, ok := reg.Value("c_total", L("kind", "b")...); !ok || v != 5 {
+		t.Errorf("Value(c_total{kind=b}) = %v,%v want 5,true", v, ok)
+	}
+	if v, ok := reg.Value("g"); !ok || v != 2.5 {
+		t.Errorf("Value(g) = %v,%v want 2.5,true", v, ok)
+	}
+	if v, ok := reg.Value("gf"); !ok || v != 7 {
+		t.Errorf("Value(gf) = %v,%v want 7,true", v, ok)
+	}
+	if v, ok := reg.Value("h_seconds"); !ok || v != 2 {
+		t.Errorf("Value(h_seconds) = %v,%v want observation count 2,true", v, ok)
+	}
+	if _, ok := reg.Value("nope"); ok {
+		t.Error("Value on an unregistered metric reported ok")
+	}
+	if _, ok := reg.Value("c_total", L("kind", "z")...); ok {
+		t.Error("Value with mismatched labels reported ok")
+	}
+
+	snap := reg.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("snapshot has %d samples, want 5", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Key() >= snap[i].Key() {
+			t.Fatalf("snapshot not sorted: %q >= %q", snap[i-1].Key(), snap[i].Key())
+		}
+	}
+	byKey := map[string]MetricValue{}
+	for _, m := range snap {
+		byKey[m.Key()] = m
+	}
+	if m := byKey[`c_total{kind="b"}`]; m.Kind != "counter" || m.Value != 5 {
+		t.Errorf("labeled counter sample = %+v", m)
+	}
+	if m := byKey["h_seconds"]; m.Kind != "histogram" || m.Value != 2 || m.Sum < 0.29 || m.Sum > 0.31 {
+		t.Errorf("histogram sample = %+v", m)
+	}
+}
+
+func TestSnapshotNilRegistry(t *testing.T) {
+	var reg *Registry
+	if got := reg.Snapshot(); got != nil {
+		t.Errorf("nil registry snapshot = %v, want nil", got)
+	}
+	if _, ok := reg.Value("x"); ok {
+		t.Error("nil registry Value reported ok")
+	}
+}
