@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race verify-gate chaos sim bench bench-generate bench-reconcile bench-telemetry bench-scale
+.PHONY: tier1 build vet test race verify-gate chaos sim obs bench bench-generate bench-reconcile bench-telemetry bench-scale
 
 # Tier-1 gate: what CI and reviewers run before merging.
-tier1: verify-gate sim
+tier1: verify-gate sim obs
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
@@ -45,6 +45,19 @@ sim:
 	$(GO) run -race ./cmd/robotron sim validate examples/scenarios/*.yaml
 	$(GO) run -race ./cmd/robotron sim run examples/scenarios/*.yaml
 
+# Intent-derived observability: the alarm engine, job/rule derivation,
+# and correlation tests under the race detector, the HTTP/CLI parity
+# contract in core, then the end-to-end drill — drift cuts psw1's
+# addresses, the derived bgp-session-down alarm fires correlated with the
+# causing config-changed event, and resolves after reconciliation. See
+# DESIGN.md §15 and README "Operational timeline".
+obs:
+	$(GO) test -race -timeout 5m \
+		-run 'Alarm|Derive|ReplaceJobs|Timeseries|Timeline|Correlation|Classifier' \
+		./internal/monitor/
+	$(GO) test -race -timeout 5m -run 'TestObs|TestAlarms' ./internal/core/
+	$(GO) run -race ./cmd/robotron sim run examples/scenarios/bgp-down-alarm-correlated.yaml
+
 # Paper-evaluation and system benchmarks (Figures 12-16, Tables 2-3,
 # materialization, provisioning, parallel deployment), plus the
 # generation-pipeline benchmarks captured to BENCH_generate.json.
@@ -78,6 +91,9 @@ bench-telemetry:
 	$(GO) test -json -run '^$$' -benchmem \
 		-bench 'BenchmarkTelemetryOverhead' \
 		./internal/configgen/ >> BENCH_telemetry.json
+	$(GO) test -json -run '^$$' -benchmem \
+		-bench 'BenchmarkAlarmEvaluate' \
+		./internal/monitor/ >> BENCH_telemetry.json
 	@grep -h '"Output".*ns/op' BENCH_telemetry.json | sed 's/.*"Output":"//;s/\\n"}//;s/\\t/\t/g'
 
 # Hot-path scale benchmarks (DESIGN.md §13): incremental fleet recompute,

@@ -42,6 +42,11 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "sim" {
 		os.Exit(runSim(os.Args[2:]))
 	}
+	// `robotron obs ...` is the observability surface: alarms, the
+	// operational timeline, series, and derived jobs of a finished run.
+	if len(os.Args) > 1 && os.Args[1] == "obs" {
+		os.Exit(runObs(os.Args[2:]))
+	}
 	scenario := flag.String("scenario", "lifecycle", "scenario: lifecycle, backbone, drift, outage, distributed, firewall, reconcile")
 	reconcileMode := flag.Bool("reconcile", false, "shorthand for -scenario reconcile")
 	employee := flag.String("employee", "e-cli", "employee id recorded on design changes")

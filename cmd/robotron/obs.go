@@ -1,0 +1,133 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/robotron-net/robotron/internal/core"
+	"github.com/robotron-net/robotron/internal/monitor"
+	"github.com/robotron-net/robotron/internal/scenario"
+)
+
+// defaultObsScenario is the drill `robotron obs` replays when no file is
+// given: a drift-induced BGP session drop that fires the derived alarm,
+// correlates it with the causing event, and resolves after reconciliation.
+const defaultObsScenario = "examples/scenarios/bgp-down-alarm-correlated.yaml"
+
+// The `robotron obs` noun group is the observability surface: it replays
+// a scenario on the virtual clock and prints the requested view of the
+// finished world.
+//
+//	robotron obs alarms [file]     alarm lifecycle snapshot + correlations
+//	robotron obs timeline [file]   merged operational timeline
+//	robotron obs series [file]     collected timeseries keys and last samples
+//	robotron obs jobs [file]       derived collection jobs and alarm rules
+//
+// Exit codes mirror `robotron sim`: 0 ok, 1 the scenario failed, 2 the
+// file is invalid or usage is wrong.
+func runObs(args []string) int {
+	fs := flag.NewFlagSet("obs", flag.ExitOnError)
+	verbose := fs.Bool("v", false, "verbose progress output")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: robotron obs <alarms|timeline|series|jobs> [flags] [scenario-file]\n")
+		fs.PrintDefaults()
+	}
+	if len(args) == 0 {
+		fs.Usage()
+		return 2
+	}
+	view := args[0]
+	switch view {
+	case "alarms", "timeline", "series", "jobs":
+	default:
+		fmt.Fprintf(os.Stderr, "obs: unknown view %q (want alarms, timeline, series, or jobs)\n", view)
+		return 2
+	}
+	if err := fs.Parse(args[1:]); err != nil {
+		return 2
+	}
+	path := defaultObsScenario
+	if rest := fs.Args(); len(rest) > 0 {
+		path = rest[0]
+	}
+	f, err := scenario.Load(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "INVALID %s\n  %v\n", path, err)
+		return 2
+	}
+	var logf func(string, ...any)
+	if *verbose {
+		logf = func(format string, args ...any) {
+			fmt.Printf("  | "+format+"\n", args...)
+		}
+	}
+	printed := false
+	_, err = scenario.Run(f, scenario.Options{
+		Logf: logf,
+		OnFinish: func(r *core.Robotron) {
+			printed = true
+			obsPrint(view, r)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL    %s\n  %v\n", path, err)
+		return 1
+	}
+	if !printed {
+		fmt.Fprintln(os.Stderr, "obs: scenario finished but produced no world to inspect")
+		return 1
+	}
+	return 0
+}
+
+func obsPrint(view string, r *core.Robotron) {
+	switch view {
+	case "alarms":
+		if r.Alarms == nil {
+			fmt.Println("alarm engine disabled")
+			return
+		}
+		fmt.Print(monitor.FormatAlarms(r.Alarms.Snapshot()))
+	case "timeline":
+		if r.Alarms == nil {
+			fmt.Println("alarm engine disabled")
+			return
+		}
+		for _, e := range r.Alarms.Timeline(time.Time{}, time.Time{}) {
+			fmt.Println(e.String())
+		}
+	case "series":
+		keys := r.Timeseries.Keys()
+		fmt.Printf("%d series collected\n", len(keys))
+		for _, k := range keys {
+			last := r.Timeseries.Last(k, 1)
+			if len(last) == 0 {
+				continue
+			}
+			fmt.Printf("%-48s n=%-5d last=%g\n", k, len(r.Timeseries.Series(k)), last[0].Value)
+		}
+	case "jobs":
+		jobs := r.JobManager.Jobs()
+		sort.Slice(jobs, func(i, j int) bool { return jobs[i].Name < jobs[j].Name })
+		fmt.Printf("%d collection jobs\n", len(jobs))
+		for _, j := range jobs {
+			target := "fleet"
+			if !j.AllDevices {
+				target = strings.Join(j.Devices, ",")
+			}
+			fmt.Printf("%-36s %-8s %-12s every %-6s -> %s\n",
+				j.Name, j.Engine, j.Data, j.Period, target)
+		}
+		if r.Alarms != nil {
+			rules := r.Alarms.Rules()
+			fmt.Printf("%d alarm rules\n", len(rules))
+			for _, rl := range rules {
+				fmt.Printf("%-24s %-10s %-16s %s\n", rl.Name, rl.Kind, rl.Device, rl.Key)
+			}
+		}
+	}
+}

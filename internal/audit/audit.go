@@ -107,6 +107,24 @@ func RecordGateBypass(store *fbnet.Store, devices int, atUnix int64) error {
 	return err
 }
 
+// RecordDeploy persists one deployment (or initial provisioning) as an
+// OperationalEvent, so the operational timeline can show "config moved"
+// between the verify verdict and whatever alarmed afterwards. kind is
+// "deploy" or "provision".
+func RecordDeploy(store *fbnet.Store, kind string, devices int, detail string, atUnix int64) error {
+	_, err := store.Mutate(func(m *fbnet.Mutation) error {
+		_, err := m.Create("OperationalEvent", map[string]any{
+			"device_name": "deployer",
+			"kind":        kind,
+			"detail":      fmt.Sprintf("%s of %d device(s): %s", kind, devices, detail),
+			"urgency":     "NOTICE",
+			"at_unix":     atUnix,
+		})
+		return err
+	})
+	return err
+}
+
 // Run executes all audits over the store.
 func Run(store *fbnet.Store) (Report, error) {
 	var rep Report

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/robotron-net/robotron/internal/design"
+	"github.com/robotron-net/robotron/internal/monitor"
+	"github.com/robotron-net/robotron/internal/vclock"
+)
+
+// TestObsEndpointsMatchSnapshot: /alarms and /timeline serve exactly what
+// the programmatic API reports — the acceptance contract for the CLI and
+// HTTP surfaces being views over one alarm engine.
+func TestObsEndpointsMatchSnapshot(t *testing.T) {
+	vc := vclock.NewVirtualClock(time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC))
+	r, err := New(Options{Clock: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Designer.EnsureSite("pop1", "pop", "apac"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ProvisionCluster(testCtx("pop"), "pop1", "pop1-c1", design.POPGen1()); err != nil {
+		t.Fatal(err)
+	}
+	// Provisioning derived the monitoring config automatically.
+	if len(r.Alarms.Rules()) == 0 {
+		t.Fatal("no alarm rules derived after provisioning")
+	}
+	// Baseline samples, then six silent minutes: every device trips its
+	// derived device-unreachable absence rule.
+	if _, err := r.ObserveOnce(); err != nil {
+		t.Fatal(err)
+	}
+	vc.Advance(6 * time.Minute)
+	if firing := r.Alarms.Evaluate(); len(firing) == 0 {
+		t.Fatal("expected device-unreachable alarms after silence")
+	}
+
+	srv, err := r.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var httpAlarms []monitor.Alarm
+	getJSON(t, "http://"+srv.Addr+"/alarms", &httpAlarms)
+	wantAlarms := r.Alarms.Snapshot()
+	if !jsonEqual(t, httpAlarms, wantAlarms) {
+		t.Errorf("/alarms diverges from Alarms.Snapshot(): %d vs %d entries", len(httpAlarms), len(wantAlarms))
+	}
+	if len(httpAlarms) == 0 {
+		t.Error("/alarms served an empty snapshot while alarms are firing")
+	}
+
+	var httpTimeline []monitor.TimelineEntry
+	getJSON(t, "http://"+srv.Addr+"/timeline", &httpTimeline)
+	wantTimeline := r.Alarms.Timeline(time.Time{}, time.Time{})
+	if !jsonEqual(t, httpTimeline, wantTimeline) {
+		t.Errorf("/timeline diverges from Alarms.Timeline(): %d vs %d entries", len(httpTimeline), len(wantTimeline))
+	}
+	// The timeline must contain the provisioning deploy record and the
+	// fired alarms.
+	stages := map[string]bool{}
+	for _, e := range httpTimeline {
+		stages[e.Stage] = true
+	}
+	for _, want := range []string{"deploy", "alarm"} {
+		if !stages[want] {
+			t.Errorf("timeline missing stage %q (got %v)", want, stages)
+		}
+	}
+}
+
+// TestAlarmsDisabledOmitsEndpoints: with EnableAlarms off the engine is
+// absent and the observability endpoints 404 rather than serving stale
+// empty documents.
+func TestAlarmsDisabledOmitsEndpoints(t *testing.T) {
+	off := false
+	r, err := New(Options{EnableAlarms: &off})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Alarms != nil {
+		t.Fatal("alarm engine present despite EnableAlarms=false")
+	}
+	srv, err := r.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr + "/alarms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/alarms status = %d with alarms disabled, want 404", resp.StatusCode)
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s decode: %v", url, err)
+	}
+}
+
+func jsonEqual(t *testing.T, a, b any) bool {
+	t.Helper()
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(ja) == string(jb)
+}

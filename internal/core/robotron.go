@@ -10,7 +10,9 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"time"
 
 	"github.com/robotron-net/robotron/internal/audit"
@@ -24,6 +26,7 @@ import (
 	"github.com/robotron-net/robotron/internal/relstore"
 	"github.com/robotron-net/robotron/internal/revctl"
 	"github.com/robotron-net/robotron/internal/telemetry"
+	"github.com/robotron-net/robotron/internal/vclock"
 	"github.com/robotron-net/robotron/internal/verify"
 )
 
@@ -43,6 +46,11 @@ type Robotron struct {
 	// Reconciler is the closed-loop drift controller; nil unless
 	// Options.EnableReconciler was set.
 	Reconciler *reconcile.Reconciler
+
+	// Alarms evaluates the intent-derived alarm rules over collected
+	// data and assembles the operational timeline; nil only when
+	// Options.EnableAlarms was explicitly false.
+	Alarms *monitor.AlarmEngine
 
 	// Verifier is the pre-deploy intent verification gate; VerifyIntent
 	// controls whether GenerateAndDeploy/ProvisionCluster run it before
@@ -71,6 +79,9 @@ type Robotron struct {
 
 	// Logf receives progress output; nil silences it.
 	Logf func(format string, args ...any)
+
+	// clock is the override from Options.Clock; nil means wall clock.
+	clock vclock.Clock
 }
 
 // Options configure construction.
@@ -117,6 +128,18 @@ type Options struct {
 	// it, commits are single-shot and any injected fault fails the
 	// device's deployment.
 	DeployRetry *deploy.RetryPolicy
+	// EnableAlarms controls the intent-derived alarm engine: collection
+	// jobs and alarm rules are re-derived from FBNet after every
+	// provisioning or deployment, collected data is evaluated against
+	// them, and firing alarms are correlated with the operational
+	// timeline. nil means ON; pass an explicit false to opt out.
+	EnableAlarms *bool
+	// Clock, when non-nil, becomes the time source for the whole
+	// instance: device syslog/counter timestamps, collection stamps,
+	// audit events, the reconciler, and alarm evaluation. Simulations
+	// pass a VirtualClock for deterministic, byte-identical runs; nil
+	// keeps the wall clock.
+	Clock vclock.Clock
 	// VerifyIntent controls the pre-deploy verification gate that checks
 	// network-wide invariants (BGP symmetry, p2p subnet consistency,
 	// reachability, orphan references) over the candidate configs before
@@ -162,6 +185,9 @@ func New(opts Options) (*Robotron, error) {
 	}
 	jm := monitor.NewJobManager(monitor.FleetDeviceResolver(fleet))
 	jm.SetDeviceLister(func() []string { return monitor.SortedDeviceNames(fleet) })
+	if opts.Clock != nil {
+		jm.SetClock(opts.Clock)
+	}
 	ts := monitor.NewTimeseriesBackend()
 	for _, b := range []monitor.Backend{ts, monitor.NewDerivedBackend(store), monitor.NewConfigBackend(repo)} {
 		if err := jm.RegisterBackend(b); err != nil {
@@ -211,6 +237,12 @@ func New(opts Options) (*Robotron, error) {
 	jm.Instrument(reg)
 	verifier := verify.NewChecker(store, gen.Golden)
 	verifier.Instrument(reg)
+	var alarms *monitor.AlarmEngine
+	if opts.EnableAlarms == nil || *opts.EnableAlarms {
+		alarms = monitor.NewAlarmEngine(opts.Clock, ts, store)
+		alarms.Instrument(reg)
+		alarms.Subscribe(cls)
+	}
 	r := &Robotron{
 		Store:      store,
 		Designer:   designer,
@@ -229,6 +261,9 @@ func New(opts Options) (*Robotron, error) {
 		Verifier:     verifier,
 		VerifyIntent: opts.VerifyIntent == nil || *opts.VerifyIntent,
 
+		Alarms: alarms,
+		clock:  opts.Clock,
+
 		DeployParallelism:   opts.DeployParallelism,
 		GenerateParallelism: opts.GenerateParallelism,
 		DeployRetry:         opts.DeployRetry,
@@ -239,6 +274,9 @@ func New(opts Options) (*Robotron, error) {
 		rc := opts.Reconcile
 		if rc.Alert == nil {
 			rc.Alert = opts.Logf
+		}
+		if rc.Clock == nil {
+			rc.Clock = opts.Clock
 		}
 		if rc.DeployRetry == nil {
 			rc.DeployRetry = opts.DeployRetry
@@ -255,6 +293,19 @@ func New(opts Options) (*Robotron, error) {
 		rec.Instrument(reg)
 		rec.Start()
 		r.Reconciler = rec
+		if alarms != nil {
+			alarms.SetJournalSource(func() []monitor.JournalEntry {
+				evs := rec.Journal().Events()
+				out := make([]monitor.JournalEntry, len(evs))
+				for i, ev := range evs {
+					out[i] = monitor.JournalEntry{
+						At: ev.At, Device: ev.Device,
+						Type: string(ev.Type), Detail: ev.Detail,
+					}
+				}
+				return out
+			})
+		}
 	}
 	return r, nil
 }
@@ -264,13 +315,53 @@ func New(opts Options) (*Robotron, error) {
 // /traces as JSON, /healthz with the registered health checks. Close
 // the returned server to stop it.
 func (r *Robotron) ServeMetrics(addr string) (*telemetry.Server, error) {
-	return telemetry.ListenAndServe(addr, r.Telemetry, r.Tracer)
+	return telemetry.ListenAndServeWith(addr, r.Telemetry, r.Tracer, r.obsHandlers())
+}
+
+// obsHandlers exposes the alarm engine beside /metrics: /alarms is the
+// full alarm snapshot (lifecycle states + correlations), /timeline the
+// merged operational stream, both as JSON.
+func (r *Robotron) obsHandlers() []telemetry.ExtraHandler {
+	if r.Alarms == nil {
+		return nil
+	}
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	}
+	return []telemetry.ExtraHandler{
+		{Pattern: "/alarms", Handler: func(w http.ResponseWriter, _ *http.Request) {
+			alarms := r.Alarms.Snapshot()
+			if alarms == nil {
+				alarms = []monitor.Alarm{}
+			}
+			writeJSON(w, alarms)
+		}},
+		{Pattern: "/timeline", Handler: func(w http.ResponseWriter, _ *http.Request) {
+			tl := r.Alarms.Timeline(time.Time{}, time.Time{})
+			if tl == nil {
+				tl = []monitor.TimelineEntry{}
+			}
+			writeJSON(w, tl)
+		}},
+	}
 }
 
 func (r *Robotron) logf(format string, args ...any) {
 	if r.Logf != nil {
 		r.Logf(format, args...)
 	}
+}
+
+// now is the instance's time source: Options.Clock when provided, else
+// the wall clock.
+func (r *Robotron) now() time.Time {
+	if r.clock != nil {
+		return r.clock.Now()
+	}
+	return time.Now()
 }
 
 // vendorOf resolves a device's netsim vendor personality from its FBNet
@@ -325,6 +416,9 @@ func (r *Robotron) SyncFleet() error {
 			return err
 		}
 		d.SetSyslogSink(func(m netsim.SyslogMessage) { r.Classifier.Process(m) })
+		if r.clock != nil {
+			d.SetTimeFunc(r.clock.Now)
+		}
 	}
 	// Cable per Desired circuit.
 	circuits, err := r.Store.Find("Circuit", fbnet.Ne("status", "decommissioned"))
@@ -518,6 +612,12 @@ func (r *Robotron) ProvisionCluster(ctx design.ChangeContext, siteName, clusterN
 			d.SetTrafficLoad(0.3)
 		}
 	}
+	if err := audit.RecordDeploy(r.Store, "provision", len(configs), "cluster "+clusterName, r.now().Unix()); err != nil {
+		return out, err
+	}
+	if err := r.DeriveMonitoring(); err != nil {
+		return out, err
+	}
 	r.logf("deploy: cluster %s provisioned and serving", clusterName)
 	return out, nil
 }
@@ -570,6 +670,14 @@ func (r *Robotron) GenerateAndDeploy(devices []string, opts deploy.Options, auth
 		tr.SetAttr("error", err.Error())
 		return rep, err
 	}
+	if err := audit.RecordDeploy(r.Store, "deploy", len(configs), "by "+author, r.now().Unix()); err != nil {
+		return rep, err
+	}
+	// Design may have changed under this deployment: regenerate the
+	// derived monitoring config alongside the device config.
+	if err := r.DeriveMonitoring(); err != nil {
+		return rep, err
+	}
 	// Close the loop inside the same trace: a synchronous conformance
 	// pass over the deployed devices, feeding any drift or check error
 	// into the reconciler's normal state machine.
@@ -591,7 +699,7 @@ func (r *Robotron) verifyGate(configs map[string]string, tr *telemetry.Span) err
 		if r.Verifier != nil {
 			// A bypassed gate still leaves a visible trail in the
 			// operational record.
-			if err := audit.RecordGateBypass(r.Store, len(configs), time.Now().Unix()); err != nil {
+			if err := audit.RecordGateBypass(r.Store, len(configs), r.now().Unix()); err != nil {
 				return err
 			}
 		}
@@ -608,7 +716,7 @@ func (r *Robotron) verifyGate(configs map[string]string, tr *telemetry.Span) err
 	for _, v := range res.Violations {
 		summaries = append(summaries, fmt.Sprintf("[%s] %s: %s", v.Invariant, v.Device, v.Detail))
 	}
-	if err := audit.RecordGate(r.Store, res.Devices, summaries, time.Now().Unix()); err != nil {
+	if err := audit.RecordGate(r.Store, res.Devices, summaries, r.now().Unix()); err != nil {
 		return err
 	}
 	if !res.Pass() {
@@ -712,6 +820,40 @@ func (r *Robotron) CollectOnce() error {
 	}
 	_, err := monitor.DeriveCircuits(r.Store)
 	return err
+}
+
+// DeriveMonitoring regenerates the intent-derived monitoring config:
+// collection jobs and alarm rules are recomputed from FBNet and swapped
+// in atomically (jobs under the "derived-" prefix, the full alarm rule
+// set). No-op when the alarm engine is disabled. Called automatically
+// after ProvisionCluster and GenerateAndDeploy.
+func (r *Robotron) DeriveMonitoring() error {
+	if r.Alarms == nil {
+		return nil
+	}
+	jobs, rules, err := monitor.DeriveJobs(r.Store)
+	if err != nil {
+		return err
+	}
+	if err := r.JobManager.ReplaceJobs("derived-", jobs); err != nil {
+		return err
+	}
+	r.Alarms.ReplaceRules(rules)
+	r.logf("monitor: derived %d collection jobs, %d alarm rules", len(jobs), len(rules))
+	return nil
+}
+
+// ObserveOnce is one full monitoring cycle with evaluation: every
+// installed job runs once (CollectOnce), then the alarm engine evaluates
+// all rules over the fresh data. Returns the alarms currently firing.
+func (r *Robotron) ObserveOnce() ([]monitor.Alarm, error) {
+	if err := r.CollectOnce(); err != nil {
+		return nil, err
+	}
+	if r.Alarms == nil {
+		return nil, nil
+	}
+	return r.Alarms.Evaluate(), nil
 }
 
 // Audit runs the Desired-vs-Derived anomaly detection.

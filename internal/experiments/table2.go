@@ -58,7 +58,11 @@ func table2Jobs(devices []string) []monitor.JobSpec {
 // RunTable2 provisions a POP, runs the virtual day, and merges the passive
 // stream.
 func RunTable2(cfg Table2Config) (Table2Result, error) {
-	r, err := core.New(core.Options{})
+	// Intent-derived monitoring off: this harness measures a curated job
+	// mix calibrated to the paper's shares, so the auto-derived jobs a
+	// provision normally installs would skew the distribution.
+	noAlarms := false
+	r, err := core.New(core.Options{EnableAlarms: &noAlarms})
 	if err != nil {
 		return Table2Result{}, err
 	}

@@ -3,11 +3,13 @@ package monitor
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"github.com/robotron-net/robotron/internal/netsim"
 	"github.com/robotron-net/robotron/internal/telemetry"
+	"github.com/robotron-net/robotron/internal/vclock"
 )
 
 // Active monitoring (§5.4.2, Fig. 11): the Job Manager schedules periodic
@@ -251,6 +253,7 @@ type JobManager struct {
 	stopCh      chan struct{}
 	wg          sync.WaitGroup
 	running     bool
+	clock       vclock.Clock // nil: collections keep engine wall-clock stamps
 }
 
 // NewJobManager creates a job manager with the standard engines.
@@ -269,6 +272,15 @@ func (jm *JobManager) SetDeviceLister(list func() []string) {
 	jm.mu.Lock()
 	defer jm.mu.Unlock()
 	jm.listDevices = list
+}
+
+// SetClock makes every collection timestamp come from clock instead of
+// the engines' wall clock, so sample ages and alarm windows line up with
+// a virtual clock in simulation.
+func (jm *JobManager) SetClock(clock vclock.Clock) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	jm.clock = clock
 }
 
 // RegisterBackend installs a named backend.
@@ -295,6 +307,39 @@ func (jm *JobManager) AddJob(spec JobSpec) error {
 		}
 	}
 	jm.specs = append(jm.specs, spec)
+	return nil
+}
+
+// ReplaceJobs atomically swaps every installed job whose name starts with
+// prefix for the given specs — the re-derivation primitive: when design
+// changes, the derived job set is regenerated and swapped in wholesale.
+// Specs are validated first; on error the installed set is unchanged.
+func (jm *JobManager) ReplaceJobs(prefix string, specs []JobSpec) error {
+	if prefix == "" {
+		return fmt.Errorf("monitor: ReplaceJobs requires a non-empty prefix")
+	}
+	seen := make(map[string]bool, len(specs))
+	for _, spec := range specs {
+		if !strings.HasPrefix(spec.Name, prefix) {
+			return fmt.Errorf("monitor: job %q does not match prefix %q", spec.Name, prefix)
+		}
+		if seen[spec.Name] {
+			return fmt.Errorf("monitor: duplicate job %q", spec.Name)
+		}
+		seen[spec.Name] = true
+		if err := jm.validate(spec); err != nil {
+			return err
+		}
+	}
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	kept := make([]JobSpec, 0, len(jm.specs)+len(specs))
+	for _, s := range jm.specs {
+		if !strings.HasPrefix(s.Name, prefix) {
+			kept = append(kept, s)
+		}
+	}
+	jm.specs = append(kept, specs...)
 	return nil
 }
 
@@ -383,6 +428,12 @@ func (jm *JobManager) execute(spec JobSpec) []Collection {
 		if err != nil {
 			jm.stats.addError()
 			continue
+		}
+		jm.mu.Lock()
+		clock := jm.clock
+		jm.mu.Unlock()
+		if clock != nil {
+			col.At = clock.Now()
 		}
 		jm.stats.add(spec.Engine, 1)
 		out = append(out, col)

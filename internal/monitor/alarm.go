@@ -1,0 +1,568 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/robotron-net/robotron/internal/fbnet"
+	"github.com/robotron-net/robotron/internal/telemetry"
+	"github.com/robotron-net/robotron/internal/vclock"
+)
+
+// The alarm engine closes the monitoring loop (§5.4): collected data is
+// not just stored, it is *evaluated* against alarm rules derived from the
+// same FBNet intent that produced the collection jobs. Each alarm walks a
+// pending → firing → resolved lifecycle, is deduplicated while active,
+// and — the part engineers actually use during an incident — is annotated
+// at fire time with the operational events (design change, deploy,
+// verify-gate verdict, reconcile journal) that immediately preceded it.
+
+// AlarmState is one step of the alarm lifecycle.
+type AlarmState string
+
+const (
+	AlarmPending  AlarmState = "pending"  // breached, waiting out PendingFor
+	AlarmFiring   AlarmState = "firing"   // breached past PendingFor
+	AlarmResolved AlarmState = "resolved" // previously firing, now clear
+)
+
+// AlarmKind selects the evaluation strategy of a rule.
+type AlarmKind string
+
+const (
+	// KindThreshold compares the latest sample of a series to a value.
+	KindThreshold AlarmKind = "threshold"
+	// KindAbsence fires when a series that has reported before goes
+	// silent for longer than Window.
+	KindAbsence AlarmKind = "absence"
+	// KindFlatline fires when the last two samples of a counter series
+	// show no increase (a frozen octet counter on a supposedly-live port).
+	KindFlatline AlarmKind = "flatline"
+	// KindBGPState fires when the Derived BGP session (Device, Key=peer
+	// address) is observed in any state other than Established.
+	KindBGPState AlarmKind = "bgp-state"
+	// KindFlap fires when at least FlapCount syslog alerts matching the
+	// classifier rule named by Key arrive within Window.
+	KindFlap AlarmKind = "flap"
+)
+
+// AlarmRule is one evaluable condition. Rules are typically derived from
+// FBNet by DeriveJobs, not hand-written — monitoring config regenerates
+// with the design, exactly like device config.
+type AlarmRule struct {
+	Name    string    // rule family, e.g. "bgp-session-down"
+	Kind    AlarmKind //
+	Device  string    // device the rule observes
+	Key     string    // series key suffix, peer address, or syslog rule
+	Urgency Urgency
+
+	Op    string  // threshold: ==, !=, >=, <=, >, <
+	Value float64 // threshold value
+
+	Window    time.Duration // absence / flap look-back
+	FlapCount int           // flap: alerts within Window to fire
+
+	// PendingFor is how long a breach must persist before the alarm moves
+	// from pending to firing; 0 fires on the first breached evaluation.
+	PendingFor time.Duration
+}
+
+// id is the deduplication key: one active alarm per (rule, device, key).
+func (r *AlarmRule) id() string { return r.Name + "|" + r.Device + "|" + r.Key }
+
+// TimelineEntry is one event of the merged operational timeline: the
+// design → generate → verify → deploy → alarm → reconcile stream, ordered
+// and queryable (programmatically, via `robotron obs timeline`, and over
+// HTTP /timeline).
+type TimelineEntry struct {
+	At     time.Time `json:"at"`
+	Stage  string    `json:"stage"` // design, verify, deploy, monitor, alarm, reconcile
+	Device string    `json:"device"`
+	Kind   string    `json:"kind"`
+	Detail string    `json:"detail"`
+}
+
+func (e TimelineEntry) String() string {
+	return fmt.Sprintf("%s %-9s %-16s %-18s %s",
+		e.At.UTC().Format(time.RFC3339), e.Stage, e.Device, e.Kind, e.Detail)
+}
+
+// Alarm is one lifecycle instance of a rule breach.
+type Alarm struct {
+	Rule    string     `json:"rule"`
+	Device  string     `json:"device"`
+	Key     string     `json:"key"`
+	State   AlarmState `json:"state"`
+	Urgency string     `json:"urgency"`
+	Detail  string     `json:"detail"`
+
+	Since      time.Time `json:"since"`       // first breached evaluation
+	FiredAt    time.Time `json:"fired_at"`    // zero while pending
+	ResolvedAt time.Time `json:"resolved_at"` // zero until resolved
+
+	// Correlated is the look-back annotation captured at fire time: the
+	// most recent operational events inside the correlation window,
+	// answering "what changed right before this broke?".
+	Correlated []TimelineEntry `json:"correlated,omitempty"`
+}
+
+// JournalEntry is the reconciler-journal shape the engine accepts without
+// importing the reconcile package (which imports monitor).
+type JournalEntry struct {
+	At     time.Time
+	Device string
+	Type   string
+	Detail string
+}
+
+// DefaultCorrelationWindow is how far back an alarm looks for its causing
+// events when no window is configured.
+const DefaultCorrelationWindow = 15 * time.Minute
+
+// DefaultCorrelationLimit caps how many correlated events ride on one
+// alarm (the most recent win).
+const DefaultCorrelationLimit = 8
+
+// defaultAlertRing bounds the syslog alert history kept for flap rules.
+const defaultAlertRing = 4096
+
+// AlarmEngine evaluates rules over the timeseries store, the Derived
+// models, and the syslog alert stream, all on a shared clock.
+type AlarmEngine struct {
+	clock vclock.Clock
+	ts    *TimeseriesBackend
+	store *fbnet.Store
+
+	mu       sync.Mutex
+	rules    []AlarmRule
+	active   map[string]*Alarm // pending + firing, by rule id
+	resolved []Alarm           // resolved history, oldest first
+	alerts   []Alert           // recent syslog alerts, for flap rules
+	journal  func() []JournalEntry
+	window   time.Duration // correlation look-back
+
+	// metrics, nil (no-op) until Instrument
+	reg       *telemetry.Registry
+	mFired    map[string]*telemetry.Counter
+	mResolved map[string]*telemetry.Counter
+	mFiring   *telemetry.Gauge
+	mEvals    *telemetry.Counter
+}
+
+// NewAlarmEngine builds an engine over the given stores. clock may be nil
+// (wall clock); store may be nil (BGP-state rules never fire; correlation
+// sees only the reconcile journal).
+func NewAlarmEngine(clock vclock.Clock, ts *TimeseriesBackend, store *fbnet.Store) *AlarmEngine {
+	if clock == nil {
+		clock = vclock.RealClock()
+	}
+	return &AlarmEngine{
+		clock:  clock,
+		ts:     ts,
+		store:  store,
+		active: make(map[string]*Alarm),
+		window: DefaultCorrelationWindow,
+	}
+}
+
+// SetCorrelationWindow changes the look-back window used when annotating
+// a firing alarm; d <= 0 restores the default.
+func (ae *AlarmEngine) SetCorrelationWindow(d time.Duration) {
+	ae.mu.Lock()
+	defer ae.mu.Unlock()
+	if d <= 0 {
+		d = DefaultCorrelationWindow
+	}
+	ae.window = d
+}
+
+// SetJournalSource installs the reconcile-journal reader used for the
+// timeline and correlation.
+func (ae *AlarmEngine) SetJournalSource(src func() []JournalEntry) {
+	ae.mu.Lock()
+	defer ae.mu.Unlock()
+	ae.journal = src
+}
+
+// Subscribe attaches the engine to a classifier: every alert feeds the
+// flap-rule history.
+func (ae *AlarmEngine) Subscribe(cls *Classifier) {
+	cls.OnAlert(ae.ObserveAlert)
+}
+
+// ObserveAlert records one syslog alert for flap evaluation.
+func (ae *AlarmEngine) ObserveAlert(a Alert) {
+	ae.mu.Lock()
+	defer ae.mu.Unlock()
+	ae.alerts = append(ae.alerts, a)
+	if len(ae.alerts) > defaultAlertRing {
+		ae.alerts = append([]Alert(nil), ae.alerts[len(ae.alerts)-defaultAlertRing:]...)
+	}
+}
+
+// Instrument mirrors alarm lifecycle transitions onto reg.
+func (ae *AlarmEngine) Instrument(reg *telemetry.Registry) {
+	ae.mu.Lock()
+	defer ae.mu.Unlock()
+	ae.reg = reg
+	reg.Help("robotron_alarms_fired_total", "alarms that reached the firing state, per rule")
+	reg.Help("robotron_alarms_resolved_total", "firing alarms that resolved, per rule")
+	reg.Help("robotron_alarms_firing", "alarms currently firing")
+	reg.Help("robotron_alarm_evaluations_total", "alarm evaluation passes")
+	ae.mFired = make(map[string]*telemetry.Counter)
+	ae.mResolved = make(map[string]*telemetry.Counter)
+	ae.mFiring = reg.Gauge("robotron_alarms_firing")
+	ae.mEvals = reg.Counter("robotron_alarm_evaluations_total")
+}
+
+// ReplaceRules swaps the full derived rule set (sorted for deterministic
+// evaluation order). Active alarms whose rule disappeared are dropped:
+// the design no longer declares the thing they watched.
+func (ae *AlarmEngine) ReplaceRules(rules []AlarmRule) {
+	sorted := append([]AlarmRule(nil), rules...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Name != sorted[j].Name {
+			return sorted[i].Name < sorted[j].Name
+		}
+		if sorted[i].Device != sorted[j].Device {
+			return sorted[i].Device < sorted[j].Device
+		}
+		return sorted[i].Key < sorted[j].Key
+	})
+	ae.mu.Lock()
+	defer ae.mu.Unlock()
+	ae.rules = sorted
+	known := make(map[string]bool, len(sorted))
+	for i := range sorted {
+		known[sorted[i].id()] = true
+	}
+	for id, al := range ae.active {
+		if !known[id] {
+			if al.State == AlarmFiring && ae.mFiring != nil {
+				ae.mFiring.Dec()
+			}
+			delete(ae.active, id)
+		}
+	}
+}
+
+// Rules returns the installed rule set.
+func (ae *AlarmEngine) Rules() []AlarmRule {
+	ae.mu.Lock()
+	defer ae.mu.Unlock()
+	return append([]AlarmRule(nil), ae.rules...)
+}
+
+// Evaluate runs one pass over every rule at the engine clock's now,
+// walking lifecycles forward. It returns the alarms currently firing,
+// sorted by (rule, device, key).
+func (ae *AlarmEngine) Evaluate() []Alarm {
+	now := ae.clock.Now()
+	ae.mu.Lock()
+	defer ae.mu.Unlock()
+	if ae.mEvals != nil {
+		ae.mEvals.Inc()
+	}
+	for i := range ae.rules {
+		r := &ae.rules[i]
+		breached, detail := ae.evalLocked(r, now)
+		id := r.id()
+		al := ae.active[id]
+		switch {
+		case breached && al == nil:
+			al = &Alarm{
+				Rule: r.Name, Device: r.Device, Key: r.Key,
+				State: AlarmPending, Urgency: r.Urgency.String(),
+				Detail: detail, Since: now,
+			}
+			ae.active[id] = al
+			ae.maybeFireLocked(r, al, now)
+		case breached:
+			al.Detail = detail
+			ae.maybeFireLocked(r, al, now)
+		case al != nil && al.State == AlarmFiring:
+			al.State = AlarmResolved
+			al.ResolvedAt = now
+			ae.resolved = append(ae.resolved, *al)
+			delete(ae.active, id)
+			if ae.mFiring != nil {
+				ae.mFiring.Dec()
+				ae.ruleCounter(ae.mResolved, "robotron_alarms_resolved_total", r.Name).Inc()
+			}
+		case al != nil:
+			// Pending breach cleared before PendingFor elapsed: no alarm.
+			delete(ae.active, id)
+		}
+	}
+	return ae.firingLocked()
+}
+
+func (ae *AlarmEngine) maybeFireLocked(r *AlarmRule, al *Alarm, now time.Time) {
+	if al.State != AlarmPending || now.Sub(al.Since) < r.PendingFor {
+		return
+	}
+	al.State = AlarmFiring
+	al.FiredAt = now
+	al.Correlated = ae.timelineLocked(now.Add(-ae.window), now, false)
+	if n := len(al.Correlated); n > DefaultCorrelationLimit {
+		al.Correlated = al.Correlated[n-DefaultCorrelationLimit:]
+	}
+	if ae.mFiring != nil {
+		ae.mFiring.Inc()
+		ae.ruleCounter(ae.mFired, "robotron_alarms_fired_total", r.Name).Inc()
+	}
+}
+
+func (ae *AlarmEngine) ruleCounter(m map[string]*telemetry.Counter, metric, rule string) *telemetry.Counter {
+	c, ok := m[rule]
+	if !ok {
+		c = ae.reg.Counter(metric, telemetry.Label{Key: "rule", Value: rule})
+		m[rule] = c
+	}
+	return c
+}
+
+// evalLocked decides whether one rule is breached right now.
+func (ae *AlarmEngine) evalLocked(r *AlarmRule, now time.Time) (bool, string) {
+	switch r.Kind {
+	case KindThreshold:
+		last := ae.ts.Last(r.Device+"/"+r.Key, 1)
+		if len(last) == 0 {
+			return false, ""
+		}
+		if compareFloat(last[0].Value, r.Op, r.Value) {
+			return true, fmt.Sprintf("%s = %g, breaching %s %g", r.Key, last[0].Value, r.Op, r.Value)
+		}
+	case KindAbsence:
+		last := ae.ts.Last(r.Device+"/"+r.Key, 1)
+		if len(last) == 0 {
+			return false, "" // never reported: nothing to go silent
+		}
+		age := now.Sub(time.Unix(last[0].AtUnix, 0))
+		if age > r.Window {
+			return true, fmt.Sprintf("%s silent for %s (window %s)", r.Key, age.Round(time.Second), r.Window)
+		}
+	case KindFlatline:
+		last := ae.ts.Last(r.Device+"/"+r.Key, 2)
+		if len(last) < 2 {
+			return false, ""
+		}
+		if last[1].Value <= last[0].Value {
+			return true, fmt.Sprintf("%s flat at %g across the last two samples", r.Key, last[1].Value)
+		}
+	case KindBGPState:
+		if ae.store == nil {
+			return false, ""
+		}
+		rows, err := ae.store.Find("DerivedBgpSession", fbnet.And(
+			fbnet.Eq("device_name", r.Device), fbnet.Eq("peer_addr", r.Key)))
+		if err != nil || len(rows) == 0 {
+			return false, ""
+		}
+		if st := rows[0].String("state"); st != "Established" {
+			return true, fmt.Sprintf("session to %s observed %s", r.Key, st)
+		}
+	case KindFlap:
+		n := 0
+		for i := range ae.alerts {
+			a := &ae.alerts[i]
+			if a.Rule != r.Key {
+				continue
+			}
+			if r.Device != "" && a.Message.Host != r.Device {
+				continue
+			}
+			if now.Sub(a.Message.Time) <= r.Window {
+				n++
+			}
+		}
+		if n >= r.FlapCount {
+			return true, fmt.Sprintf("%d %q alerts within %s", n, r.Key, r.Window)
+		}
+	}
+	return false, ""
+}
+
+func compareFloat(got float64, op string, want float64) bool {
+	switch op {
+	case "==":
+		return got == want
+	case "!=":
+		return got != want
+	case ">=":
+		return got >= want
+	case "<=":
+		return got <= want
+	case ">":
+		return got > want
+	case "<":
+		return got < want
+	}
+	return false
+}
+
+func (ae *AlarmEngine) firingLocked() []Alarm {
+	out := make([]Alarm, 0, len(ae.active))
+	for _, al := range ae.active {
+		if al.State == AlarmFiring {
+			out = append(out, *al)
+		}
+	}
+	sortAlarms(out)
+	return out
+}
+
+func sortAlarms(xs []Alarm) {
+	sort.Slice(xs, func(i, j int) bool {
+		if xs[i].Rule != xs[j].Rule {
+			return xs[i].Rule < xs[j].Rule
+		}
+		if xs[i].Device != xs[j].Device {
+			return xs[i].Device < xs[j].Device
+		}
+		return xs[i].Key < xs[j].Key
+	})
+}
+
+// Firing returns the alarms currently firing without re-evaluating.
+func (ae *AlarmEngine) Firing() []Alarm {
+	ae.mu.Lock()
+	defer ae.mu.Unlock()
+	return ae.firingLocked()
+}
+
+// Snapshot returns every known alarm — pending, firing, and resolved
+// history — sorted firing first, then pending, then resolved, each group
+// by (rule, device, key).
+func (ae *AlarmEngine) Snapshot() []Alarm {
+	ae.mu.Lock()
+	defer ae.mu.Unlock()
+	var firing, pending []Alarm
+	for _, al := range ae.active {
+		if al.State == AlarmFiring {
+			firing = append(firing, *al)
+		} else {
+			pending = append(pending, *al)
+		}
+	}
+	sortAlarms(firing)
+	sortAlarms(pending)
+	resolved := append([]Alarm(nil), ae.resolved...)
+	sortAlarms(resolved)
+	out := append(firing, pending...)
+	return append(out, resolved...)
+}
+
+// Timeline returns the merged operational stream between from and to
+// (zero values mean unbounded), alarms included, ordered by time with
+// deterministic tie-breaks.
+func (ae *AlarmEngine) Timeline(from, to time.Time) []TimelineEntry {
+	ae.mu.Lock()
+	defer ae.mu.Unlock()
+	return ae.timelineLocked(from, to, true)
+}
+
+// timelineLocked assembles the stream; withAlarms=false is the
+// correlation flavor (an alarm must not correlate with itself).
+func (ae *AlarmEngine) timelineLocked(from, to time.Time, withAlarms bool) []TimelineEntry {
+	var out []TimelineEntry
+	add := func(e TimelineEntry) {
+		if !from.IsZero() && e.At.Before(from) {
+			return
+		}
+		if !to.IsZero() && e.At.After(to) {
+			return
+		}
+		out = append(out, e)
+	}
+	if ae.store != nil {
+		if changes, err := ae.store.Find("DesignChange", nil); err == nil {
+			for _, c := range changes {
+				add(TimelineEntry{
+					At: time.Unix(c.Int("created_unix"), 0), Stage: "design",
+					Device: "-", Kind: "design-change",
+					Detail: fmt.Sprintf("%s %s: %s (+%d ~%d -%d)",
+						c.String("employee_id"), c.String("ticket_id"), c.String("description"),
+						c.Int("num_created"), c.Int("num_modified"), c.Int("num_deleted")),
+				})
+			}
+		}
+		if events, err := ae.store.Find("OperationalEvent", nil); err == nil {
+			for _, ev := range events {
+				kind := ev.String("kind")
+				stage := "monitor"
+				switch kind {
+				case "verify-gate":
+					stage = "verify"
+				case "deploy", "provision":
+					stage = "deploy"
+				}
+				add(TimelineEntry{
+					At: time.Unix(ev.Int("at_unix"), 0), Stage: stage,
+					Device: ev.String("device_name"), Kind: kind,
+					Detail: ev.String("urgency") + " " + ev.String("detail"),
+				})
+			}
+		}
+	}
+	if ae.journal != nil {
+		for _, je := range ae.journal() {
+			add(TimelineEntry{
+				At: je.At, Stage: "reconcile", Device: je.Device,
+				Kind: je.Type, Detail: je.Detail,
+			})
+		}
+	}
+	if withAlarms {
+		emit := func(al Alarm) {
+			if !al.FiredAt.IsZero() {
+				add(TimelineEntry{At: al.FiredAt, Stage: "alarm", Device: al.Device,
+					Kind: al.Rule, Detail: "FIRING " + al.Detail})
+			}
+			if !al.ResolvedAt.IsZero() {
+				add(TimelineEntry{At: al.ResolvedAt, Stage: "alarm", Device: al.Device,
+					Kind: al.Rule, Detail: "RESOLVED " + al.Detail})
+			}
+		}
+		for _, al := range ae.active {
+			emit(*al)
+		}
+		for _, al := range ae.resolved {
+			emit(al)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].At.Equal(out[j].At) {
+			return out[i].At.Before(out[j].At)
+		}
+		if out[i].Stage != out[j].Stage {
+			return out[i].Stage < out[j].Stage
+		}
+		if out[i].Device != out[j].Device {
+			return out[i].Device < out[j].Device
+		}
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Detail < out[j].Detail
+	})
+	return out
+}
+
+// FormatAlarms renders alarms as a fixed-width table, firing first.
+func FormatAlarms(alarms []Alarm) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-22s %-16s %-24s %-8s %s\n",
+		"STATE", "RULE", "DEVICE", "KEY", "URGENCY", "DETAIL")
+	for _, al := range alarms {
+		fmt.Fprintf(&b, "%-8s %-22s %-16s %-24s %-8s %s\n",
+			string(al.State), al.Rule, al.Device, al.Key, al.Urgency, al.Detail)
+		for _, c := range al.Correlated {
+			fmt.Fprintf(&b, "    ↳ %s\n", c)
+		}
+	}
+	return b.String()
+}

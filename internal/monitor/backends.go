@@ -9,49 +9,136 @@ import (
 	"github.com/robotron-net/robotron/internal/revctl"
 )
 
+// DefaultSeriesRetention caps how many samples each series keeps
+// (mirroring telemetry.DefaultTraceRing): monitoring runs forever, so an
+// unbounded append would grow without limit at one sample per poll per
+// series.
+const DefaultSeriesRetention = 1024
+
 // TimeseriesBackend stores numeric samples in memory, the stand-in for the
-// metric storage active monitoring feeds.
+// metric storage active monitoring feeds. Each series is a fixed-size ring:
+// once a series reaches the retention cap, the oldest sample is overwritten.
 type TimeseriesBackend struct {
-	mu     sync.Mutex
-	series map[string][]Sample // key: device/metric
+	mu        sync.Mutex
+	retention int
+	series    map[string]*sampleRing // key: device/metric
 }
 
 // Sample is one datapoint.
 type Sample struct {
-	AtUnix int64
-	Value  float64
+	AtUnix int64   `json:"at_unix"`
+	Value  float64 `json:"value"`
 }
 
-// NewTimeseriesBackend returns an empty timeseries store.
+// sampleRing is a circular buffer of samples; buf never exceeds its
+// retention capacity, so a series costs O(retention) memory regardless of
+// how many polls have fed it.
+type sampleRing struct {
+	buf   []Sample
+	start int // index of the oldest sample
+	n     int
+}
+
+func (r *sampleRing) push(s Sample) {
+	if r.n < cap(r.buf) {
+		r.buf = r.buf[:r.n+1]
+		r.buf[(r.start+r.n)%cap(r.buf)] = s
+		r.n++
+		return
+	}
+	r.buf[r.start] = s
+	r.start = (r.start + 1) % cap(r.buf)
+}
+
+func (r *sampleRing) snapshot() []Sample {
+	out := make([]Sample, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%cap(r.buf)]
+	}
+	return out
+}
+
+func (r *sampleRing) last(k int) []Sample {
+	if k > r.n {
+		k = r.n
+	}
+	out := make([]Sample, k)
+	for i := 0; i < k; i++ {
+		out[i] = r.buf[(r.start+r.n-k+i)%cap(r.buf)]
+	}
+	return out
+}
+
+// NewTimeseriesBackend returns an empty timeseries store with the default
+// per-series retention.
 func NewTimeseriesBackend() *TimeseriesBackend {
-	return &TimeseriesBackend{series: make(map[string][]Sample)}
+	return &TimeseriesBackend{
+		retention: DefaultSeriesRetention,
+		series:    make(map[string]*sampleRing),
+	}
+}
+
+// SetRetention changes the per-series sample cap for series created after
+// the call; n <= 0 restores the default. Existing series keep their rings.
+func (b *TimeseriesBackend) SetRetention(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n <= 0 {
+		n = DefaultSeriesRetention
+	}
+	b.retention = n
 }
 
 // Name implements Backend.
 func (b *TimeseriesBackend) Name() string { return "timeseries" }
 
+func (b *TimeseriesBackend) pushLocked(key string, s Sample) {
+	r, ok := b.series[key]
+	if !ok {
+		r = &sampleRing{buf: make([]Sample, 0, b.retention)}
+		b.series[key] = r
+	}
+	r.push(s)
+}
+
 // Store implements Backend: counters fan out into per-metric series;
-// interface collections store per-interface octet counters.
+// interface collections store per-interface octet counters, both
+// directions.
 func (b *TimeseriesBackend) Store(col Collection) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	at := col.At.Unix()
 	for metric, v := range col.Counters {
-		key := col.Device + "/" + metric
-		b.series[key] = append(b.series[key], Sample{AtUnix: at, Value: v})
+		b.pushLocked(col.Device+"/"+metric, Sample{AtUnix: at, Value: v})
 	}
 	for _, ifc := range col.Interfaces {
-		key := col.Device + "/" + ifc.Name + "/in_octets"
-		b.series[key] = append(b.series[key], Sample{AtUnix: at, Value: float64(ifc.InOctets)})
+		prefix := col.Device + "/" + ifc.Name
+		b.pushLocked(prefix+"/in_octets", Sample{AtUnix: at, Value: float64(ifc.InOctets)})
+		b.pushLocked(prefix+"/out_octets", Sample{AtUnix: at, Value: float64(ifc.OutOctets)})
 	}
 	return nil
 }
 
-// Series returns the samples of one device/metric key.
+// Series returns the samples of one device/metric key, oldest first.
 func (b *TimeseriesBackend) Series(key string) []Sample {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return append([]Sample(nil), b.series[key]...)
+	r, ok := b.series[key]
+	if !ok {
+		return nil
+	}
+	return r.snapshot()
+}
+
+// Last returns up to k most recent samples of a series, oldest first.
+func (b *TimeseriesBackend) Last(key string, k int) []Sample {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r, ok := b.series[key]
+	if !ok {
+		return nil
+	}
+	return r.last(k)
 }
 
 // Keys lists stored series keys.

@@ -1,0 +1,86 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"github.com/robotron-net/robotron/internal/netsim"
+)
+
+// Regression: Store used to record only in_octets for interface
+// collections, so egress series silently never existed and any alarm on
+// out_octets could not fire.
+func TestTimeseriesStoreBothOctetDirections(t *testing.T) {
+	ts := NewTimeseriesBackend()
+	err := ts.Store(Collection{
+		Device: "sw1", Data: DataInterfaces, At: time.Unix(1000, 0),
+		Interfaces: []netsim.IfaceStatus{
+			{Name: "et1/1", OperStatus: "up", SpeedMbps: 10000, InOctets: 111, OutOctets: 222},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := ts.Series("sw1/et1/1/in_octets")
+	out := ts.Series("sw1/et1/1/out_octets")
+	if len(in) != 1 || in[0].Value != 111 {
+		t.Fatalf("in_octets series = %+v, want one sample of 111", in)
+	}
+	if len(out) != 1 || out[0].Value != 222 {
+		t.Fatalf("out_octets series = %+v, want one sample of 222", out)
+	}
+}
+
+func TestTimeseriesRetentionRing(t *testing.T) {
+	ts := NewTimeseriesBackend()
+	const retention = 8
+	ts.SetRetention(retention)
+	for i := 0; i < retention*3; i++ {
+		err := ts.Store(Collection{
+			Device: "sw1", Data: DataCounters, At: time.Unix(int64(i), 0),
+			Counters: map[string]float64{"cpu_util": float64(i)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := ts.Series("sw1/cpu_util")
+	// Length is capped at the retention and only the newest samples
+	// survive, oldest first.
+	if len(got) != retention {
+		t.Fatalf("series length = %d, want %d", len(got), retention)
+	}
+	for i, s := range got {
+		want := float64(retention*2 + i)
+		if s.Value != want || s.AtUnix != int64(want) {
+			t.Fatalf("sample %d = %+v, want value %g", i, s, want)
+		}
+	}
+	// Alloc guard: the ring never grows past its capacity no matter how
+	// many polls feed it.
+	ts.mu.Lock()
+	r := ts.series["sw1/cpu_util"]
+	if cap(r.buf) != retention || len(r.buf) != retention {
+		ts.mu.Unlock()
+		t.Fatalf("ring buf len=%d cap=%d, want both %d", len(r.buf), cap(r.buf), retention)
+	}
+	ts.mu.Unlock()
+	// Last respects ring order across the wrap point.
+	last := ts.Last("sw1/cpu_util", 3)
+	if len(last) != 3 || last[2].Value != float64(retention*3-1) {
+		t.Fatalf("Last(3) = %+v", last)
+	}
+	// SetRetention(<=0) restores the default for new series.
+	ts.SetRetention(0)
+	if err := ts.Store(Collection{
+		Device: "sw2", Data: DataCounters, At: time.Unix(0, 0),
+		Counters: map[string]float64{"cpu_util": 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if got := cap(ts.series["sw2/cpu_util"].buf); got != DefaultSeriesRetention {
+		t.Fatalf("new series cap = %d, want default %d", got, DefaultSeriesRetention)
+	}
+}

@@ -1,0 +1,200 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"github.com/robotron-net/robotron/internal/fbnet"
+	"github.com/robotron-net/robotron/internal/relstore"
+)
+
+// deriveFixture builds a two-device design: sw1 on a vendor1 profile with
+// one interface and one BGP session, sw2 on vendor2 with one interface and
+// no BGP.
+func deriveFixture(t *testing.T) *fbnet.Store {
+	t.Helper()
+	store, err := fbnet.Open(relstore.NewDB("derive-test"), fbnet.NewCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = store.Mutate(func(m *fbnet.Mutation) error {
+		region, err := m.Create("Region", map[string]any{"name": "apac"})
+		if err != nil {
+			return err
+		}
+		site, err := m.Create("Site", map[string]any{"name": "pop1", "kind": "pop", "region": region})
+		if err != nil {
+			return err
+		}
+		mkDev := func(name, syntax string) (int64, error) {
+			v, err := m.Create("Vendor", map[string]any{"name": "v-" + name, "syntax": syntax})
+			if err != nil {
+				return 0, err
+			}
+			hw, err := m.Create("HardwareProfile", map[string]any{
+				"name": "hw-" + name, "vendor": v, "num_slots": 1,
+				"ports_per_linecard": 4, "port_speed_mbps": 10000,
+			})
+			if err != nil {
+				return 0, err
+			}
+			dev, err := m.Create("Device", map[string]any{
+				"name": name, "role": "psw", "site": site, "hw_profile": hw, "drain_state": "undrained",
+			})
+			if err != nil {
+				return 0, err
+			}
+			lc, err := m.Create("Linecard", map[string]any{"slot": 1, "device": dev})
+			if err != nil {
+				return 0, err
+			}
+			_, err = m.Create("PhysicalInterface", map[string]any{
+				"name": "et1/1", "speed_mbps": 10000, "linecard": lc,
+			})
+			return dev, err
+		}
+		sw1, err := mkDev("sw1", "vendor1")
+		if err != nil {
+			return err
+		}
+		if _, err := mkDev("sw2", "vendor2"); err != nil {
+			return err
+		}
+		_, err = m.Create("BgpV6Session", map[string]any{
+			"local_device": sw1, "remote_addr": "2401:db00::1",
+			"local_as": 65001, "remote_as": 65000, "session_type": "ebgp",
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+func TestDeriveJobsFollowsDesign(t *testing.T) {
+	store := deriveFixture(t)
+	jobs, rules, err := DeriveJobs(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byName := make(map[string]JobSpec, len(jobs))
+	for _, j := range jobs {
+		byName[j.Name] = j
+	}
+	// sw1 terminates BGP: counters + interfaces + bgp. sw2 does not: no
+	// bgp job.
+	if len(jobs) != 5 {
+		t.Fatalf("want 5 jobs, got %d: %v", len(jobs), byName)
+	}
+	if _, ok := byName["derived-bgp-sw2"]; ok {
+		t.Fatalf("sw2 has no BGP sessions but got a BGP job")
+	}
+	// Engine selection follows the vendor syntax.
+	cases := []struct {
+		job    string
+		engine EngineType
+		period time.Duration
+	}{
+		{"derived-counters-sw1", EngineSNMP, time.Minute},
+		{"derived-interfaces-sw1", EngineSNMP, 2 * time.Minute},
+		{"derived-bgp-sw1", EngineCLI, 5 * time.Minute},
+		{"derived-counters-sw2", EngineThrift, time.Minute},
+		{"derived-interfaces-sw2", EngineRPCXML, 2 * time.Minute},
+	}
+	for _, c := range cases {
+		j, ok := byName[c.job]
+		if !ok {
+			t.Fatalf("missing job %s", c.job)
+		}
+		if j.Engine != c.engine || j.Period != c.period {
+			t.Errorf("%s: engine=%s period=%s, want %s/%s", c.job, j.Engine, j.Period, c.engine, c.period)
+		}
+	}
+
+	// Rules: device-unreachable per device, bgp-session-down for sw1's
+	// session, interface-flatline + flatline-octets per interface.
+	type rk struct {
+		name, dev, key string
+	}
+	got := make(map[rk]AlarmRule, len(rules))
+	for _, r := range rules {
+		got[rk{r.Name, r.Device, r.Key}] = r
+	}
+	want := []rk{
+		{"device-unreachable", "sw1", "cpu_util"},
+		{"device-unreachable", "sw2", "cpu_util"},
+		{"bgp-session-down", "sw1", "2401:db00::1"},
+		{"interface-flatline", "sw1", "et1/1/in_octets"},
+		{"interface-flatline", "sw2", "et1/1/in_octets"},
+		{"flatline-octets", "sw1", "et1/1/out_octets"},
+		{"flatline-octets", "sw2", "et1/1/out_octets"},
+	}
+	if len(rules) != len(want) {
+		t.Fatalf("want %d rules, got %d: %v", len(want), len(rules), rules)
+	}
+	for _, w := range want {
+		if _, ok := got[w]; !ok {
+			t.Errorf("missing rule %+v", w)
+		}
+	}
+
+	// The derivation is deterministic: a second run yields the same order.
+	jobs2, rules2, err := DeriveJobs(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if jobs[i].Name != jobs2[i].Name {
+			t.Fatalf("job order unstable at %d: %s vs %s", i, jobs[i].Name, jobs2[i].Name)
+		}
+	}
+	for i := range rules {
+		if rules[i] != rules2[i] {
+			t.Fatalf("rule order unstable at %d", i)
+		}
+	}
+}
+
+func TestReplaceJobsSwapsDerivedPrefix(t *testing.T) {
+	store := deriveFixture(t)
+	jobs, _, err := DeriveJobs(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jm := NewJobManager(nil)
+	if err := jm.RegisterBackend(NewTimeseriesBackend()); err != nil {
+		t.Fatal(err)
+	}
+	if err := jm.RegisterBackend(NewDerivedBackend(store)); err != nil {
+		t.Fatal(err)
+	}
+	// A hand-installed job outside the prefix must survive swaps.
+	if err := jm.AddJob(JobSpec{Name: "manual-sweep", Period: time.Hour,
+		Engine: EngineSNMP, Data: DataCounters, Devices: []string{"sw1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jm.ReplaceJobs("derived-", jobs); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(jm.Jobs()); got != len(jobs)+1 {
+		t.Fatalf("want %d jobs after first swap, got %d", len(jobs)+1, got)
+	}
+	// Swapping with a subset removes the rest but keeps manual-sweep.
+	if err := jm.ReplaceJobs("derived-", jobs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool)
+	for _, j := range jm.Jobs() {
+		names[j.Name] = true
+	}
+	if len(names) != 3 || !names["manual-sweep"] {
+		t.Fatalf("second swap left %v", names)
+	}
+	// A spec outside the prefix is rejected wholesale.
+	if err := jm.ReplaceJobs("derived-", []JobSpec{{Name: "rogue", Period: time.Minute,
+		Engine: EngineSNMP, Data: DataCounters, Devices: []string{"sw1"}}}); err == nil {
+		t.Fatal("ReplaceJobs accepted a spec outside its prefix")
+	}
+}

@@ -156,6 +156,12 @@ func (c *Classifier) Process(msg netsim.SyslogMessage) (string, Urgency) {
 	if matched == nil {
 		return "", Ignored
 	}
+	// An explicit suppression rule (Urgency Ignored) classifies the line —
+	// it is counted under its rule and shadows later, noisier rules — but
+	// ignored lines never alert, auto-remediate, or reach backends.
+	if matched.Urgency == Ignored {
+		return matched.Name, Ignored
+	}
 	if matched.AutoRemediate != nil {
 		matched.AutoRemediate(msg)
 	}

@@ -190,6 +190,18 @@ func (d *Device) SetSyslogSink(sink func(SyslogMessage)) {
 	d.syslogSink = sink
 }
 
+// SetTimeFunc replaces the device's time source (syslog timestamps,
+// traffic counters, uptime) and rebases the boot instant onto it, so a
+// device driven by a virtual clock reports deterministic, monotonic
+// operational state. Scenario runs point every device at the shared
+// virtual clock.
+func (d *Device) SetTimeFunc(now func() time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.now = now
+	d.bootTime = now()
+}
+
 // emit sends a syslog message; callers must not hold d.mu.
 func (d *Device) emit(severity int, app, format string, args ...any) {
 	d.mu.Lock()

@@ -6,6 +6,7 @@ import (
 
 	"github.com/robotron-net/robotron/internal/confdiff"
 	"github.com/robotron-net/robotron/internal/fbnet"
+	"github.com/robotron-net/robotron/internal/monitor"
 	"github.com/robotron-net/robotron/internal/reconcile"
 	"github.com/robotron-net/robotron/internal/telemetry"
 )
@@ -182,6 +183,45 @@ func (e *engine) check(a *AssertionSpec, eventIdx, assertIdx int) error {
 				return fail(name, "management ops %d -> %d: the fleet was touched", base, got)
 			}
 		}
+	case AssertAlarm:
+		if e.r.Alarms == nil {
+			return fail("", "alarm asserted but the alarm engine is disabled")
+		}
+		wantState := a.State
+		if wantState == "" {
+			wantState = string(monitor.AlarmFiring)
+		}
+		n := 0
+		var correlated bool
+		for _, al := range e.r.Alarms.Snapshot() {
+			if al.Rule != a.Rule || string(al.State) != wantState {
+				continue
+			}
+			if a.Device != "" && a.Device != "all" && al.Device != a.Device {
+				continue
+			}
+			n++
+			for _, c := range al.Correlated {
+				if a.CorrelatesKind != "" && c.Kind != a.CorrelatesKind {
+					continue
+				}
+				if a.CorrelatesDevice != "" && c.Device != a.CorrelatesDevice {
+					continue
+				}
+				correlated = true
+			}
+		}
+		if n < a.MinCount {
+			err := fail(a.Device, "%d %q alarm(s) in state %q, want >= %d", n, a.Rule, wantState, a.MinCount)
+			err.Context = alarmContext(e.r.Alarms.Snapshot())
+			return err
+		}
+		if a.CorrelatesKind != "" && !correlated {
+			err := fail(a.Device, "no %q alarm correlates with a %q event%s",
+				a.Rule, a.CorrelatesKind, correlatesDeviceSuffix(a.CorrelatesDevice))
+			err.Context = alarmContext(e.r.Alarms.Snapshot())
+			return err
+		}
 	case AssertGoldenStable:
 		if e.goldenBase == nil {
 			return fail("", "golden-unchanged needs a prior snapshot event")
@@ -217,6 +257,21 @@ func compare(got float64, op string, want float64) bool {
 		return got < want
 	}
 	return false
+}
+
+func correlatesDeviceSuffix(dev string) string {
+	if dev == "" {
+		return ""
+	}
+	return " naming device " + dev
+}
+
+// alarmContext renders the full alarm snapshot for a failure message.
+func alarmContext(alarms []monitor.Alarm) string {
+	if len(alarms) == 0 {
+		return "alarms: (none)"
+	}
+	return "alarms:\n" + monitor.FormatAlarms(alarms)
 }
 
 // journalTail renders the last few reconciler journal entries (for one

@@ -27,6 +27,10 @@ type Options struct {
 	Realtime bool
 	// Logf receives verbose progress; nil silences it.
 	Logf func(format string, args ...any)
+	// OnFinish, when non-nil, runs against the assembled world after a
+	// successful run, before teardown — the hook `robotron obs` uses to
+	// print alarms/timeline/series views of a finished scenario.
+	OnFinish func(*core.Robotron)
 }
 
 // Result reports a passed run.
@@ -148,6 +152,9 @@ func Run(f *File, opts Options) (*Result, error) {
 	if err := e.checkAll(f.Assert, -1); err != nil {
 		return partial(err)
 	}
+	if e.opts.OnFinish != nil {
+		e.opts.OnFinish(e.r)
+	}
 	e.finishJournal()
 	return &Result{Scenario: f.Name, Events: len(f.Events), Journal: e.journal.String()}, nil
 }
@@ -218,6 +225,7 @@ func (e *engine) build() error {
 	}
 	r, err := core.New(core.Options{
 		Store:               store,
+		Clock:               e.clock,
 		Telemetry:           e.reg,
 		FaultPolicy:         e.policy,
 		DeployRetry:         retry,
@@ -366,10 +374,29 @@ func (e *engine) exec(ev *EventSpec) error {
 		if !strings.HasSuffix(golden, "\n") {
 			golden += "\n"
 		}
+		cfg := golden
+		if ev.Cut != "" {
+			var kept []string
+			removed := 0
+			for _, line := range strings.Split(strings.TrimSuffix(cfg, "\n"), "\n") {
+				if strings.Contains(line, ev.Cut) {
+					removed++
+					continue
+				}
+				kept = append(kept, line)
+			}
+			if removed == 0 {
+				return fail("cut %q matched no golden lines", ev.Cut)
+			}
+			cfg = strings.Join(kept, "\n") + "\n"
+		}
+		if ev.Text != "" {
+			cfg += ev.Text + "\n"
+		}
 		// Out-of-band: straight onto the running config, no management
 		// verbs involved — the CONFIG_CHANGED syslog is the only signal
 		// the control plane gets, exactly like a console edit.
-		if err := d.InjectRunningConfig(golden + ev.Text + "\n"); err != nil {
+		if err := d.InjectRunningConfig(cfg); err != nil {
 			return fail("inject: %v", err)
 		}
 	case ActDeploy:
@@ -446,6 +473,20 @@ func (e *engine) exec(ev *EventSpec) error {
 		}
 	case ActWait:
 		// advanceTo already moved the clock; the expects do the work.
+	case ActCollect:
+		firing, err := e.r.ObserveOnce()
+		if err != nil {
+			return fail("collect: %v", err)
+		}
+		if len(firing) == 0 {
+			e.note("[%s]   collect: no alarms firing", e.elapsed())
+		} else {
+			names := make([]string, 0, len(firing))
+			for _, al := range firing {
+				names = append(names, al.Rule+"@"+al.Device)
+			}
+			e.note("[%s]   collect: %d alarm(s) firing: %s", e.elapsed(), len(firing), strings.Join(names, " "))
+		}
 	case ActSnapshot:
 		e.opsBase = map[string]int64{}
 		e.goldenBase = map[string]string{}
@@ -571,6 +612,14 @@ func (e *engine) finishJournal() {
 			st = reconcile.StateConverged // never entered the loop
 		}
 		e.note("device %s state=%s", name, st)
+	}
+	if e.r.Alarms != nil {
+		if alarms := e.r.Alarms.Snapshot(); len(alarms) > 0 {
+			e.note("alarms (%d):", len(alarms))
+			for _, al := range alarms {
+				e.note("  %-8s %s %s %s correlated=%d", string(al.State), al.Rule, al.Device, al.Key, len(al.Correlated))
+			}
+		}
 	}
 	e.note("reconciler journal (%d events):", e.r.Reconciler.Journal().Len())
 	for _, je := range e.r.Reconciler.Journal().Events() {

@@ -108,6 +108,7 @@ const (
 	ActConverge      = "converge"       // sweep+advance loop until settled
 	ActWait          = "wait"           // advance to `at`, then just assert
 	ActSnapshot      = "snapshot"       // record mgmt-op and golden baselines
+	ActCollect       = "collect"        // one monitoring cycle + alarm evaluation
 )
 
 // EventSpec is one timed step of the sequence.
@@ -120,6 +121,7 @@ type EventSpec struct {
 	Device  string   // drift, release
 	Devices []string // deploy; ["all"] targets the whole fleet
 	Text    string   // drift: the injected line
+	Cut     string   // drift: remove golden lines containing this substring
 
 	DryRun       bool // deploy: stage + diff + discard, commit nothing
 	MayFail      bool // deploy: tolerate failure (chaos leaves drift behind)
@@ -150,6 +152,7 @@ const (
 	AssertFaultsFired   = "faults-fired"
 	AssertNoNewMgmtOps  = "no-new-mgmt-ops"
 	AssertGoldenStable  = "golden-unchanged"
+	AssertAlarm         = "alarm"
 )
 
 // AssertionSpec is one declarative check.
@@ -178,6 +181,10 @@ type AssertionSpec struct {
 
 	MinKinds int // faults-fired: distinct fault kinds
 	MinTotal int // faults-fired: total injections (default 1)
+
+	Rule             string // alarm: rule name (bgp-session-down, ...)
+	CorrelatesKind   string // alarm: a correlated event of this kind must exist
+	CorrelatesDevice string // alarm: ... naming this device
 }
 
 // templateDevices maps each template to its fixed device groups
@@ -548,7 +555,7 @@ func (d *decoder) decodeEvents(n *node) []EventSpec {
 
 func (d *decoder) decodeEvent(n *node, idx int) EventSpec {
 	if !d.fields(n, "event",
-		"at", "action", "device", "devices", "line", "dryrun", "may_fail",
+		"at", "action", "device", "devices", "line", "cut", "dryrun", "may_fail",
 		"expect_reject", "armed", "what", "name", "rounds", "step", "expect") {
 		return EventSpec{}
 	}
@@ -563,6 +570,7 @@ func (d *decoder) decodeEvent(n *node, idx int) EventSpec {
 	ev.Device = d.str(n, "device")
 	ev.Devices = d.strings(n, "devices")
 	ev.Text = d.str(n, "line")
+	ev.Cut = d.str(n, "cut")
 	if _, ok := n.children["dryrun"]; ok {
 		ev.DryRun = d.boolean(n, "dryrun")
 	}
@@ -605,7 +613,7 @@ func (d *decoder) decodeAssertion(n *node, idx int) AssertionSpec {
 	if !d.fields(n, "assertion",
 		"type", "device", "state", "skip_quarantined", "metric", "labels",
 		"op", "value", "event", "min_count", "verdict", "tripped",
-		"min_kinds", "min_total") {
+		"min_kinds", "min_total", "rule", "correlates_kind", "correlates_device") {
 		return AssertionSpec{}
 	}
 	a := AssertionSpec{Idx: idx, Line: n.line, MinCount: 1, MinTotal: 1}
@@ -635,5 +643,8 @@ func (d *decoder) decodeAssertion(n *node, idx int) AssertionSpec {
 	if _, ok := n.children["min_total"]; ok {
 		a.MinTotal = int(d.integer(n, "min_total"))
 	}
+	a.Rule = d.str(n, "rule")
+	a.CorrelatesKind = d.str(n, "correlates_kind")
+	a.CorrelatesDevice = d.str(n, "correlates_device")
 	return a
 }

@@ -35,14 +35,18 @@ var validActions = map[string]bool{
 	ActDrift: true, ActDeploy: true, ActChaos: true, ActCorruptDesign: true,
 	ActFirewall: true, ActKillMaster: true, ActPromote: true, ActRelease: true,
 	ActResetBreaker: true, ActSweep: true, ActConverge: true, ActWait: true,
-	ActSnapshot: true,
+	ActSnapshot: true, ActCollect: true,
 }
 
 var validAsserts = map[string]bool{
 	AssertDeviceState: true, AssertRunningGolden: true, AssertNoCandidates: true,
 	AssertNoConfirms: true, AssertBreaker: true, AssertMetric: true,
 	AssertJournal: true, AssertVerify: true, AssertFaultsFired: true,
-	AssertNoNewMgmtOps: true, AssertGoldenStable: true,
+	AssertNoNewMgmtOps: true, AssertGoldenStable: true, AssertAlarm: true,
+}
+
+var validAlarmStates = map[string]bool{
+	"pending": true, "firing": true, "resolved": true,
 }
 
 func sortedKeys(m map[string]bool) string {
@@ -233,6 +237,9 @@ func validateEventFields(e func(int, string, ...any) error, ev *EventSpec, ctx s
 		if err := reject(ev.Text != "", "line"); err != nil {
 			return err
 		}
+		if err := reject(ev.Cut != "", "cut"); err != nil {
+			return err
+		}
 	}
 	if ev.Action != ActDeploy {
 		for _, c := range []struct {
@@ -276,8 +283,8 @@ func validateEventFields(e func(int, string, ...any) error, ev *EventSpec, ctx s
 		if err := need(ev.Device != "", "device"); err != nil {
 			return err
 		}
-		if err := need(ev.Text != "", "line"); err != nil {
-			return err
+		if ev.Text == "" && ev.Cut == "" {
+			return e(ev.Line, "%s: drift needs \"line\" (inject) or \"cut\" (remove), or both", ctx)
 		}
 		if ev.Device == "all" {
 			return e(ev.Line, "%s: drift targets one device, not \"all\"", ctx)
@@ -373,6 +380,27 @@ func validateAssertion(e func(int, string, ...any) error, a *AssertionSpec, ctx 
 	case AssertFaultsFired:
 		if a.MinKinds < 1 && a.MinTotal < 1 {
 			return e(a.Line, "%s: faults-fired needs min_kinds or min_total >= 1", ctx)
+		}
+	case AssertAlarm:
+		if a.Rule == "" {
+			return e(a.Line, "%s: alarm assertion needs \"rule\"", ctx)
+		}
+		if a.State != "" && !validAlarmStates[a.State] {
+			return e(a.Line, "%s: unknown alarm state %q (known: %s)", ctx, a.State, sortedKeys(validAlarmStates))
+		}
+		if a.MinCount < 1 {
+			return e(a.Line, "%s: min_count must be >= 1", ctx)
+		}
+		if a.CorrelatesDevice != "" && a.CorrelatesKind == "" {
+			return e(a.Line, "%s: correlates_device needs correlates_kind", ctx)
+		}
+	}
+	if a.Type != AssertAlarm {
+		if a.Rule != "" {
+			return e(a.Line, "%s: field \"rule\" is only valid on alarm assertions", ctx)
+		}
+		if a.CorrelatesKind != "" || a.CorrelatesDevice != "" {
+			return e(a.Line, "%s: correlates_* fields are only valid on alarm assertions", ctx)
 		}
 	}
 	return nil

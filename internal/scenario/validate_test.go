@@ -107,7 +107,7 @@ func TestValidateGolden(t *testing.T) {
 		{
 			"unknown action",
 			"name: x\n" + fleet + "events:\n  - at: 1m\n    action: explode\n",
-			`s.yaml:7: event 0: unknown action "explode" (known: chaos, converge, corrupt-design, deploy, drift, firewall, kill-master, promote, release, reset-breaker, snapshot, sweep, wait)`,
+			`s.yaml:7: event 0: unknown action "explode" (known: chaos, collect, converge, corrupt-design, deploy, drift, firewall, kill-master, promote, release, reset-breaker, snapshot, sweep, wait)`,
 		},
 		{
 			"events out of order",
@@ -122,7 +122,7 @@ func TestValidateGolden(t *testing.T) {
 		{
 			"drift without line",
 			"name: x\n" + fleet + "events:\n  - at: 1m\n    action: drift\n    device: pr1.pop1-c1\n",
-			`s.yaml:7: event 0: action "drift" needs "line"`,
+			`s.yaml:7: event 0: drift needs "line" (inject) or "cut" (remove), or both`,
 		},
 		{
 			"drift on all",
@@ -157,7 +157,7 @@ func TestValidateGolden(t *testing.T) {
 		{
 			"unknown assertion type",
 			"name: x\n" + fleet + tail + "assert:\n  - type: vibes\n",
-			`s.yaml:10: assert 0: unknown assertion type "vibes" (known: breaker, device-state, faults-fired, golden-unchanged, journal, metric, no-candidates, no-new-mgmt-ops, no-pending-confirms, running-matches-golden, verify-verdict)`,
+			`s.yaml:10: assert 0: unknown assertion type "vibes" (known: alarm, breaker, device-state, faults-fired, golden-unchanged, journal, metric, no-candidates, no-new-mgmt-ops, no-pending-confirms, running-matches-golden, verify-verdict)`,
 		},
 		{
 			"bad state",

@@ -17,7 +17,23 @@ import (
 // Either argument may be nil: the corresponding endpoint serves an
 // empty (but valid) document.
 func NewHandler(reg *Registry, tracer *Tracer) http.Handler {
+	return NewHandlerWith(reg, tracer, nil)
+}
+
+// ExtraHandler is one additional endpoint mounted beside /metrics —
+// how subsystems (the alarm engine's /alarms and /timeline) expose
+// their views on the same server.
+type ExtraHandler struct {
+	Pattern string
+	Handler http.HandlerFunc
+}
+
+// NewHandlerWith is NewHandler plus extra endpoints.
+func NewHandlerWith(reg *Registry, tracer *Tracer, extra []ExtraHandler) http.Handler {
 	mux := http.NewServeMux()
+	for _, e := range extra {
+		mux.HandleFunc(e.Pattern, e.Handler)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
@@ -62,12 +78,17 @@ type Server struct {
 // addr (e.g. ":9090" or "127.0.0.1:0") and serves in a background
 // goroutine until Close.
 func ListenAndServe(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
+	return ListenAndServeWith(addr, reg, tracer, nil)
+}
+
+// ListenAndServeWith is ListenAndServe plus extra endpoints.
+func ListenAndServeWith(addr string, reg *Registry, tracer *Tracer, extra []ExtraHandler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	srv := &http.Server{
-		Handler:           NewHandler(reg, tracer),
+		Handler:           NewHandlerWith(reg, tracer, extra),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	s := &Server{Addr: ln.Addr().String(), srv: srv, ln: ln}
