@@ -76,11 +76,16 @@ bench-generate:
 
 # Reconciliation-loop benchmark: time-to-convergence when the whole
 # fleet drifts at once, vs fleet size (8/64/256), captured as a go-test
-# JSON event stream for trend tracking.
+# JSON event stream for trend tracking, then the storm sizes
+# (256/4096/16384) in single-domain vs 64-site sharded mode —
+# ROBOTRON_BENCH_LARGE=1 unlocks the 16384 rows.
 bench-reconcile:
 	$(GO) test -json -run '^$$' -benchmem \
 		-bench 'BenchmarkReconcileConverge' \
 		./internal/reconcile/ > BENCH_reconcile.json
+	ROBOTRON_BENCH_LARGE=1 $(GO) test -json -run '^$$' -benchmem -timeout 30m \
+		-bench 'BenchmarkScaleReconcileConverge' \
+		./internal/reconcile/ >> BENCH_reconcile.json
 	@grep -h '"Output".*ns/op' BENCH_reconcile.json | sed 's/.*"Output":"//;s/\\n"}//;s/\\t/\t/g'
 
 # Telemetry benchmarks: registry primitives (counter/histogram/span,

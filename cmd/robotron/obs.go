@@ -10,6 +10,7 @@ import (
 
 	"github.com/robotron-net/robotron/internal/core"
 	"github.com/robotron-net/robotron/internal/monitor"
+	"github.com/robotron-net/robotron/internal/reconcile"
 	"github.com/robotron-net/robotron/internal/scenario"
 )
 
@@ -26,6 +27,7 @@ const defaultObsScenario = "examples/scenarios/bgp-down-alarm-correlated.yaml"
 //	robotron obs timeline [file]   merged operational timeline
 //	robotron obs series [file]     collected timeseries keys and last samples
 //	robotron obs jobs [file]       derived collection jobs and alarm rules
+//	robotron obs reconcile [file]  per-shard breaker/budget/backlog snapshot
 //
 // Exit codes mirror `robotron sim`: 0 ok, 1 the scenario failed, 2 the
 // file is invalid or usage is wrong.
@@ -33,7 +35,7 @@ func runObs(args []string) int {
 	fs := flag.NewFlagSet("obs", flag.ExitOnError)
 	verbose := fs.Bool("v", false, "verbose progress output")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: robotron obs <alarms|timeline|series|jobs> [flags] [scenario-file]\n")
+		fmt.Fprintf(os.Stderr, "usage: robotron obs <alarms|timeline|series|jobs|reconcile> [flags] [scenario-file]\n")
 		fs.PrintDefaults()
 	}
 	if len(args) == 0 {
@@ -42,9 +44,9 @@ func runObs(args []string) int {
 	}
 	view := args[0]
 	switch view {
-	case "alarms", "timeline", "series", "jobs":
+	case "alarms", "timeline", "series", "jobs", "reconcile":
 	default:
-		fmt.Fprintf(os.Stderr, "obs: unknown view %q (want alarms, timeline, series, or jobs)\n", view)
+		fmt.Fprintf(os.Stderr, "obs: unknown view %q (want alarms, timeline, series, jobs, or reconcile)\n", view)
 		return 2
 	}
 	if err := fs.Parse(args[1:]); err != nil {
@@ -110,6 +112,14 @@ func obsPrint(view string, r *core.Robotron) {
 			}
 			fmt.Printf("%-48s n=%-5d last=%g\n", k, len(r.Timeseries.Series(k)), last[0].Value)
 		}
+	case "reconcile":
+		if r.Reconciler == nil {
+			fmt.Println("reconciler disabled")
+			return
+		}
+		fmt.Print(reconcile.FormatSnapshot(r.Reconciler.Snapshot()))
+		fmt.Println()
+		fmt.Print(reconcile.FormatDeviceTable(r.Reconciler.Devices()))
 	case "jobs":
 		jobs := r.JobManager.Jobs()
 		sort.Slice(jobs, func(i, j int) bool { return jobs[i].Name < jobs[j].Name })

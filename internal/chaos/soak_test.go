@@ -207,6 +207,15 @@ func TestChaosSoak(t *testing.T) {
 		t.Error("chaos run recorded zero deploy retries — retry layer never engaged")
 	}
 
+	// Budget witness: the journal's high-water marks prove the safety
+	// budget held in every failure domain throughout the storm (one site
+	// here, so its shard budget equals the configured device cap).
+	for shard, max := range r.Reconciler.Journal().MaxActiveByShard() {
+		if max > 128 {
+			t.Errorf("seed=%d: shard %s peaked at %d concurrent remediations, budget 128", soakSeed, shard, max)
+		}
+	}
+
 	stats := r.Reconciler.Stats()
 	quarantined := 0
 	for _, s := range r.Reconciler.States() {

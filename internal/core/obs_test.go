@@ -8,6 +8,7 @@ import (
 
 	"github.com/robotron-net/robotron/internal/design"
 	"github.com/robotron-net/robotron/internal/monitor"
+	"github.com/robotron-net/robotron/internal/reconcile"
 	"github.com/robotron-net/robotron/internal/vclock"
 )
 
@@ -72,6 +73,70 @@ func TestObsEndpointsMatchSnapshot(t *testing.T) {
 		if !stages[want] {
 			t.Errorf("timeline missing stage %q (got %v)", want, stages)
 		}
+	}
+}
+
+// TestObsReconcileEndpointMatchesSnapshot: /reconcile serves exactly what
+// Reconciler.Snapshot() reports, shards are the provisioned site (the
+// failure domain comes from FBNet membership, not name parsing), and a
+// device drift shows up as backlog in the served document.
+func TestObsReconcileEndpointMatchesSnapshot(t *testing.T) {
+	clk := reconcile.NewVirtualClock(time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC))
+	off := false
+	r, err := New(Options{
+		EnableReconciler: true,
+		EnableAlarms:     &off, // /reconcile must not depend on the alarm engine
+		Reconcile:        reconcile.Config{Clock: clk},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Reconciler.Stop)
+	if _, err := r.Designer.EnsureSite("pop1", "pop", "apac"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.ProvisionCluster(testCtx("pop"), "pop1", "pop1-c1", design.POPGen1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-band drift on one device, surfaced by a sweep: the snapshot
+	// gains a tracked device and an open backlog entry under site pop1.
+	dev, ok := r.Fleet.Device(res.Devices[0])
+	if !ok {
+		t.Fatalf("device %s not in fleet", res.Devices[0])
+	}
+	golden, err := r.Generator.Golden(res.Devices[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.InjectRunningConfig(golden + "rogue line\n"); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Reconciler.Sweep(); n == 0 {
+		t.Fatal("sweep checked no devices")
+	}
+
+	srv, err := r.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var httpSnap reconcile.Snapshot
+	getJSON(t, "http://"+srv.Addr+"/reconcile", &httpSnap)
+	want := r.Reconciler.Snapshot()
+	if !jsonEqual(t, httpSnap, want) {
+		t.Errorf("/reconcile diverges from Reconciler.Snapshot():\nhttp: %+v\napi:  %+v", httpSnap, want)
+	}
+	if len(httpSnap.Shards) != 1 || httpSnap.Shards[0].Shard != "pop1" {
+		t.Fatalf("shards = %+v, want exactly site pop1", httpSnap.Shards)
+	}
+	sh := httpSnap.Shards[0]
+	if sh.Open != 1 || sh.Devices < 1 || sh.Tripped {
+		t.Errorf("pop1 shard = %+v, want open=1 breaker closed", sh)
+	}
+	if sh.Budget <= 0 {
+		t.Errorf("pop1 budget = %d, want > 0 (ShardFleetSize wired)", sh.Budget)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"github.com/robotron-net/robotron/internal/audit"
@@ -281,12 +282,46 @@ func New(opts Options) (*Robotron, error) {
 		if rc.DeployRetry == nil {
 			rc.DeployRetry = opts.DeployRetry
 		}
+		// Failure domains: a device's shard is its simulated site, so a
+		// drift storm in one site trips only that site's breaker. The
+		// per-site fleet counts back the per-shard fractional budget and
+		// are memoized until the fleet size changes.
+		siteOf := func(device string) string {
+			if d, ok := fleet.Device(device); ok {
+				return d.Site()
+			}
+			return ""
+		}
+		var shardSizes struct {
+			sync.Mutex
+			fleetLen int
+			bySite   map[string]int
+		}
+		shardFleetSize := func(shard string) int {
+			devs := fleet.Devices()
+			shardSizes.Lock()
+			defer shardSizes.Unlock()
+			if shardSizes.bySite == nil || shardSizes.fleetLen != len(devs) {
+				bySite := make(map[string]int)
+				for _, d := range devs {
+					s := d.Site()
+					if s == "" {
+						s = reconcile.DeriveShard(d.Name())
+					}
+					bySite[s]++
+				}
+				shardSizes.bySite, shardSizes.fleetLen = bySite, len(devs)
+			}
+			return shardSizes.bySite[shard]
+		}
 		rec := reconcile.New(reconcile.Deps{
-			Golden:    gen,
-			Deployer:  deployer,
-			Checker:   cm,
-			FleetSize: func() int { return len(fleet.Devices()) },
-			SweepList: func() []string { return monitor.SortedDeviceNames(fleet) },
+			Golden:         gen,
+			Deployer:       deployer,
+			Checker:        cm,
+			FleetSize:      func() int { return len(fleet.Devices()) },
+			SweepList:      func() []string { return monitor.SortedDeviceNames(fleet) },
+			SiteOf:         siteOf,
+			ShardFleetSize: shardFleetSize,
 		}, rc)
 		cm.OnDeviation(rec.HandleDeviation)
 		cm.OnCheckError(rec.HandleCheckError)
@@ -318,35 +353,44 @@ func (r *Robotron) ServeMetrics(addr string) (*telemetry.Server, error) {
 	return telemetry.ListenAndServeWith(addr, r.Telemetry, r.Tracer, r.obsHandlers())
 }
 
-// obsHandlers exposes the alarm engine beside /metrics: /alarms is the
-// full alarm snapshot (lifecycle states + correlations), /timeline the
-// merged operational stream, both as JSON.
+// obsHandlers exposes the optional engines beside /metrics: /alarms is
+// the full alarm snapshot (lifecycle states + correlations), /timeline
+// the merged operational stream, /reconcile the reconciler's per-shard
+// breaker/budget snapshot — each only when its engine is enabled.
 func (r *Robotron) obsHandlers() []telemetry.ExtraHandler {
-	if r.Alarms == nil {
-		return nil
-	}
 	writeJSON := func(w http.ResponseWriter, v any) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(v)
 	}
-	return []telemetry.ExtraHandler{
-		{Pattern: "/alarms", Handler: func(w http.ResponseWriter, _ *http.Request) {
-			alarms := r.Alarms.Snapshot()
-			if alarms == nil {
-				alarms = []monitor.Alarm{}
-			}
-			writeJSON(w, alarms)
-		}},
-		{Pattern: "/timeline", Handler: func(w http.ResponseWriter, _ *http.Request) {
-			tl := r.Alarms.Timeline(time.Time{}, time.Time{})
-			if tl == nil {
-				tl = []monitor.TimelineEntry{}
-			}
-			writeJSON(w, tl)
-		}},
+	var hs []telemetry.ExtraHandler
+	if r.Alarms != nil {
+		hs = append(hs,
+			telemetry.ExtraHandler{Pattern: "/alarms", Handler: func(w http.ResponseWriter, _ *http.Request) {
+				alarms := r.Alarms.Snapshot()
+				if alarms == nil {
+					alarms = []monitor.Alarm{}
+				}
+				writeJSON(w, alarms)
+			}},
+			telemetry.ExtraHandler{Pattern: "/timeline", Handler: func(w http.ResponseWriter, _ *http.Request) {
+				tl := r.Alarms.Timeline(time.Time{}, time.Time{})
+				if tl == nil {
+					tl = []monitor.TimelineEntry{}
+				}
+				writeJSON(w, tl)
+			}},
+		)
 	}
+	if r.Reconciler != nil {
+		hs = append(hs,
+			telemetry.ExtraHandler{Pattern: "/reconcile", Handler: func(w http.ResponseWriter, _ *http.Request) {
+				writeJSON(w, r.Reconciler.Snapshot())
+			}},
+		)
+	}
+	return hs
 }
 
 func (r *Robotron) logf(format string, args ...any) {

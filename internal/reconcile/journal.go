@@ -3,6 +3,7 @@ package reconcile
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -29,18 +30,27 @@ const (
 	EvTransportGiveUp EventType = "transport-giveup" // transport retries exhausted; device re-enters via next sweep
 	EvSweep           EventType = "sweep"            // periodic full-fleet conformance sweep ran
 	EvHalted          EventType = "halted"           // drift seen while the breaker is open
+	EvAggregateTrip   EventType = "aggregate-trip"   // global last-resort breaker opened
+	EvResumed         EventType = "resumed"          // in-flight remediation interrupted by a restart, rescheduled
 )
 
-// Event is one journal entry. Active snapshots the number of in-flight
-// remediations at append time, so budget compliance is auditable from the
-// journal alone.
+// Event is one journal entry. Active and ShardActive snapshot the
+// in-flight remediation counts (fleet-wide and in the device's shard) at
+// append time, so budget compliance is auditable from the journal alone
+// at both levels. FireAt records when a pending timer is due (scheduled,
+// rate-limited, and retried check-error entries) — the field
+// ResumeFromJournal replays to re-arm timers exactly where a killed
+// process left them.
 type Event struct {
-	Seq    int64
-	At     time.Time
-	Device string // empty for loop-wide events (sweep, breaker-reset)
-	Type   EventType
-	Detail string
-	Active int
+	Seq         int64
+	At          time.Time
+	Device      string // empty for loop-wide events (sweep, breaker-reset)
+	Shard       string // failure domain; empty for loop-wide events
+	Type        EventType
+	Detail      string
+	Active      int
+	ShardActive int
+	FireAt      time.Time // pending-timer due time; zero when none
 }
 
 // Journal is the reconciler's append-only event log. Every state
@@ -59,10 +69,11 @@ func NewJournal(sink io.Writer) *Journal {
 	return &Journal{sink: sink}
 }
 
-func (j *Journal) add(at time.Time, device string, typ EventType, detail string, active int) Event {
+func (j *Journal) add(at time.Time, device, shard string, typ EventType, detail string, active, shardActive int, fireAt time.Time) Event {
 	j.mu.Lock()
 	j.seq++
-	e := Event{Seq: j.seq, At: at, Device: device, Type: typ, Detail: detail, Active: active}
+	e := Event{Seq: j.seq, At: at, Device: device, Shard: shard, Type: typ,
+		Detail: detail, Active: active, ShardActive: shardActive, FireAt: fireAt}
 	j.events = append(j.events, e)
 	sink := j.sink
 	j.mu.Unlock()
@@ -72,14 +83,32 @@ func (j *Journal) add(at time.Time, device string, typ EventType, detail string,
 	return e
 }
 
+// restore seeds the journal with a replayed prefix: entries are adopted
+// verbatim and the sequence counter continues after them. The sink is
+// deliberately not re-fed — when resuming from a sink file, those lines
+// are already in it.
+func (j *Journal) restore(events []Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append([]Event(nil), events...)
+	j.seq = 0
+	if n := len(events); n > 0 {
+		j.seq = events[n-1].Seq
+	}
+}
+
 // String renders one entry as a single journal line.
 func (e Event) String() string {
 	dev := e.Device
 	if dev == "" {
 		dev = "-"
 	}
-	return fmt.Sprintf("%06d %s %-14s %-12s active=%d %s",
-		e.Seq, e.At.UTC().Format(time.RFC3339), e.Type, dev, e.Active, e.Detail)
+	sh := e.Shard
+	if sh == "" {
+		sh = "-"
+	}
+	return fmt.Sprintf("%06d %s %-14s %-12s shard=%-8s active=%d/%d %s",
+		e.Seq, e.At.UTC().Format(time.RFC3339), e.Type, dev, sh, e.ShardActive, e.Active, e.Detail)
 }
 
 // Events returns a copy of every entry, oldest first.
@@ -96,8 +125,9 @@ func (j *Journal) Len() int {
 	return len(j.events)
 }
 
-// MaxActive returns the highest in-flight remediation count ever recorded,
-// the journal-side witness for the safety-budget invariant.
+// MaxActive returns the highest fleet-wide in-flight remediation count
+// ever recorded, the journal-side witness for the safety-budget
+// invariant.
 func (j *Journal) MaxActive() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -108,6 +138,24 @@ func (j *Journal) MaxActive() int {
 		}
 	}
 	return max
+}
+
+// MaxActiveByShard returns the highest in-flight remediation count ever
+// recorded per shard — the budget-compliance invariant must hold inside
+// every failure domain, not just in aggregate.
+func (j *Journal) MaxActiveByShard() map[string]int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[string]int)
+	for _, e := range j.events {
+		if e.Shard == "" {
+			continue
+		}
+		if e.ShardActive > out[e.Shard] {
+			out[e.Shard] = e.ShardActive
+		}
+	}
+	return out
 }
 
 // Format renders the whole journal for operators.
@@ -132,10 +180,27 @@ type ReconcileStats struct {
 	CheckErrors      int64 // conformance checks that errored (retried)
 	Suppressed       int64 // deviations ignored on quarantined devices
 	TransportRetries int64 // remediations rescheduled after transport faults
+	GlobalTrips      int64 // aggregate (fleet-wide) breaker openings
+
+	// ShardTrips counts breaker openings per failure domain; shards that
+	// never tripped are omitted.
+	ShardTrips map[string]int64
 }
 
-// String renders the counters in one line.
+// String renders the counters in one line, shard trip counts sorted.
 func (s ReconcileStats) String() string {
-	return fmt.Sprintf("detected=%d remediated=%d converged=%d quarantined=%d budget-trips=%d retries=%d rate-limited=%d check-errors=%d suppressed=%d transport-retries=%d",
-		s.Detected, s.Remediated, s.Converged, s.Quarantined, s.BudgetTrips, s.Retries, s.RateLimited, s.CheckErrors, s.Suppressed, s.TransportRetries)
+	shards := make([]string, 0, len(s.ShardTrips))
+	for name := range s.ShardTrips {
+		shards = append(shards, name)
+	}
+	sort.Strings(shards)
+	var b strings.Builder
+	for i, name := range shards {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", name, s.ShardTrips[name])
+	}
+	return fmt.Sprintf("detected=%d remediated=%d converged=%d quarantined=%d budget-trips=%d retries=%d rate-limited=%d check-errors=%d suppressed=%d transport-retries=%d global-trips=%d shard-trips{%s}",
+		s.Detected, s.Remediated, s.Converged, s.Quarantined, s.BudgetTrips, s.Retries, s.RateLimited, s.CheckErrors, s.Suppressed, s.TransportRetries, s.GlobalTrips, b.String())
 }

@@ -10,13 +10,22 @@
 //     virtual clock makes schedules reproducible in tests).
 //   - Flap damping: a device that keeps drifting inside the damping
 //     window is quarantined for operator review instead of being fought.
-//   - A fleet-wide safety budget: when more devices need remediation
-//     than min(K, X·fleet), the circuit breaker opens and the loop halts
-//     with an alert — mass drift usually means the *desired* state is
-//     wrong, and redeploying it everywhere would propagate the error.
-//   - A token-bucket rate limit on remediation deploys.
+//   - Failure-domain sharding: every device maps to a shard (its FBNet
+//     site, or a deterministic name-prefix fallback) that owns its own
+//     safety budget min(K, X·shard_fleet), circuit breaker, and deploy
+//     token bucket — a drift storm in one site trips only that shard
+//     while every other domain keeps converging. A global aggregate
+//     breaker (≥N shards open, or fleet-wide demand over a global cap)
+//     remains as the last-resort halt; mass drift usually means the
+//     *desired* state is wrong, and redeploying it everywhere would
+//     propagate the error.
+//   - Paced drain on breaker reset: the backlog is released DrainBatch
+//     devices per DrainEvery per shard instead of re-arming everything
+//     at once.
 //   - A durable event journal and counters, so every decision the loop
-//     made is auditable after the fact.
+//     made is auditable after the fact — and replayable: a restarted
+//     reconciler built with ResumeFromJournal picks up exactly where the
+//     killed process stopped (see recover.go).
 //
 // Remediation itself reuses the existing pipeline: the memoized config
 // generator recomputes golden intent, and the deployment engine pushes it
@@ -66,6 +75,13 @@ type Deps struct {
 	// SweepList names the devices the periodic sweep checks; nil
 	// disables sweeping regardless of SweepInterval.
 	SweepList func() []string
+	// SiteOf maps a device to its failure-domain shard (FBNet site
+	// membership). Nil, or an empty return, falls back to the
+	// deterministic name-prefix rule in DeriveShard.
+	SiteOf func(device string) string
+	// ShardFleetSize sizes one shard's fractional budget
+	// min(K, X·shard_fleet); nil falls back to FleetSize.
+	ShardFleetSize func(shard string) int
 }
 
 // Reconciler is the closed-loop drift controller. Construct with New,
@@ -77,14 +93,18 @@ type Reconciler struct {
 	clock   Clock
 	journal *Journal
 
-	mu         sync.Mutex
-	devices    map[string]*deviceState
-	active     int // devices in remediating|confirming
-	tripped    bool
-	stopped    bool
-	met        reconcileMetrics
-	bucket     *tokenBucket
-	sweepTimer Timer
+	mu            sync.Mutex
+	devices       map[string]*deviceState
+	shards        map[string]*shard
+	active        int // devices in remediating|confirming, fleet-wide
+	open          int // devices in detected|backoff|remediating|confirming, fleet-wide
+	trippedShards int // shards whose breaker is currently open
+	globalTripped bool
+	globalTrips   int64
+	stopped       bool
+	met           reconcileMetrics
+	reg           *telemetry.Registry // per-shard metric home; swapped by Instrument
+	sweepTimer    Timer
 
 	wg sync.WaitGroup // in-flight remediations
 }
@@ -92,16 +112,18 @@ type Reconciler struct {
 // New builds a reconciler; call Start to arm the periodic sweep.
 func New(deps Deps, cfg Config) *Reconciler {
 	cfg = cfg.withDefaults()
+	// Private registry so Stats() works unwired; Instrument rebinds.
+	reg := telemetry.NewRegistry()
 	r := &Reconciler{
 		deps:    deps,
 		cfg:     cfg,
 		clock:   cfg.Clock,
 		journal: NewJournal(cfg.JournalSink),
 		devices: make(map[string]*deviceState),
-		// Private registry so Stats() works unwired; Instrument rebinds.
-		met: bindReconcileMetrics(telemetry.NewRegistry()),
+		shards:  make(map[string]*shard),
+		met:     bindReconcileMetrics(reg),
+		reg:     reg,
 	}
-	r.bucket = newTokenBucket(cfg.DeployBurst, cfg.DeployEvery, r.clock.Now())
 	return r
 }
 
@@ -171,7 +193,7 @@ func (r *Reconciler) noteDrift(name, detail string) {
 		return
 	case StateQuarantined:
 		r.met.suppressed.Inc()
-		r.eventLocked(name, EvSuppressed, "drift on quarantined device ignored")
+		r.eventLocked(name, ds.shard, EvSuppressed, "drift on quarantined device ignored")
 		r.mu.Unlock()
 		return
 	}
@@ -190,23 +212,29 @@ func (r *Reconciler) noteDrift(name, detail string) {
 		r.fire(alerts)
 		return
 	}
-	if r.tripped {
-		r.eventLocked(name, EvHalted, "breaker open: drift recorded, remediation not scheduled")
+	sh := ds.shard
+	if r.globalTripped || sh.tripped {
+		r.eventLocked(name, sh, EvHalted, "breaker open: drift recorded, remediation not scheduled")
 		r.mu.Unlock()
 		return
 	}
-	// Safety budget on *demand*: count every unconverged device the loop
-	// is committed to (this one included). Exceeding the budget means
-	// mass drift — halt instead of deploying.
-	budget := r.budgetLocked()
-	if open := r.openLocked(); open > budget {
-		r.tripped = true
-		r.met.budgetTrips.Inc()
-		r.eventLocked(name, EvBudgetTrip,
-			fmt.Sprintf("%d device(s) need remediation, budget %d: loop halted", open, budget))
-		alerts = append(alerts, fmt.Sprintf(
-			"reconcile: safety budget exceeded (%d drifting, budget %d) — loop halted; mass drift usually means the desired state is wrong. Inspect and ResetBreaker().",
-			open, budget))
+	// Safety budget on *demand*, per failure domain: count every
+	// unconverged device the loop is committed to in this shard (this one
+	// included). Exceeding the budget means mass drift — halt the shard
+	// instead of deploying; the rest of the fleet keeps converging.
+	budget := r.shardBudgetLocked(sh)
+	if sh.open > budget {
+		r.tripShardLocked(sh, name,
+			fmt.Sprintf("%d device(s) need remediation in shard %s, budget %d: shard halted", sh.open, sh.name, budget),
+			&alerts)
+		r.mu.Unlock()
+		r.fire(alerts)
+		return
+	}
+	// Fleet-wide demand cap: many shards drifting at once, each inside
+	// its own budget, is still a fleet-wide event.
+	if gcap := r.globalCapLocked(); gcap > 0 && r.open > gcap {
+		r.tripGlobalLocked(fmt.Sprintf("%d device(s) need remediation fleet-wide, global cap %d: loop halted", r.open, gcap), &alerts)
 		r.mu.Unlock()
 		r.fire(alerts)
 		return
@@ -229,8 +257,10 @@ func (r *Reconciler) HandleCheckError(device string, err error) {
 	ds := r.ensureLocked(device)
 	ds.checkAttempt++
 	attempt := ds.checkAttempt
-	r.eventLocked(device, EvCheckError, fmt.Sprintf("attempt %d: %v", attempt, err))
+	detail := fmt.Sprintf("attempt %d: %v", attempt, err)
 	if r.cfg.MaxCheckRetries > 0 && attempt > r.cfg.MaxCheckRetries {
+		// Zero FireAt marks the give-up: replay must not re-arm a recheck.
+		r.eventLocked(device, ds.shard, EvCheckError, detail)
 		alerts = append(alerts, fmt.Sprintf("reconcile: conformance check on %s failed %d times (%v) — giving up until the next sweep",
 			device, attempt, err))
 		ds.checkAttempt = 0
@@ -239,6 +269,7 @@ func (r *Reconciler) HandleCheckError(device string, err error) {
 		return
 	}
 	delay := r.cfg.backoff(attempt - 1)
+	r.eventAtLocked(device, ds.shard, EvCheckError, detail, r.clock.Now().Add(delay))
 	r.clock.AfterFunc(delay, func() { r.recheck(device) })
 	r.mu.Unlock()
 }
@@ -273,15 +304,27 @@ func (r *Reconciler) recheck(device string) {
 // check error) into the loop. Returns the number of devices checked.
 func (r *Reconciler) Sweep() int {
 	r.mu.Lock()
-	if r.stopped || r.tripped || r.deps.SweepList == nil {
+	if r.stopped || r.globalTripped || r.deps.SweepList == nil {
 		r.mu.Unlock()
 		return 0
 	}
 	skip := make(map[string]bool, len(r.devices))
 	for name, ds := range r.devices {
+		if ds.shard.tripped {
+			// Shard breaker open: drift there is already known en masse;
+			// checking would only journal halted-spam.
+			skip[name] = true
+			continue
+		}
 		switch ds.state {
 		case StateDetected, StateBackoff, StateRemediating, StateConfirming, StateQuarantined:
 			skip[name] = true
+		}
+	}
+	trippedShards := make(map[string]bool)
+	for name, sh := range r.shards {
+		if sh.tripped {
+			trippedShards[name] = true
 		}
 	}
 	r.mu.Unlock()
@@ -289,6 +332,10 @@ func (r *Reconciler) Sweep() int {
 	checked := 0
 	for _, name := range list {
 		if skip[name] {
+			continue
+		}
+		// Untracked devices still belong to a (possibly tripped) shard.
+		if len(trippedShards) > 0 && trippedShards[r.shardNameOf(name)] {
 			continue
 		}
 		checked++
@@ -307,7 +354,7 @@ func (r *Reconciler) Sweep() int {
 		}
 	}
 	r.mu.Lock()
-	r.eventLocked("", EvSweep, fmt.Sprintf("%d device(s) checked", checked))
+	r.eventLocked("", nil, EvSweep, fmt.Sprintf("%d device(s) checked", checked))
 	r.mu.Unlock()
 	return checked
 }
@@ -323,7 +370,8 @@ func (r *Reconciler) tryRemediate(name string) {
 	}
 	ds.timerArmed = false
 	ds.timer = nil
-	if r.tripped {
+	sh := ds.shard
+	if r.globalTripped || sh.tripped {
 		// Breaker opened while we waited; park in backoff (no timer) for
 		// ResetBreaker to resume.
 		r.mu.Unlock()
@@ -332,28 +380,27 @@ func (r *Reconciler) tryRemediate(name string) {
 	// Defense in depth: the demand-side trip in noteDrift keeps open
 	// devices within budget, so in-flight remediations can never exceed
 	// it — but verify at the acquire point too.
-	budget := r.budgetLocked()
-	if r.active >= budget {
-		r.tripped = true
-		r.met.budgetTrips.Inc()
-		r.eventLocked(name, EvBudgetTrip,
-			fmt.Sprintf("%d remediation(s) already in flight, budget %d: loop halted", r.active, budget))
-		alerts = append(alerts, fmt.Sprintf(
-			"reconcile: safety budget exceeded at deploy time (%d in flight, budget %d) — loop halted", r.active, budget))
+	budget := r.shardBudgetLocked(sh)
+	if sh.active >= budget {
+		r.tripShardLocked(sh, name,
+			fmt.Sprintf("%d remediation(s) already in flight in shard %s, budget %d: shard halted", sh.active, sh.name, budget),
+			&alerts)
 		r.mu.Unlock()
 		r.fire(alerts)
 		return
 	}
-	if r.bucket != nil {
-		if wait := r.bucket.take(r.clock.Now()); wait > 0 {
+	if sh.bucket != nil {
+		now := r.clock.Now()
+		if wait := sh.bucket.take(now); wait > 0 {
 			r.met.rateLimited.Inc()
-			r.eventLocked(name, EvRateLimited, fmt.Sprintf("deploy token in %v", wait))
+			r.eventAtLocked(name, sh, EvRateLimited, fmt.Sprintf("deploy token in %v", wait), now.Add(wait))
 			r.rearmLocked(ds, wait)
 			r.mu.Unlock()
 			return
 		}
 	}
 	r.active++
+	sh.active++
 	r.setStateLocked(ds, StateRemediating, EvRemediate, fmt.Sprintf("attempt %d", ds.attempt+1))
 	r.wg.Add(1)
 	r.mu.Unlock()
@@ -370,6 +417,9 @@ func (r *Reconciler) remediate(name string) {
 	r.mu.Lock()
 	r.active--
 	ds := r.devices[name]
+	if ds != nil {
+		ds.shard.active--
+	}
 	if ds == nil || r.stopped {
 		r.mu.Unlock()
 		return
@@ -404,7 +454,7 @@ func (r *Reconciler) remediate(name string) {
 			r.fire(alerts)
 			return
 		}
-		r.eventLocked(name, EvTransportRetry, fmt.Sprintf("attempt %d: %v", ds.transportAttempt, err))
+		r.eventLocked(name, ds.shard, EvTransportRetry, fmt.Sprintf("attempt %d: %v", ds.transportAttempt, err))
 		r.scheduleLocked(ds, r.cfg.backoff(ds.transportAttempt-1))
 		r.mu.Unlock()
 		return
@@ -421,7 +471,7 @@ func (r *Reconciler) remediate(name string) {
 		return
 	}
 	r.met.retries.Inc()
-	r.eventLocked(name, EvRetry, err.Error())
+	r.eventLocked(name, ds.shard, EvRetry, err.Error())
 	r.scheduleLocked(ds, r.cfg.backoff(ds.attempt))
 	r.mu.Unlock()
 }
@@ -490,39 +540,104 @@ func (r *Reconciler) Release(name string) error {
 	return nil
 }
 
-// Tripped reports whether the safety-budget circuit breaker is open.
+// Tripped reports whether any safety-budget circuit breaker — shard or
+// global — is open.
 func (r *Reconciler) Tripped() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.tripped
+	return r.globalTripped || r.trippedShards > 0
 }
 
-// ResetBreaker re-arms a tripped loop: the operator has inspected the
-// mass drift and wants the backlog drained (within the budget, one
-// scheduling wave at a time).
+// ResetBreaker re-arms every tripped breaker (global and per-shard): the
+// operator has inspected the mass drift and wants the backlog drained —
+// paced, DrainBatch devices per DrainEvery per shard, on top of each
+// device's own backoff.
 func (r *Reconciler) ResetBreaker() {
 	r.mu.Lock()
-	if !r.tripped {
+	if !r.globalTripped && r.trippedShards == 0 {
 		r.mu.Unlock()
 		return
 	}
-	r.tripped = false
-	r.eventLocked("", EvBreakerReset, "operator re-armed the loop")
-	// Sorted order: the re-arm schedules one timer per open device, and
-	// timer order is remediation order — map iteration here would make
-	// the drain order (and the journal) differ run to run.
+	if r.globalTripped {
+		r.globalTripped = false
+		r.eventLocked("", nil, EvBreakerReset, "operator re-armed the loop")
+	}
+	for _, name := range r.sortedShardNamesLocked() {
+		sh := r.shards[name]
+		if sh.tripped {
+			sh.tripped = false
+			r.trippedShards--
+			r.eventLocked("", sh, EvBreakerReset, "operator re-armed shard "+sh.name)
+		}
+	}
+	r.drainLocked(nil)
+	r.mu.Unlock()
+}
+
+// ResetShardBreaker re-arms one shard's breaker and pace-drains only its
+// backlog, leaving every other breaker position untouched.
+func (r *Reconciler) ResetShardBreaker(name string) error {
+	r.mu.Lock()
+	sh := r.shards[name]
+	if sh == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("reconcile: unknown shard %q", name)
+	}
+	if sh.tripped {
+		sh.tripped = false
+		r.trippedShards--
+		r.eventLocked("", sh, EvBreakerReset, "operator re-armed shard "+sh.name)
+	}
+	r.drainLocked(sh)
+	r.mu.Unlock()
+	return nil
+}
+
+// drainLocked releases the parked backlog: every open device without an
+// armed timer (in only, when non-nil) is rescheduled at its own backoff
+// plus a per-shard pacing offset — DrainBatch devices per DrainEvery —
+// so a reset never re-creates the storm it is recovering from. Sorted
+// order: timer order is remediation order, and map iteration would make
+// the drain order (and the journal) differ run to run.
+func (r *Reconciler) drainLocked(only *shard) {
+	if r.globalTripped {
+		return // still halted fleet-wide; the global reset drains
+	}
+	every := r.cfg.DrainEvery
+	if every < 0 {
+		every = 0
+	}
+	batch := r.cfg.DrainBatch
 	names := make([]string, 0, len(r.devices))
 	for name := range r.devices {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	idx := make(map[*shard]int)
 	for _, name := range names {
 		ds := r.devices[name]
+		if only != nil && ds.shard != only {
+			continue
+		}
+		if ds.shard.tripped {
+			continue
+		}
 		if (ds.state == StateDetected || ds.state == StateBackoff) && !ds.timerArmed {
-			r.scheduleLocked(ds, r.cfg.backoff(ds.attempt))
+			i := idx[ds.shard]
+			idx[ds.shard]++
+			pace := time.Duration(i/batch) * every
+			r.scheduleLocked(ds, r.cfg.backoff(ds.attempt)+pace)
 		}
 	}
-	r.mu.Unlock()
+}
+
+func (r *Reconciler) sortedShardNamesLocked() []string {
+	names := make([]string, 0, len(r.shards))
+	for name := range r.shards {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Stats returns a snapshot of the counters — a thin view over the
@@ -530,6 +645,13 @@ func (r *Reconciler) ResetBreaker() {
 func (r *Reconciler) Stats() ReconcileStats {
 	r.mu.Lock()
 	m := r.met
+	shardTrips := make(map[string]int64)
+	for name, sh := range r.shards {
+		if sh.trips > 0 {
+			shardTrips[name] = sh.trips
+		}
+	}
+	globalTrips := r.globalTrips
 	r.mu.Unlock()
 	return ReconcileStats{
 		Detected:         m.detected.Value(),
@@ -542,6 +664,8 @@ func (r *Reconciler) Stats() ReconcileStats {
 		CheckErrors:      m.checkErrors.Value(),
 		Suppressed:       m.suppressed.Value(),
 		TransportRetries: m.transportRetries.Value(),
+		GlobalTrips:      globalTrips,
+		ShardTrips:       shardTrips,
 	}
 }
 
@@ -567,6 +691,7 @@ func (r *Reconciler) Devices() []DeviceStatus {
 	for _, ds := range r.devices {
 		out = append(out, DeviceStatus{
 			Device:     ds.name,
+			Shard:      ds.shard.name,
 			State:      ds.state,
 			Attempts:   ds.attempt,
 			Detections: len(ds.detections),
@@ -588,48 +713,22 @@ func (r *Reconciler) DeviceTable() string {
 func (r *Reconciler) ensureLocked(name string) *deviceState {
 	ds := r.devices[name]
 	if ds == nil {
-		ds = &deviceState{name: name, state: StateConverged, changedAt: r.clock.Now()}
+		now := r.clock.Now()
+		ds = &deviceState{name: name, state: StateConverged, changedAt: now}
+		ds.shard = r.shardLocked(r.shardNameOf(name), now)
+		ds.shard.devices++
 		r.devices[name] = ds
 	}
 	return ds
 }
 
-// openLocked counts devices the loop is committed to remediating.
-func (r *Reconciler) openLocked() int {
-	n := 0
-	for _, ds := range r.devices {
-		switch ds.state {
-		case StateDetected, StateBackoff, StateRemediating, StateConfirming:
-			n++
-		}
-	}
-	return n
-}
-
-// budgetLocked resolves the effective safety budget min(K, X·fleet).
-func (r *Reconciler) budgetLocked() int {
-	b := r.cfg.BudgetMaxDevices
-	if r.deps.FleetSize != nil && r.cfg.BudgetMaxFraction > 0 {
-		if n := r.deps.FleetSize(); n > 0 {
-			f := int(r.cfg.BudgetMaxFraction * float64(n))
-			if f < 1 {
-				f = 1
-			}
-			if f < b {
-				b = f
-			}
-		}
-	}
-	if b < 1 {
-		b = 1
-	}
-	return b
-}
-
 // scheduleLocked queues a remediation attempt after delay.
 func (r *Reconciler) scheduleLocked(ds *deviceState, delay time.Duration) {
-	r.setStateLocked(ds, StateBackoff, EvScheduled,
-		fmt.Sprintf("remediation in %v (attempt %d)", delay, ds.attempt+1))
+	r.applyStateLocked(ds, StateBackoff)
+	ds.changedAt = r.clock.Now()
+	detail := fmt.Sprintf("remediation in %v (attempt %d)", delay, ds.attempt+1)
+	ds.lastDetail = detail
+	r.eventAtLocked(ds.name, ds.shard, EvScheduled, detail, r.clock.Now().Add(delay))
 	r.rearmLocked(ds, delay)
 }
 
@@ -641,14 +740,39 @@ func (r *Reconciler) rearmLocked(ds *deviceState, delay time.Duration) {
 }
 
 func (r *Reconciler) setStateLocked(ds *deviceState, s State, typ EventType, detail string) {
-	ds.state = s
+	r.applyStateLocked(ds, s)
 	ds.changedAt = r.clock.Now()
 	ds.lastDetail = detail
-	r.eventLocked(ds.name, typ, detail)
+	r.eventLocked(ds.name, ds.shard, typ, detail)
 }
 
-func (r *Reconciler) eventLocked(device string, typ EventType, detail string) {
-	r.journal.add(r.clock.Now(), device, typ, detail, r.active)
+// applyStateLocked moves the device's state machine, maintaining the
+// incremental open-device counters (shard and fleet-wide) that replaced
+// the per-event fleet scan — O(1) per transition, which is what makes
+// the budget math flat at 100k devices.
+func (r *Reconciler) applyStateLocked(ds *deviceState, s State) {
+	was, is := isOpenState(ds.state), isOpenState(s)
+	if is && !was {
+		ds.shard.open++
+		r.open++
+	}
+	if was && !is {
+		ds.shard.open--
+		r.open--
+	}
+	ds.state = s
+}
+
+func (r *Reconciler) eventLocked(device string, sh *shard, typ EventType, detail string) {
+	r.eventAtLocked(device, sh, typ, detail, time.Time{})
+}
+
+func (r *Reconciler) eventAtLocked(device string, sh *shard, typ EventType, detail string, fireAt time.Time) {
+	shardName, shardActive := "", 0
+	if sh != nil {
+		shardName, shardActive = sh.name, sh.active
+	}
+	r.journal.add(r.clock.Now(), device, shardName, typ, detail, r.active, shardActive, fireAt)
 }
 
 // fire delivers alerts outside the reconciler lock.

@@ -1,0 +1,292 @@
+package reconcile
+
+import (
+	"sort"
+	"strings"
+	"time"
+)
+
+// ResumeFromJournal builds a reconciler that picks up exactly where a
+// killed process stopped, by replaying its append-only journal: per-device
+// state machines, damping history, in-flight remediation slots, breaker
+// positions (shard and global), deploy token buckets, and pending timers
+// are all reconstructed from the events alone. The adopted events keep
+// their sequence numbers and the new journal appends after them, so a
+// resumed run's journal is the uninterrupted run's journal — byte for
+// byte — when the kill happened at a quiescent point.
+//
+// Contract:
+//
+//   - cfg must match the killed process's config (budgets, backoff, and
+//     bucket shapes are not journaled), and cfg.Clock must read at or
+//     after the last event's At.
+//   - deps must address the same fleet; devices keep the shard recorded
+//     in their events.
+//   - Pending backoff/rate-limit/check-retry timers are re-armed at
+//     their journaled due times (immediately when already past), in
+//     journal order, so the virtual-clock firing order is reproduced.
+//   - A device killed mid-remediation (journal ends remediating or
+//     confirming) is journaled as resumed and rescheduled immediately:
+//     remediation is idempotent (regenerate + redeploy golden), so
+//     re-running the interrupted attempt is safe.
+//   - A recheck due between the last journaled check error and the kill
+//     re-runs on resume; a successful silent recheck just resets the
+//     retry counter again, converging the in-memory state with the
+//     uninterrupted run.
+//   - The journal sink is not re-fed the adopted prefix: resuming from a
+//     sink file leaves the file correct.
+//
+// Call Instrument before Start if shared-registry metrics are wanted;
+// replayed outcomes land on the private registry, mirroring the killed
+// process's Stats().
+func ResumeFromJournal(deps Deps, cfg Config, events []Event) *Reconciler {
+	r := New(deps, cfg)
+	r.mu.Lock()
+	var lastSweepAt time.Time
+	var lastSweepSeq int64
+	for i := range events {
+		r.replayLocked(&events[i], &lastSweepAt, &lastSweepSeq)
+	}
+	r.journal.restore(events)
+	r.armReplayedLocked(lastSweepAt, lastSweepSeq)
+	r.mu.Unlock()
+	return r
+}
+
+// replayLocked applies one journaled event to the in-memory state,
+// without journaling anything.
+func (r *Reconciler) replayLocked(e *Event, lastSweepAt *time.Time, lastSweepSeq *int64) {
+	var ds *deviceState
+	if e.Device != "" {
+		ds = r.devices[e.Device]
+		if ds == nil {
+			// Shard creation time is the event's At — the same instant
+			// the live reconciler created it, so the token bucket epoch
+			// matches (see shardLocked).
+			shName := e.Shard
+			if shName == "" {
+				shName = r.shardNameOf(e.Device)
+			}
+			ds = &deviceState{name: e.Device, state: StateConverged, changedAt: e.At}
+			ds.shard = r.shardLocked(shName, e.At)
+			ds.shard.devices++
+			r.devices[e.Device] = ds
+		}
+	}
+	// settle releases the budget slot an outcome event implies: the live
+	// path decrements active before journaling the outcome.
+	settle := func() {
+		if ds.state == StateRemediating || ds.state == StateConfirming {
+			r.active--
+			ds.shard.active--
+		}
+	}
+	switch e.Type {
+	case EvDetected:
+		ds.detections = pruneWindow(append(ds.detections, e.At), e.At, r.cfg.DampingWindow)
+		r.met.detected.Inc()
+		// A detection via recheck/sweep/verify implies the conformance
+		// check succeeded, which reset the retry counter.
+		if strings.HasPrefix(e.Detail, "recheck:") || strings.HasPrefix(e.Detail, "sweep:") ||
+			strings.HasPrefix(e.Detail, "post-deploy verify:") {
+			ds.checkAttempt = 0
+		}
+		ds.pendingRecheck = time.Time{}
+		r.applyReplayLocked(ds, StateDetected, e)
+	case EvScheduled:
+		r.applyReplayLocked(ds, StateBackoff, e)
+		ds.pendingFire = e.FireAt
+		ds.pendingFireSeq = e.Seq
+	case EvRateLimited:
+		r.met.rateLimited.Inc()
+		if ds.shard.bucket != nil {
+			ds.shard.bucket.take(e.At) // mirrors the live failed take's refill
+		}
+		ds.pendingFire = e.FireAt
+		ds.pendingFireSeq = e.Seq
+	case EvRemediate:
+		if ds.shard.bucket != nil {
+			ds.shard.bucket.take(e.At)
+		}
+		r.active++
+		ds.shard.active++
+		r.applyReplayLocked(ds, StateRemediating, e)
+	case EvConfirming:
+		r.applyReplayLocked(ds, StateConfirming, e)
+	case EvConverged:
+		settle()
+		ds.attempt, ds.checkAttempt, ds.transportAttempt = 0, 0, 0
+		r.met.remediated.Inc()
+		r.met.converged.Inc()
+		r.applyReplayLocked(ds, StateConverged, e)
+	case EvRetry:
+		settle()
+		ds.attempt++
+		r.met.retries.Inc()
+		// The live path journals scheduled in the same critical section;
+		// park as detected so the slot can't be released twice.
+		r.applyReplayLocked(ds, StateDetected, e)
+	case EvTransportRetry:
+		settle()
+		ds.transportAttempt++
+		r.met.transportRetries.Inc()
+		r.applyReplayLocked(ds, StateDetected, e)
+	case EvTransportGiveUp:
+		settle()
+		ds.transportAttempt = 0
+		r.met.transportRetries.Inc()
+		r.applyReplayLocked(ds, StateConverged, e)
+	case EvQuarantined:
+		if ds.state == StateRemediating || ds.state == StateConfirming {
+			settle()
+			ds.attempt++ // live: attempt++ preceded the quarantine check
+		}
+		r.met.quarantined.Inc()
+		r.applyReplayLocked(ds, StateQuarantined, e)
+	case EvReleased:
+		ds.attempt, ds.checkAttempt = 0, 0
+		ds.detections = nil
+		r.applyReplayLocked(ds, StateConverged, e)
+		// Release armed an immediate recheck.
+		ds.pendingRecheck = e.At
+		ds.pendingRecheckSeq = e.Seq
+	case EvSuppressed:
+		r.met.suppressed.Inc()
+	case EvCheckError:
+		r.met.checkErrors.Inc()
+		ds.checkAttempt++
+		if e.FireAt.IsZero() {
+			// Gave up until the next sweep.
+			ds.checkAttempt = 0
+			ds.pendingRecheck = time.Time{}
+		} else {
+			ds.pendingRecheck = e.FireAt
+			ds.pendingRecheckSeq = e.Seq
+		}
+	case EvBudgetTrip:
+		sh := r.shardLocked(e.Shard, e.At)
+		if !sh.tripped {
+			sh.tripped = true
+			r.trippedShards++
+		}
+		sh.trips++
+		sh.tripsCounter.Inc()
+		r.met.budgetTrips.Inc()
+	case EvAggregateTrip:
+		r.globalTripped = true
+		r.globalTrips++
+		r.met.globalTrips.Inc()
+	case EvBreakerReset:
+		if e.Shard != "" {
+			if sh := r.shards[e.Shard]; sh != nil && sh.tripped {
+				sh.tripped = false
+				r.trippedShards--
+			}
+		} else {
+			r.globalTripped = false
+		}
+	case EvSweep:
+		*lastSweepAt = e.At
+		*lastSweepSeq = e.Seq
+	case EvHalted, EvResumed:
+		// State already captured by the surrounding events.
+	}
+}
+
+// applyReplayLocked is setStateLocked without the journal append: the
+// event already exists.
+func (r *Reconciler) applyReplayLocked(ds *deviceState, s State, e *Event) {
+	r.applyStateLocked(ds, s)
+	ds.changedAt = e.At
+	ds.lastDetail = e.Detail
+	if s != StateBackoff {
+		ds.pendingFire = time.Time{}
+	}
+}
+
+// armReplayedLocked re-creates the pending timers the killed process
+// held, in journal-sequence order — the virtual clock breaks equal due
+// times by timer creation order, so arming in the order the live process
+// armed reproduces its firing order exactly. Devices caught mid-flight
+// are settled and rescheduled.
+func (r *Reconciler) armReplayedLocked(lastSweepAt time.Time, lastSweepSeq int64) {
+	now := r.clock.Now()
+	type arm struct {
+		seq int64
+		fn  func()
+	}
+	var arms []arm
+	names := make([]string, 0, len(r.devices))
+	for name := range r.devices {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ds := r.devices[name]
+		if ds.state == StateBackoff && !ds.pendingFire.IsZero() {
+			if !ds.pendingFire.After(now) && (r.globalTripped || ds.shard.tripped) {
+				// The timer fired before the kill and parked against the
+				// open breaker; ResetBreaker drains it.
+				ds.pendingFire = time.Time{}
+				continue
+			}
+			d, delay := ds, ds.pendingFire.Sub(now)
+			if delay < 0 {
+				delay = 0
+			}
+			arms = append(arms, arm{ds.pendingFireSeq, func() { r.rearmLocked(d, delay) }})
+		}
+		if !ds.pendingRecheck.IsZero() {
+			device, delay := name, ds.pendingRecheck.Sub(now)
+			if delay < 0 {
+				delay = 0
+			}
+			arms = append(arms, arm{ds.pendingRecheckSeq, func() {
+				r.clock.AfterFunc(delay, func() { r.recheck(device) })
+			}})
+		}
+	}
+	if r.cfg.SweepInterval > 0 && r.deps.SweepList != nil {
+		next := now.Add(r.cfg.SweepInterval)
+		if !lastSweepAt.IsZero() {
+			next = lastSweepAt.Add(r.cfg.SweepInterval)
+		}
+		delay := next.Sub(now)
+		if delay < 0 {
+			delay = 0
+		}
+		arms = append(arms, arm{lastSweepSeq, func() { r.armSweepDelayLocked(delay) }})
+	}
+	sort.SliceStable(arms, func(i, j int) bool { return arms[i].seq < arms[j].seq })
+	for _, a := range arms {
+		a.fn()
+	}
+	// Devices killed mid-remediation: release the slot the dead process
+	// held and redo the attempt — remediation regenerates and redeploys
+	// golden, so repeating it is safe.
+	for _, name := range names {
+		ds := r.devices[name]
+		if ds.state == StateRemediating || ds.state == StateConfirming {
+			r.active--
+			ds.shard.active--
+			r.applyStateLocked(ds, StateDetected)
+			r.eventLocked(ds.name, ds.shard, EvResumed, "in-flight remediation interrupted by restart")
+			r.scheduleLocked(ds, 0)
+		}
+		ds.pendingFire, ds.pendingRecheck = time.Time{}, time.Time{}
+		ds.pendingFireSeq, ds.pendingRecheckSeq = 0, 0
+	}
+}
+
+// armSweepDelayLocked arms the sweep timer with a custom first delay
+// (resume honours the last journaled sweep time), then the normal chain.
+func (r *Reconciler) armSweepDelayLocked(delay time.Duration) {
+	r.sweepTimer = r.clock.AfterFunc(delay, func() {
+		r.Sweep()
+		r.mu.Lock()
+		if !r.stopped {
+			r.armSweepLocked()
+		}
+		r.mu.Unlock()
+	})
+}

@@ -13,48 +13,62 @@ import (
 // query-storm fleet sizes: the whole fleet drifts at once and the loop
 // drives every device back. Uses the fake world + virtual clock so the
 // number isolates reconciler overhead (state machine, journal, budget
-// math, scheduling). The 16384 size is gated behind
-// ROBOTRON_BENCH_LARGE=1; `make bench-scale` sets the variable.
+// math, scheduling). Two modes: "global" keeps the fleet in one failure
+// domain (every name derives to the same shard), "sharded" spreads it
+// over 64 sites via the SiteOf dependency — the budget/breaker math then
+// runs on per-shard counters. The 16384 size is gated behind
+// ROBOTRON_BENCH_LARGE=1; `make bench-reconcile` and `make bench-scale`
+// set the variable.
 func BenchmarkScaleReconcileConverge(b *testing.B) {
 	sizes := []int{256, 4096}
 	if os.Getenv("ROBOTRON_BENCH_LARGE") == "1" {
 		sizes = append(sizes, 16384)
 	}
+	const sites = 64
 	for _, fleet := range sizes {
-		b.Run(fmt.Sprintf("fleet=%d", fleet), func(b *testing.B) {
-			names := make([]string, fleet)
-			for i := range names {
-				names[i] = fmt.Sprintf("dev%05d", i)
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				w := newFakeWorld(names...)
-				clk := NewVirtualClock(t0)
-				r := New(Deps{
-					Golden:   w,
-					Deployer: deployerFunc(w.deployClock(clk)),
-					Checker:  w,
-				}, Config{
-					Clock: clk, BackoffBase: time.Second,
-					DampingThreshold: -1,
-					BudgetMaxDevices: fleet, BudgetMaxFraction: 1.0,
-				})
-				for _, name := range names {
-					w.drift(name)
+		names := make([]string, fleet)
+		siteOf := make(map[string]string, fleet)
+		for i := range names {
+			names[i] = fmt.Sprintf("dev%05d", i)
+			siteOf[names[i]] = fmt.Sprintf("site%02d", i%sites)
+		}
+		for _, mode := range []string{"global", "sharded"} {
+			b.Run(fmt.Sprintf("fleet=%d/%s", fleet, mode), func(b *testing.B) {
+				deps := Deps{}
+				if mode == "sharded" {
+					deps.SiteOf = func(d string) string { return siteOf[d] }
+					deps.ShardFleetSize = func(string) int { return fleet / sites }
 				}
-				b.StartTimer()
-				for _, name := range names {
-					r.HandleDeviation(monitor.Deviation{Device: name, Added: 1})
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					w := newFakeWorld(names...)
+					clk := NewVirtualClock(t0)
+					d := deps
+					d.Golden = w
+					d.Deployer = deployerFunc(w.deployClock(clk))
+					d.Checker = w
+					r := New(d, Config{
+						Clock: clk, BackoffBase: time.Second,
+						DampingThreshold: -1,
+						BudgetMaxDevices: fleet, BudgetMaxFraction: 1.0,
+					})
+					for _, name := range names {
+						w.drift(name)
+					}
+					b.StartTimer()
+					for _, name := range names {
+						r.HandleDeviation(monitor.Deviation{Device: name, Added: 1})
+					}
+					clk.Advance(time.Minute)
+					b.StopTimer()
+					if got := len(w.deploys); got != fleet {
+						b.Fatalf("deploys = %d, want %d", got, fleet)
+					}
+					b.StartTimer()
 				}
-				clk.Advance(time.Minute)
-				b.StopTimer()
-				if got := len(w.deploys); got != fleet {
-					b.Fatalf("deploys = %d, want %d", got, fleet)
-				}
-				b.StartTimer()
-			}
-		})
+			})
+		}
 	}
 }

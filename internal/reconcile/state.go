@@ -51,6 +51,7 @@ const (
 // guarded by Reconciler.mu.
 type deviceState struct {
 	name             string
+	shard            *shard      // the device's failure domain (never nil once tracked)
 	state            State
 	attempt          int         // failed remediation attempts this episode
 	checkAttempt     int         // consecutive conformance-check errors
@@ -60,11 +61,20 @@ type deviceState struct {
 	timerArmed       bool
 	lastDetail       string
 	changedAt        time.Time
+
+	// Replay scratch: the due time and journal position of the pending
+	// backoff/recheck timer, reconstructed by ResumeFromJournal and used
+	// only while re-arming. Zero outside recovery.
+	pendingFire     time.Time
+	pendingFireSeq  int64
+	pendingRecheck  time.Time
+	pendingRecheckSeq int64
 }
 
 // DeviceStatus is the exported view of one tracked device.
 type DeviceStatus struct {
 	Device     string
+	Shard      string    // failure domain
 	State      State
 	Attempts   int       // failed remediation attempts this episode
 	Detections int       // drift detections inside the damping window
@@ -100,15 +110,38 @@ type Config struct {
 	DampingWindow    time.Duration
 	DampingThreshold int
 
-	// BudgetMaxDevices (K) and BudgetMaxFraction (X) form the fleet-wide
-	// safety budget min(K, X·fleet): the reconciler never has more than
-	// that many devices in flight, and when *demand* exceeds the budget
-	// — more unconverged devices than it may touch — the circuit breaker
-	// opens and the whole loop halts with an alert instead of deploying.
-	// Mass drift usually means the desired state is wrong; remediating
-	// it at scale would push the error everywhere. Defaults: 4, 0.25.
+	// BudgetMaxDevices (K) and BudgetMaxFraction (X) form the per-shard
+	// safety budget min(K, X·shard_fleet): within one failure domain the
+	// reconciler never has more than that many devices in flight, and
+	// when *demand* exceeds the budget — more unconverged devices in the
+	// shard than it may touch — that shard's circuit breaker opens and
+	// the shard halts with an alert instead of deploying. Mass drift
+	// usually means the desired state is wrong; remediating it at scale
+	// would push the error everywhere. Other shards keep converging.
+	// Defaults: 4, 0.25. Without a ShardFleetSize dependency the
+	// fraction uses the fleet-wide size.
 	BudgetMaxDevices  int
 	BudgetMaxFraction float64
+
+	// AggregateTripShards escalates to the global last-resort breaker
+	// when at least this many shard breakers are open at once — a storm
+	// that crosses failure domains is a fleet-wide problem. 0 (default)
+	// disables the aggregate breaker.
+	AggregateTripShards int
+
+	// GlobalBudgetMaxDevices and GlobalBudgetMaxFraction bound fleet-wide
+	// *demand*: when the total number of open devices across all shards
+	// exceeds min of the two, the global breaker opens even if no single
+	// shard exceeded its own budget. 0 (default) disables each bound.
+	GlobalBudgetMaxDevices  int
+	GlobalBudgetMaxFraction float64
+
+	// DrainEvery and DrainBatch pace the backlog release when a breaker
+	// is reset: DrainBatch devices per shard are scheduled per DrainEvery
+	// interval instead of re-arming the whole backlog at once (thundering
+	// herd). Defaults: 1s, 1. DrainEvery < 0 disables pacing.
+	DrainEvery time.Duration
+	DrainBatch int
 
 	// DeployEvery rate-limits remediation deploys: one token per
 	// interval, bucket capacity DeployBurst (default 1). 0 disables.
@@ -157,6 +190,8 @@ const (
 	DefaultBudgetFraction   = 0.25
 	DefaultConfirmGrace     = 30 * time.Second
 	DefaultMaxCheckRetries  = 3
+	DefaultDrainEvery       = time.Second
+	DefaultDrainBatch       = 1
 )
 
 func (c Config) withDefaults() Config {
@@ -186,6 +221,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DeployBurst <= 0 {
 		c.DeployBurst = 1
+	}
+	if c.DrainEvery == 0 {
+		c.DrainEvery = DefaultDrainEvery
+	}
+	if c.DrainBatch <= 0 {
+		c.DrainBatch = DefaultDrainBatch
 	}
 	if c.ConfirmGrace <= 0 {
 		c.ConfirmGrace = DefaultConfirmGrace
@@ -220,9 +261,9 @@ func (c Config) backoff(attempt int) time.Duration {
 func FormatDeviceTable(rows []DeviceStatus) string {
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Device < rows[j].Device })
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-16s %-12s %8s %6s  %s\n", "DEVICE", "STATE", "ATTEMPTS", "DRIFTS", "DETAIL")
+	fmt.Fprintf(&b, "%-16s %-10s %-12s %8s %6s  %s\n", "DEVICE", "SHARD", "STATE", "ATTEMPTS", "DRIFTS", "DETAIL")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-16s %-12s %8d %6d  %s\n", r.Device, r.State, r.Attempts, r.Detections, r.Detail)
+		fmt.Fprintf(&b, "%-16s %-10s %-12s %8d %6d  %s\n", r.Device, r.Shard, r.State, r.Attempts, r.Detections, r.Detail)
 	}
 	return b.String()
 }

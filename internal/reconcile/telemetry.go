@@ -23,6 +23,7 @@ type reconcileMetrics struct {
 	checkErrors      *telemetry.Counter
 	suppressed       *telemetry.Counter
 	transportRetries *telemetry.Counter
+	globalTrips      *telemetry.Counter
 }
 
 func bindReconcileMetrics(reg *telemetry.Registry) reconcileMetrics {
@@ -41,6 +42,7 @@ func bindReconcileMetrics(reg *telemetry.Registry) reconcileMetrics {
 		checkErrors:      c("robotron_reconcile_check_errors_total", "conformance checks that errored (retried)"),
 		suppressed:       c("robotron_reconcile_suppressed_total", "deviations ignored on quarantined devices"),
 		transportRetries: c("robotron_reconcile_transport_retries_total", "remediations rescheduled after transport faults (no quarantine credit)"),
+		globalTrips:      c("robotron_reconcile_global_trips_total", "aggregate (fleet-wide) circuit-breaker openings"),
 	}
 }
 
@@ -51,6 +53,15 @@ func bindReconcileMetrics(reg *telemetry.Registry) reconcileMetrics {
 func (r *Reconciler) Instrument(reg *telemetry.Registry) {
 	r.mu.Lock()
 	r.met = bindReconcileMetrics(reg)
+	r.reg = reg
+	// Shards created before Instrument carry their per-shard metrics over
+	// to the new registry (their trip counts restart from zero there, as
+	// the outcome counters do).
+	for _, sh := range r.shards {
+		sh.tripsCounter = reg.Counter("robotron_reconcile_shard_trips_total",
+			telemetry.Label{Key: "shard", Value: sh.name})
+		r.instrumentShardLocked(sh)
+	}
 	r.mu.Unlock()
 	if reg == nil {
 		return
@@ -62,9 +73,16 @@ func (r *Reconciler) Instrument(reg *telemetry.Registry) {
 			func() float64 { return float64(r.countState(s)) },
 			telemetry.Label{Key: "state", Value: string(s)})
 	}
-	reg.Help("robotron_reconcile_breaker_open", "1 while the safety-budget circuit breaker is open")
+	reg.Help("robotron_reconcile_breaker_open", "1 while any safety-budget circuit breaker (shard or global) is open")
 	reg.GaugeFunc("robotron_reconcile_breaker_open", func() float64 {
 		if r.Tripped() {
+			return 1
+		}
+		return 0
+	})
+	reg.Help("robotron_reconcile_global_breaker_open", "1 while the global aggregate breaker is open")
+	reg.GaugeFunc("robotron_reconcile_global_breaker_open", func() float64 {
+		if r.GlobalTripped() {
 			return 1
 		}
 		return 0
@@ -75,6 +93,46 @@ func (r *Reconciler) Instrument(reg *telemetry.Registry) {
 		}
 		return "breaker closed", nil
 	})
+}
+
+// instrumentShardLocked registers one shard's labeled gauges on the
+// current registry. Called under r.mu; safe because the registry's
+// exporters invoke gauge callbacks outside the registry lock, so the
+// r.mu→registry.mu order here is one-way.
+func (r *Reconciler) instrumentShardLocked(sh *shard) {
+	reg := r.reg
+	if reg == nil {
+		return
+	}
+	name := sh.name
+	label := telemetry.Label{Key: "shard", Value: name}
+	reg.Help("robotron_reconcile_shard_breaker_open", "1 while this shard's circuit breaker is open")
+	reg.GaugeFunc("robotron_reconcile_shard_breaker_open", func() float64 {
+		if r.ShardTripped(name) {
+			return 1
+		}
+		return 0
+	}, label)
+	reg.Help("robotron_reconcile_shard_active", "in-flight remediations in this shard")
+	reg.GaugeFunc("robotron_reconcile_shard_active", func() float64 {
+		return float64(r.shardGauge(name, func(sh *shard) int { return sh.active }))
+	}, label)
+	reg.Help("robotron_reconcile_shard_backlog", "open devices awaiting remediation in this shard")
+	reg.GaugeFunc("robotron_reconcile_shard_backlog", func() float64 {
+		return float64(r.shardGauge(name, func(sh *shard) int { return sh.open - sh.active }))
+	}, label)
+	reg.Help("robotron_reconcile_shard_trips_total", "circuit-breaker openings in this shard")
+}
+
+// shardGauge reads one shard field under the lock for a gauge callback.
+func (r *Reconciler) shardGauge(name string, f func(*shard) int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sh := r.shards[name]
+	if sh == nil {
+		return 0
+	}
+	return f(sh)
 }
 
 // countState counts tracked devices currently in state s.

@@ -37,10 +37,14 @@ func (e *engine) checkAll(asserts []AssertionSpec, eventIdx int) error {
 	return nil
 }
 
-// resolveDevices expands "all" to the sorted fleet.
+// resolveDevices expands "all" to the sorted fleet and "site:<x>" to
+// that site's sorted devices (the failure-domain selector).
 func (e *engine) resolveDevices(name string) []string {
 	if name == "all" {
 		return e.devices
+	}
+	if site, ok := strings.CutPrefix(name, "site:"); ok {
+		return e.sites[site]
 	}
 	return []string{name}
 }
@@ -102,6 +106,14 @@ func (e *engine) check(a *AssertionSpec, eventIdx, assertIdx int) error {
 			}
 		}
 	case AssertBreaker:
+		if a.Shard != "" {
+			if got := e.r.Reconciler.ShardTripped(a.Shard); got != a.Tripped {
+				err := fail("", "shard %s breaker tripped=%v, want %v", a.Shard, got, a.Tripped)
+				err.Context = e.journalTail("")
+				return err
+			}
+			break
+		}
 		if got := e.r.Reconciler.Tripped(); got != a.Tripped {
 			err := fail("", "breaker tripped=%v, want %v", got, a.Tripped)
 			err.Context = e.journalTail("")

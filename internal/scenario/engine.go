@@ -96,6 +96,7 @@ type engine struct {
 	reg     *telemetry.Registry
 	armed   bool // current chaos arming (survives assertion pauses)
 	devices []string
+	sites   map[string][]string // site -> its sorted devices ("site:x" selectors)
 
 	opsBase    map[string]int64  // from the last snapshot event
 	goldenBase map[string]string // from the last snapshot event
@@ -253,18 +254,23 @@ func (e *engine) build() error {
 	}
 	e.r = r
 
-	if _, err := r.Designer.EnsureSite(f.Fleet.Site, f.Fleet.Kind, f.Fleet.Region); err != nil {
-		return e.setup("site", err)
+	e.sites = map[string][]string{}
+	for _, fl := range append([]FleetSpec{f.Fleet}, f.ExtraFleets...) {
+		if _, err := r.Designer.EnsureSite(fl.Site, fl.Kind, fl.Region); err != nil {
+			return e.setup("site", err)
+		}
+		if _, err := r.ProvisionCluster(e.ctx(), fl.Site, fl.Cluster, fleetTemplate(fl)); err != nil {
+			return e.setup("provision", err)
+		}
+		devices, err := r.DevicesOfSite(fl.Site)
+		if err != nil {
+			return e.setup("device list", err)
+		}
+		sort.Strings(devices)
+		e.sites[fl.Site] = devices
+		e.devices = append(e.devices, devices...)
 	}
-	if _, err := r.ProvisionCluster(e.ctx(), f.Fleet.Site, f.Fleet.Cluster, e.template()); err != nil {
-		return e.setup("provision", err)
-	}
-	devices, err := r.DevicesOfSite(f.Fleet.Site)
-	if err != nil {
-		return e.setup("device list", err)
-	}
-	sort.Strings(devices)
-	e.devices = devices
+	sort.Strings(e.devices)
 	return nil
 }
 
@@ -277,18 +283,18 @@ func (e *engine) ctx() design.ChangeContext {
 	}
 }
 
-func (e *engine) template() design.TopologyTemplate {
-	switch e.file.Fleet.Template {
+func fleetTemplate(fl FleetSpec) design.TopologyTemplate {
+	switch fl.Template {
 	case "pop-gen1":
 		return design.POPGen1()
 	case "pop-gen2":
 		return design.POPGen2()
 	case "dc-gen1":
-		return design.DCGen1(e.file.Fleet.Racks)
+		return design.DCGen1(fl.Racks)
 	case "dc-gen2":
-		return design.DCGen2(e.file.Fleet.Racks)
+		return design.DCGen2(fl.Racks)
 	default:
-		return design.DCGen3(e.file.Fleet.Racks)
+		return design.DCGen3(fl.Racks)
 	}
 }
 
@@ -348,6 +354,11 @@ func describeEvent(ev *EventSpec) string {
 		return "firewall " + ev.FirewallName
 	case ActRelease:
 		return "release " + ev.Device
+	case ActResetBreaker:
+		if ev.Shard != "" {
+			return "reset-breaker shard=" + ev.Shard
+		}
+		return ev.Action
 	case ActConverge:
 		return fmt.Sprintf("converge rounds=%d step=%s", ev.Rounds, ev.Step)
 	default:
@@ -445,7 +456,13 @@ func (e *engine) exec(ev *EventSpec) error {
 			return fail("release: %v", err)
 		}
 	case ActResetBreaker:
-		e.r.Reconciler.ResetBreaker()
+		if ev.Shard != "" {
+			if err := e.r.Reconciler.ResetShardBreaker(ev.Shard); err != nil {
+				return fail("reset-breaker: %v", err)
+			}
+		} else {
+			e.r.Reconciler.ResetBreaker()
+		}
 	case ActSweep:
 		n := e.r.Reconciler.Sweep()
 		e.note("[%s]   sweep checked %d device(s)", e.elapsed(), n)

@@ -25,6 +25,7 @@ type File struct {
 	Start       time.Time     // virtual start instant
 	End         time.Duration // scenario length; 0 = ends with the last event
 	Fleet       FleetSpec
+	ExtraFleets []FleetSpec // additional sites = additional failure domains
 	Reconciler  ReconcilerSpec
 	Faults      FaultsSpec
 	Service     *ServiceSpec // nil: single in-process store
@@ -136,6 +137,8 @@ type EventSpec struct {
 	Rounds int           // converge: max sweep+advance rounds
 	Step   time.Duration // converge: virtual time per round
 
+	Shard string // reset-breaker: re-arm only this failure domain (a site)
+
 	Expect []AssertionSpec // evaluated right after the action
 }
 
@@ -177,7 +180,8 @@ type AssertionSpec struct {
 
 	Verdict string // verify-verdict: "rejected" or "passed"
 
-	Tripped bool // breaker: wanted breaker state
+	Tripped bool   // breaker: wanted breaker state
+	Shard   string // breaker: check one failure domain's breaker, not the loop
 
 	MinKinds int // faults-fired: distinct fault kinds
 	MinTotal int // faults-fired: total injections (default 1)
@@ -391,7 +395,7 @@ func (d *decoder) strings(n *node, key string) []string {
 func (d *decoder) decodeFile(root *node) *File {
 	if !d.fields(root, "scenario",
 		"name", "description", "seed", "start", "end",
-		"fleet", "reconciler", "faults", "service", "deploy",
+		"fleet", "extra_fleets", "reconciler", "faults", "service", "deploy",
 		"events", "assert") {
 		return nil
 	}
@@ -415,6 +419,18 @@ func (d *decoder) decodeFile(root *node) *File {
 		f.Fleet = d.decodeFleet(c)
 	} else {
 		d.errorf(root.line, "scenario is missing the required \"fleet\" section")
+	}
+	if c, ok := root.children["extra_fleets"]; ok {
+		if c.kind != listNode {
+			d.errorf(c.line, "field \"extra_fleets\" must be a list, got a %s", c.kind)
+			return nil
+		}
+		for _, it := range c.items {
+			f.ExtraFleets = append(f.ExtraFleets, d.decodeFleet(it))
+			if d.err != nil {
+				return nil
+			}
+		}
 	}
 	if c, ok := root.children["reconciler"]; ok {
 		f.Reconciler = d.decodeReconciler(c)
@@ -556,7 +572,8 @@ func (d *decoder) decodeEvents(n *node) []EventSpec {
 func (d *decoder) decodeEvent(n *node, idx int) EventSpec {
 	if !d.fields(n, "event",
 		"at", "action", "device", "devices", "line", "cut", "dryrun", "may_fail",
-		"expect_reject", "armed", "what", "name", "rounds", "step", "expect") {
+		"expect_reject", "armed", "what", "name", "rounds", "step", "shard",
+		"expect") {
 		return EventSpec{}
 	}
 	ev := EventSpec{Idx: idx, Line: n.line}
@@ -587,6 +604,7 @@ func (d *decoder) decodeEvent(n *node, idx int) EventSpec {
 	ev.FirewallName = d.str(n, "name")
 	ev.Rounds = int(d.integer(n, "rounds"))
 	ev.Step = d.duration(n, "step")
+	ev.Shard = d.str(n, "shard")
 	if c, ok := n.children["expect"]; ok {
 		ev.Expect = d.decodeAssertList(c, "expect")
 	}
@@ -612,7 +630,7 @@ func (d *decoder) decodeAssertList(n *node, context string) []AssertionSpec {
 func (d *decoder) decodeAssertion(n *node, idx int) AssertionSpec {
 	if !d.fields(n, "assertion",
 		"type", "device", "state", "skip_quarantined", "metric", "labels",
-		"op", "value", "event", "min_count", "verdict", "tripped",
+		"op", "value", "event", "min_count", "verdict", "tripped", "shard",
 		"min_kinds", "min_total", "rule", "correlates_kind", "correlates_device") {
 		return AssertionSpec{}
 	}
@@ -637,6 +655,7 @@ func (d *decoder) decodeAssertion(n *node, idx int) AssertionSpec {
 	if _, ok := n.children["tripped"]; ok {
 		a.Tripped = d.boolean(n, "tripped")
 	}
+	a.Shard = d.str(n, "shard")
 	if _, ok := n.children["min_kinds"]; ok {
 		a.MinKinds = int(d.integer(n, "min_kinds"))
 	}

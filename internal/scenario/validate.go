@@ -71,35 +71,58 @@ func Validate(f *File) error {
 		return e(1, "scenario name %q must not contain whitespace", f.Name)
 	}
 
-	// Fleet: the world everything else references.
+	// Fleets: the world everything else references. Each fleet is one
+	// site, and each site is one reconciler failure domain (shard).
 	fl := f.Fleet
-	if fl.Site == "" {
-		return e(fl.Line, "fleet is missing the required \"site\"")
-	}
-	if fl.Cluster == "" {
-		return e(fl.Line, "fleet is missing the required \"cluster\"")
-	}
-	if _, ok := templateDevices[fl.Template]; !ok {
-		return e(fl.Line, "fleet template %q is not one of pop-gen1, pop-gen2, dc-gen1, dc-gen2, dc-gen3", fl.Template)
-	}
-	if fl.Racks < 0 {
-		return e(fl.Line, "fleet racks must not be negative")
-	}
-	if fl.Racks > 0 && templateKind[fl.Template] != "dc" {
-		return e(fl.Line, "fleet template %q does not take racks (racks are for dc templates)", fl.Template)
-	}
-	if fl.Kind != templateKind[fl.Template] {
-		return e(fl.Line, "fleet kind %q contradicts template %q (implies %q)", fl.Kind, fl.Template, templateKind[fl.Template])
+	fleets := append([]FleetSpec{fl}, f.ExtraFleets...)
+	seenSites, seenClusters := map[string]bool{}, map[string]bool{}
+	for i, ff := range fleets {
+		ctx := "fleet"
+		if i > 0 {
+			ctx = fmt.Sprintf("extra fleet %d", i-1)
+		}
+		if err := validateFleet(e, ff, ctx); err != nil {
+			return err
+		}
+		if seenSites[ff.Site] {
+			return e(ff.Line, "%s: site %q is declared twice (each fleet is its own failure domain)", ctx, ff.Site)
+		}
+		if seenClusters[ff.Cluster] {
+			return e(ff.Line, "%s: cluster %q is declared twice", ctx, ff.Cluster)
+		}
+		seenSites[ff.Site] = true
+		seenClusters[ff.Cluster] = true
 	}
 
-	known := map[string]bool{}
-	for _, name := range FleetDevices(fl) {
-		known[name] = true
+	known, knownSites := map[string]bool{}, map[string]bool{}
+	for _, ff := range fleets {
+		knownSites[ff.Site] = true
+		for _, name := range FleetDevices(ff) {
+			known[name] = true
+		}
 	}
 	checkDevice := func(line int, name, context string) error {
 		if name != "all" && !known[name] {
 			return e(line, "%s references device %q, which the fleet (template %s, cluster %s) does not provision",
 				context, name, fl.Template, fl.Cluster)
+		}
+		return nil
+	}
+	// Assertion device fields additionally accept the "site:<x>"
+	// failure-domain selector; event device fields stay device-only.
+	checkAssertDevice := func(line int, name, context string) error {
+		if site, ok := strings.CutPrefix(name, "site:"); ok {
+			if !knownSites[site] {
+				return e(line, "%s references site %q, which no fleet declares (known: %s)",
+					context, site, sortedKeys(knownSites))
+			}
+			return nil
+		}
+		return checkDevice(line, name, context)
+	}
+	checkShard := func(line int, shard, context string) error {
+		if shard != "" && !knownSites[shard] {
+			return e(line, "%s: shard %q is not a declared site (known: %s)", context, shard, sortedKeys(knownSites))
 		}
 		return nil
 	}
@@ -187,6 +210,14 @@ func Validate(f *File) error {
 		if err := validateEventFields(e, ev, ctx, f); err != nil {
 			return err
 		}
+		if ev.Shard != "" {
+			if ev.Action != ActResetBreaker {
+				return e(ev.Line, "%s: field \"shard\" is only valid for action %q", ctx, ActResetBreaker)
+			}
+			if err := checkShard(ev.Line, ev.Shard, ctx); err != nil {
+				return err
+			}
+		}
 		if ev.Device != "" {
 			if err := checkDevice(ev.Line, ev.Device, ctx); err != nil {
 				return err
@@ -199,7 +230,7 @@ func Validate(f *File) error {
 		}
 		for j := range ev.Expect {
 			a := &ev.Expect[j]
-			if err := validateAssertion(e, a, fmt.Sprintf("%s expect %d", ctx, j), f, checkDevice); err != nil {
+			if err := validateAssertion(e, a, fmt.Sprintf("%s expect %d", ctx, j), f, checkAssertDevice, checkShard); err != nil {
 				return err
 			}
 		}
@@ -207,12 +238,36 @@ func Validate(f *File) error {
 
 	for i := range f.Assert {
 		a := &f.Assert[i]
-		if err := validateAssertion(e, a, fmt.Sprintf("assert %d", i), f, checkDevice); err != nil {
+		if err := validateAssertion(e, a, fmt.Sprintf("assert %d", i), f, checkAssertDevice, checkShard); err != nil {
 			return err
 		}
 	}
 	if len(f.Events) == 0 && len(f.Assert) == 0 {
 		return e(1, "scenario declares no events and no assertions; nothing to do")
+	}
+	return nil
+}
+
+// validateFleet checks one fleet spec; ctx is "fleet" for the primary
+// and "extra fleet N" for the additional failure domains.
+func validateFleet(e func(int, string, ...any) error, fl FleetSpec, ctx string) error {
+	if fl.Site == "" {
+		return e(fl.Line, "%s is missing the required \"site\"", ctx)
+	}
+	if fl.Cluster == "" {
+		return e(fl.Line, "%s is missing the required \"cluster\"", ctx)
+	}
+	if _, ok := templateDevices[fl.Template]; !ok {
+		return e(fl.Line, "%s template %q is not one of pop-gen1, pop-gen2, dc-gen1, dc-gen2, dc-gen3", ctx, fl.Template)
+	}
+	if fl.Racks < 0 {
+		return e(fl.Line, "%s racks must not be negative", ctx)
+	}
+	if fl.Racks > 0 && templateKind[fl.Template] != "dc" {
+		return e(fl.Line, "%s template %q does not take racks (racks are for dc templates)", ctx, fl.Template)
+	}
+	if fl.Kind != templateKind[fl.Template] {
+		return e(fl.Line, "%s kind %q contradicts template %q (implies %q)", ctx, fl.Kind, fl.Template, templateKind[fl.Template])
 	}
 	return nil
 }
@@ -330,7 +385,7 @@ func validateEventFields(e func(int, string, ...any) error, ev *EventSpec, ctx s
 	return nil
 }
 
-func validateAssertion(e func(int, string, ...any) error, a *AssertionSpec, ctx string, f *File, checkDevice func(int, string, string) error) error {
+func validateAssertion(e func(int, string, ...any) error, a *AssertionSpec, ctx string, f *File, checkDevice, checkShard func(int, string, string) error) error {
 	if a.Type == "" {
 		return e(a.Line, "%s is missing the required \"type\"", ctx)
 	}
@@ -339,6 +394,14 @@ func validateAssertion(e func(int, string, ...any) error, a *AssertionSpec, ctx 
 	}
 	if a.Device != "" {
 		if err := checkDevice(a.Line, a.Device, ctx); err != nil {
+			return err
+		}
+	}
+	if a.Shard != "" {
+		if a.Type != AssertBreaker {
+			return e(a.Line, "%s: field \"shard\" is only valid on breaker assertions", ctx)
+		}
+		if err := checkShard(a.Line, a.Shard, ctx); err != nil {
 			return err
 		}
 	}
